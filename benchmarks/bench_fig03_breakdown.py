@@ -1,0 +1,36 @@
+"""Figure 3: per-access latency composition of each scheme's hit paths.
+
+Reproduces the paper's schematic analytically from the Table IV timing
+parameters: AlloyCache's single big-burst access, Footprint Cache's
+serial SRAM-tag-then-data, ATCache's two tag-cache cases, Bi-Modal's
+three cases (locator hit / locator miss with tag row hit / tag row miss)
+and Loh-Hill's compound access.
+"""
+
+from repro.harness.experiments import fig3_latency_breakdown
+
+
+def test_fig3_latency_breakdown(benchmark, report):
+    rows = benchmark.pedantic(fig3_latency_breakdown, rounds=5, iterations=1)
+    report(rows, title="Figure 3: hit-path latency breakdown (CPU cycles)")
+    total = {(r["scheme"], r["case"]): r["total"] for r in rows}
+
+    # Bi-Modal's locator-hit path matches AlloyCache's single access
+    # within a cycle or two, despite tags living in DRAM.
+    assert abs(total[("BiModal", "way locator hit")] - total[("AlloyCache", "row closed")]) <= 2
+
+    # Tags-in-SRAM (Footprint) is slightly slower than Alloy (III-A).
+    assert total[("Footprint Cache", "tags-in-SRAM hit")] >= total[
+        ("AlloyCache", "row closed")
+    ]
+
+    # Loh-Hill's compound access is the slow tags-then-data case.
+    assert total[("Loh-Hill", "compound access")] > total[
+        ("BiModal", "way locator hit")
+    ]
+
+    # Parallel tag+data keeps even the locator-miss/row-hit case well
+    # under the serialized ATCache tag-cache-miss case.
+    assert total[("BiModal", "loc. miss, tag row hit")] < total[
+        ("ATCache", "tag-cache miss")
+    ]

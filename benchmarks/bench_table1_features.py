@@ -1,0 +1,19 @@
+"""Table I: qualitative organization comparison, generated from configs."""
+
+from repro.harness.experiments import table1_feature_matrix
+
+
+def test_table1_feature_matrix(benchmark, report):
+    rows = benchmark.pedantic(table1_feature_matrix, rounds=10, iterations=1)
+    report(rows, title="Table I: DRAM cache organization comparison")
+    by_attr = {r["attribute"]: r for r in rows}
+    # Bi-Modal is the only mixed-granularity organization.
+    assert by_attr["block_size"]["bimodal"] == "512B+64B"
+    # It combines DRAM metadata (like Alloy/Loh-Hill) with the low
+    # metadata overhead of the page-based schemes.
+    assert by_attr["metadata"]["bimodal"] == "DRAM"
+    assert by_attr["metadata_overhead"]["bimodal"] == "low"
+    assert by_attr["hit_latency"]["bimodal"] == "low"
+    assert by_attr["hit_rate"]["bimodal"] == "high"
+    # Footprint Cache is the only tags-in-SRAM scheme.
+    assert by_attr["metadata"]["footprint"] == "SRAM"

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Head-to-head comparison of all five DRAM cache organizations.
+
+Runs AlloyCache, Loh-Hill, ATCache, Footprint Cache and the Bi-Modal
+cache on a set of mixes and prints the Figure 8(b)/8(c)-style summary:
+hit rates, average LLSC miss penalties and off-chip traffic, plus the
+Bi-Modal-specific way locator and adaptation statistics.
+
+Usage:
+    python examples/cache_comparison.py [mix ...]
+"""
+
+import sys
+
+from repro.harness import ExperimentSetup, print_table, run_scheme_on_mix
+
+SCHEMES = ("alloy", "lohhill", "atcache", "footprint", "fixed512", "bimodal")
+DEFAULT_MIXES = ["Q2", "Q7", "Q17"]
+
+
+def main() -> None:
+    mixes = sys.argv[1:] or DEFAULT_MIXES
+    setup = ExperimentSetup(num_cores=4, accesses_per_core=20_000, seed=1)
+
+    summary = {s: {"hit": 0.0, "lat": 0.0, "mb": 0.0} for s in SCHEMES}
+    for mix in mixes:
+        rows = []
+        for scheme in SCHEMES:
+            stats = run_scheme_on_mix(scheme, mix, setup=setup).stats
+            traffic_mb = (
+                stats["offchip_fetched_bytes"] + stats["offchip_writeback_bytes"]
+            ) / (1 << 20)
+            rows.append(
+                {
+                    "scheme": scheme,
+                    "hit_rate": stats["hit_rate"],
+                    "avg_latency": stats["avg_read_latency"],
+                    "hit_latency": stats["avg_hit_latency"],
+                    "offchip_mb": traffic_mb,
+                }
+            )
+            summary[scheme]["hit"] += stats["hit_rate"]
+            summary[scheme]["lat"] += stats["avg_read_latency"]
+            summary[scheme]["mb"] += traffic_mb
+        print_table(rows, title=f"Mix {mix}")
+        print()
+
+    n = len(mixes)
+    mean_rows = [
+        {
+            "scheme": s,
+            "hit_rate": v["hit"] / n,
+            "avg_latency": v["lat"] / n,
+            "offchip_mb": v["mb"] / n,
+        }
+        for s, v in summary.items()
+    ]
+    print_table(mean_rows, title=f"Means over {n} mixes (Figure 8b/8c shape)")
+    alloy = summary["alloy"]["lat"] / n
+    bimodal = summary["bimodal"]["lat"] / n
+    print(
+        f"\nBi-Modal average latency change vs AlloyCache: "
+        f"{100 * (bimodal - alloy) / alloy:+.1f}% (paper: -22.9%)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Way locator design-space exploration (Table III + Section III-D4).
+
+Combines the storage/latency model (Figure 6 entry format + CACTI
+staircase) with the analytic tag-access model and a measured hit-rate
+sweep, answering the question the paper's Table III and Figure 9(c)
+answer together: *which K should the locator use?*
+
+Usage:
+    python examples/locator_design_space.py [mix-name]
+"""
+
+import sys
+
+from repro.bimodal.analytic import TagLatencyModel, breakeven_locator_hit_rate
+from repro.common.config import DRAMTimingConfig
+from repro.common.tables import sram_latency_cycles, way_locator_storage_bytes
+from repro.harness import ExperimentSetup, print_table
+from repro.harness.experiments import fig9c_way_locator_hit_rate
+
+
+def main() -> None:
+    mix_name = sys.argv[1] if len(sys.argv) > 1 else "Q12"
+    setup = ExperimentSetup(num_cores=4, accesses_per_core=15_000, seed=1)
+
+    print("Break-even locator hit rate vs tags-in-SRAM (Section III-D4):")
+    for sram_cycles in (6, 7, 9):
+        h = breakeven_locator_hit_rate(
+            sram_tag_cycles=sram_cycles, locator_latency=1, dram_tag_cycles=32
+        )
+        print(f"  SRAM tag store @ {sram_cycles} cycles -> need h >= {h:.0%}")
+    print()
+
+    # Measured hit rates per K on the chosen mix.
+    measured = fig9c_way_locator_hit_rate(
+        setup=setup, mix_names=[mix_name], k_values=(10, 12, 14, 16)
+    )[0]
+
+    model = TagLatencyModel(DRAMTimingConfig.stacked())
+    rows = []
+    for paper_k in (10, 12, 14, 16):
+        storage = way_locator_storage_bytes(
+            address_bits=32, set_index_bits=16, offset_bits=9, locator_index_bits=paper_k
+        )
+        latency = sram_latency_cycles(int(storage))
+        hit_rate = measured[f"K{paper_k}"]
+        analytic = TagLatencyModel(
+            DRAMTimingConfig.stacked(), locator_latency=latency
+        ).tag_access_cycles(hit_rate, metadata_rbh=0.3)
+        rows.append(
+            {
+                "K": paper_k,
+                "storage_kb": storage / 1024,
+                "lookup_cycles": latency,
+                "measured_hit_rate": hit_rate,
+                "avg_tag_cycles": analytic,
+            }
+        )
+    print_table(
+        rows,
+        title=f"Way locator design space on mix {mix_name} "
+        "(storage at paper scale, hit rate measured at 1/16 scale)",
+    )
+    # Sweet spot: smallest table within one cycle of the best latency
+    # (a 3.5x storage jump isn't worth a fraction of a cycle).
+    best_latency = min(r["avg_tag_cycles"] for r in rows)
+    best = next(r for r in rows if r["avg_tag_cycles"] <= best_latency + 1.0)
+    print(
+        f"\nsweet spot: K={best['K']} "
+        f"({best['storage_kb']:.1f} KB, {best['lookup_cycles']} cycle lookup) — "
+        "the paper picks K=14"
+    )
+
+
+if __name__ == "__main__":
+    main()

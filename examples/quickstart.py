@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: build a Bi-Modal DRAM cache and compare it to AlloyCache.
+
+Runs one quad-core workload mix (Q7 — a sparse, memory-intensive mix)
+through both organizations at the scaled Table IV configuration and
+prints hit rate, average LLSC miss penalty and off-chip traffic.
+
+Usage:
+    python examples/quickstart.py [mix-name]
+"""
+
+import sys
+
+from repro.harness import ExperimentSetup, print_table, run_scheme_on_mix
+
+
+def main() -> None:
+    mix_name = sys.argv[1] if len(sys.argv) > 1 else "Q7"
+    setup = ExperimentSetup(num_cores=4, accesses_per_core=30_000, seed=1)
+    print(
+        f"Running mix {mix_name} on the scaled 4-core configuration "
+        f"({setup.system.dram_cache.capacity >> 20} MB DRAM cache, "
+        f"1/{setup.scale} of Table IV capacity)...\n"
+    )
+
+    rows = []
+    for scheme in ("alloy", "fixed512", "bimodal"):
+        result = run_scheme_on_mix(scheme, mix_name, setup=setup)
+        stats = result.stats
+        row = {
+            "scheme": scheme,
+            "hit_rate": stats["hit_rate"],
+            "avg_latency_cycles": stats["avg_read_latency"],
+            "offchip_mb": (
+                stats["offchip_fetched_bytes"] + stats["offchip_writeback_bytes"]
+            )
+            / (1 << 20),
+        }
+        if "way_locator_hit_rate" in stats:
+            row["way_locator"] = stats["way_locator_hit_rate"]
+            row["small_frac"] = stats["small_access_fraction"]
+            row["state"] = str(stats["global_state"])
+        rows.append(row)
+
+    print_table(rows, title=f"Mix {mix_name}: AlloyCache vs fixed-512B vs Bi-Modal")
+    alloy, fixed, bimodal = rows
+    print()
+    print(
+        f"Bi-Modal vs AlloyCache: "
+        f"{100 * (alloy['avg_latency_cycles'] - bimodal['avg_latency_cycles']) / alloy['avg_latency_cycles']:+.1f}% latency, "
+        f"{100 * (bimodal['hit_rate'] - alloy['hit_rate']):+.1f}pp hit rate"
+    )
+    print(
+        f"Bi-Modal vs fixed-512B: "
+        f"{100 * (fixed['offchip_mb'] - bimodal['offchip_mb']) / max(fixed['offchip_mb'], 1e-9):+.1f}% "
+        f"off-chip traffic saved by bi-modality"
+    )
+
+
+if __name__ == "__main__":
+    main()

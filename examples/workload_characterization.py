@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Characterize workload mixes the way the paper's Section II does.
+
+For a set of quad-core mixes, reproduces the two motivation studies:
+
+* Figure 1 — LLSC miss rate vs block size (64 B .. 4 KB), and
+* Figure 2 — the distribution of 64 B sub-block utilization inside
+  512 B DRAM-cache blocks,
+
+then prints which mixes would be classified dense / sparse / mixed by a
+bi-modal organization.
+
+Usage:
+    python examples/workload_characterization.py [mix ...]
+"""
+
+import sys
+
+from repro.harness import ExperimentSetup, print_table
+from repro.harness.experiments import (
+    fig1_miss_rate_vs_block_size,
+    fig2_block_utilization,
+)
+
+DEFAULT_MIXES = ["Q2", "Q5", "Q7", "Q12", "Q17", "Q23"]
+
+
+def classify(full_frac: float) -> str:
+    if full_frac > 0.55:
+        return "dense (prefers 512B blocks)"
+    if full_frac < 0.25:
+        return "sparse (prefers 64B blocks)"
+    return "mixed (benefits from bi-modality)"
+
+
+def main() -> None:
+    mixes = sys.argv[1:] or DEFAULT_MIXES
+    setup = ExperimentSetup(num_cores=4, accesses_per_core=15_000, seed=1)
+
+    print("== Figure 1: miss rate vs block size ==")
+    rows = fig1_miss_rate_vs_block_size(setup=setup, mix_names=mixes)
+    print_table(rows)
+    mean = rows[-1]
+    print(
+        f"\nmiss-rate ratio 64B/512B = "
+        f"{mean['64B'] / max(mean['512B'], 1e-9):.1f}x "
+        "(the paper observes ~halving per doubling)\n"
+    )
+
+    print("== Figure 2: sub-block utilization of 512B blocks ==")
+    rows = fig2_block_utilization(setup=setup, mix_names=mixes)
+    print_table(rows)
+
+    print("\n== Spatial classification ==")
+    for row in rows:
+        print(f"  {row['mix']:4s} full={row['full_frac']:.2f}  {classify(row['full_frac'])}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Legacy setup shim for offline editable installs (`pip install -e .`)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Bi-Modal DRAM Cache: Improving Hit Rate, "
+        "Hit Latency and Bandwidth' (MICRO 2014)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

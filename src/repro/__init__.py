@@ -1,0 +1,39 @@
+"""repro — reproduction of the Bi-Modal DRAM Cache (MICRO 2014).
+
+A from-scratch Python implementation of Gulur et al.'s Bi-Modal stacked
+DRAM cache and of everything its evaluation depends on: stacked/off-chip
+DRAM timing, SRAM hierarchy, baseline DRAM cache organizations
+(AlloyCache, Loh-Hill, ATCache, Footprint Cache), synthetic
+multiprogrammed workloads, an interval core model producing ANTT, a
+memory energy model, and per-figure experiment harnesses.
+
+Quick start::
+
+    from repro.harness import ExperimentSetup, run_scheme_on_mix
+
+    setup = ExperimentSetup(num_cores=4, accesses_per_core=40_000)
+    result = run_scheme_on_mix("bimodal", "Q7", setup=setup)
+    print(result.stats["hit_rate"], result.stats["avg_read_latency"])
+"""
+
+from repro.bimodal import BiModalCache, BiModalConfig
+from repro.dramcache import (
+    AlloyCache,
+    ATCache,
+    DRAMCacheBase,
+    FootprintCache,
+    LohHillCache,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BiModalCache",
+    "BiModalConfig",
+    "AlloyCache",
+    "ATCache",
+    "DRAMCacheBase",
+    "FootprintCache",
+    "LohHillCache",
+    "__version__",
+]

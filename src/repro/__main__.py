@@ -1,0 +1,123 @@
+"""Command-line front-end: regenerate any paper table/figure.
+
+Examples::
+
+    python -m repro list
+    python -m repro fig1 --mixes Q2 Q7 --accesses 20000
+    python -m repro fig8c
+    python -m repro table3
+    python -m repro fig7 --cores 4 --mixes Q2 Q7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import repro.harness.experiments as experiments
+from repro.harness.reporting import print_table
+from repro.harness.runner import ExperimentSetup
+
+# name -> (function attr, needs-setup, default core count, description)
+_EXPERIMENTS: dict[str, tuple[str, bool, int, str]] = {
+    "fig1": ("fig1_miss_rate_vs_block_size", True, 4, "miss rate vs block size"),
+    "fig2": ("fig2_block_utilization", True, 4, "sub-block utilization distribution"),
+    "fig3": ("fig3_latency_breakdown", False, 4, "hit-path latency breakdown"),
+    "fig5": ("fig5_mru_hits", True, 8, "hits by MRU position"),
+    "fig7": ("fig7_antt", True, 4, "ANTT improvement over AlloyCache"),
+    "fig8a": ("fig8a_component_analysis", True, 8, "component ANTT analysis"),
+    "fig8b": ("fig8b_hit_rate", True, 4, "hit rates by scheme"),
+    "fig8c": ("fig8c_access_latency", True, 4, "average LLSC miss penalty"),
+    "fig9a": ("fig9a_wasted_bandwidth", True, 8, "wasted off-chip bandwidth"),
+    "fig9b": ("fig9b_metadata_rbh", True, 4, "metadata RBH separate vs co-located"),
+    "fig9c": ("fig9c_way_locator_hit_rate", True, 4, "way locator hit rate vs K"),
+    "fig10": ("fig10_small_block_fraction", True, 4, "small-block access fraction"),
+    "fig11": ("fig11_energy", True, 8, "memory energy vs AlloyCache"),
+    "fig12": ("fig12_sensitivity", True, 4, "cache/block/assoc sensitivity"),
+    "table1": ("table1_feature_matrix", False, 4, "qualitative feature matrix"),
+    "table3": ("table3_way_locator_storage", False, 4, "way locator storage/latency"),
+    "table6": ("table6_prefetch", True, 4, "interaction with prefetching"),
+    "abl-threshold": ("ablation_threshold", True, 4, "utilization threshold sweep"),
+    "abl-weight": ("ablation_weight", True, 4, "adaptation weight sweep"),
+    "abl-sampling": ("ablation_sampling", True, 4, "tracker sampling sweep"),
+    "abl-parallel": ("ablation_parallel_tag", True, 4, "parallel vs serial tags"),
+    "ext-victim": ("victim_buffer_study", True, 4, "victim-buffer benefit bound"),
+    "ext-dueling": ("controller_comparison", True, 4, "demand vs set-dueling"),
+    "ext-spaceutil": (
+        "space_utilization_comparison", True, 4, "cache space utilization"
+    ),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate tables/figures of the Bi-Modal DRAM Cache paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (see `python -m repro list`)",
+    )
+    parser.add_argument("--mixes", nargs="*", default=None, help="mix subset")
+    parser.add_argument("--cores", type=int, default=None, help="4, 8 or 16")
+    parser.add_argument(
+        "--accesses", type=int, default=20_000, help="accesses per core"
+    )
+    parser.add_argument("--scale", type=int, default=16, help="capacity scale")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--export", default=None, help="write rows to this .json or .csv path"
+    )
+    parser.add_argument(
+        "--chart",
+        default=None,
+        metavar="COLUMN",
+        help="also render a bar chart of this numeric column",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv[:1] == ["list"]:
+        for name, (_, _, cores, desc) in _EXPERIMENTS.items():
+            print(f"  {name:14s} ({cores}-core default)  {desc}")
+        return 0
+    args = _build_parser().parse_args(argv)
+    if args.experiment not in _EXPERIMENTS:
+        print(f"unknown experiment {args.experiment!r}; try `python -m repro list`")
+        return 2
+    attr, needs_setup, default_cores, desc = _EXPERIMENTS[args.experiment]
+    fn = getattr(experiments, attr)
+    kwargs: dict = {}
+    if needs_setup:
+        setup = ExperimentSetup(
+            num_cores=args.cores or default_cores,
+            scale=args.scale,
+            accesses_per_core=args.accesses,
+            seed=args.seed,
+        )
+        kwargs["setup"] = setup
+        if args.mixes and "mix_name" not in fn.__code__.co_varnames:
+            kwargs["mix_names"] = args.mixes
+    rows = fn(**kwargs)
+    print_table(rows, title=f"{args.experiment}: {desc}")
+    if args.chart and rows:
+        from repro.harness.figures import bar_chart
+
+        label = next(iter(rows[0]))
+        print()
+        print(bar_chart(rows, label=label, value=args.chart))
+    if args.export:
+        from repro.harness.export import export_csv, export_json
+
+        if args.export.endswith(".csv"):
+            export_csv(rows, args.export)
+        else:
+            export_json(rows, args.export, experiment=args.experiment)
+        print(f"\nwrote {args.export}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,295 @@
+"""Bi-modal cache sets: (X, Y) states, way layout and Table II replacement.
+
+A set of size 2 KB (one DRAM page) holds ``X`` big (512 B) and ``Y`` small
+(64 B) blocks with the allowed states ``{(4,0), (3,8), (2,16)}``; a 4 KB
+set allows ``{(8,0), (7,8), (6,16), (5,24), (4,32)}`` (Section III-B1).
+Converting one big way frees exactly ``big/small = 8`` small ways, and
+state changes always involve the **highest-numbered** ways so that the
+data layout (big ways packed left-to-right, small ways right-to-left in
+the DRAM page) stays valid without data movement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "SMALLS_PER_BIG",
+    "allowed_states",
+    "BigBlock",
+    "SmallBlock",
+    "EvictedBlock",
+    "BiModalSet",
+]
+
+SMALLS_PER_BIG = 8  # 512 B / 64 B
+
+
+def allowed_states(set_size: int, big_block_size: int = 512) -> tuple[tuple[int, int], ...]:
+    """Legal (X, Y) states for a set (paper: 2 KB and 4 KB sets).
+
+    The maximum number of small ways is capped at 4 * SMALLS_PER_BIG
+    worth of conversions... concretely the paper allows converting big
+    ways down to a floor of X = max_big // 2 for 2 KB sets ((2,16)) and
+    X = 4 for 4 KB sets ((4,32)) — i.e. at most half the big ways convert.
+    """
+    max_big = set_size // big_block_size
+    if max_big < 2:
+        raise ValueError("set must hold at least two big blocks")
+    smalls_per_big = big_block_size // 64
+    floor = max_big - (max_big // 2)
+    states = []
+    for x in range(max_big, floor - 1, -1):
+        states.append((x, (max_big - x) * smalls_per_big))
+    return tuple(states)
+
+
+@dataclass
+class BigBlock:
+    """A resident 512 B block: tag plus per-sub-block use/dirty vectors."""
+
+    tag: int
+    used_mask: int = 0
+    dirty_mask: int = 0
+    fetched_mask: int = (1 << SMALLS_PER_BIG) - 1
+
+    def touch(self, sub_block: int, *, is_write: bool) -> None:
+        bit = 1 << sub_block
+        self.used_mask |= bit
+        if is_write:
+            self.dirty_mask |= bit
+
+    @property
+    def utilization(self) -> int:
+        return self.used_mask.bit_count()
+
+    @property
+    def dirty_sub_blocks(self) -> int:
+        return self.dirty_mask.bit_count()
+
+
+@dataclass
+class SmallBlock:
+    """A resident 64 B block: big-block tag + the 3 high offset bits."""
+
+    tag: int
+    sub_offset: int
+    dirty: bool = False
+
+
+@dataclass(frozen=True)
+class EvictedBlock:
+    """Eviction record handed back to the cache for writebacks/locator."""
+
+    big: bool
+    tag: int
+    way: int
+    sub_offset: int = 0  # small blocks only
+    dirty_bursts: int = 0  # 64 B writebacks owed
+    unused_sub_blocks: int = 0  # fetched-but-unreferenced (waste)
+    utilization: int = 0  # used sub-block count (tracker food)
+
+
+class BiModalSet:
+    """One bi-modal set: X big ways + Y small ways.
+
+    Way numbering follows the paper's layout: big ways 0..X-1 from the
+    left of the DRAM page, small ways 0..Y-1 from the right. The MRU pair
+    (the information the way locator would hold for this set) is kept for
+    the random-not-recent replacement policy.
+    """
+
+    def __init__(
+        self,
+        states: tuple[tuple[int, int], ...],
+        *,
+        smalls_per_big: int = SMALLS_PER_BIG,
+    ) -> None:
+        self._states = states
+        self.smalls_per_big = smalls_per_big
+        self._state_index = 0  # start at (max X, 0): all blocks big
+        x, y = states[0]
+        self.big_ways: list[BigBlock | None] = [None] * x
+        self.small_ways: list[SmallBlock | None] = [None] * y
+        self._mru: list[tuple[bool, int]] = []  # [(is_big, way)], newest first
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> tuple[int, int]:
+        return self._states[self._state_index]
+
+    @property
+    def x(self) -> int:
+        return self.state[0]
+
+    @property
+    def y(self) -> int:
+        return self.state[1]
+
+    def state_rank(self) -> int:
+        """0 = all-big; increasing rank = more small ways."""
+        return self._state_index
+
+    # ------------------------------------------------------------------
+    def find_big(self, tag: int) -> int | None:
+        for way, block in enumerate(self.big_ways):
+            if block is not None and block.tag == tag:
+                return way
+        return None
+
+    def find_small(self, tag: int, sub_offset: int) -> int | None:
+        for way, block in enumerate(self.small_ways):
+            if (
+                block is not None
+                and block.tag == tag
+                and block.sub_offset == sub_offset
+            ):
+                return way
+        return None
+
+    def lookup(self, tag: int, sub_offset: int) -> tuple[bool, int] | None:
+        """(is_big, way) of the block covering (tag, sub_offset), if any."""
+        way = self.find_big(tag)
+        if way is not None:
+            return True, way
+        way = self.find_small(tag, sub_offset)
+        if way is not None:
+            return False, way
+        return None
+
+    def touch_mru(self, is_big: bool, way: int) -> None:
+        """Promote a way to MRU (top-2 tracked, like the way locator)."""
+        key = (is_big, way)
+        if key in self._mru:
+            self._mru.remove(key)
+        self._mru.insert(0, key)
+        del self._mru[2:]
+
+    def mru_ways(self) -> frozenset[tuple[bool, int]]:
+        return frozenset(self._mru)
+
+    def _drop_mru(self, is_big: bool, way: int) -> None:
+        key = (is_big, way)
+        if key in self._mru:
+            self._mru.remove(key)
+
+    # ------------------------------------------------------------------
+    # eviction primitives (all produce EvictedBlock records)
+    # ------------------------------------------------------------------
+    def _evict_big_way(self, way: int) -> EvictedBlock | None:
+        block = self.big_ways[way]
+        self.big_ways[way] = None
+        self._drop_mru(True, way)
+        if block is None:
+            return None
+        return EvictedBlock(
+            big=True,
+            tag=block.tag,
+            way=way,
+            dirty_bursts=block.dirty_sub_blocks,
+            unused_sub_blocks=self.smalls_per_big - block.utilization,
+            utilization=block.utilization,
+        )
+
+    def _evict_small_way(self, way: int) -> EvictedBlock | None:
+        block = self.small_ways[way]
+        self.small_ways[way] = None
+        self._drop_mru(False, way)
+        if block is None:
+            return None
+        return EvictedBlock(
+            big=False,
+            tag=block.tag,
+            way=way,
+            sub_offset=block.sub_offset,
+            dirty_bursts=1 if block.dirty else 0,
+            unused_sub_blocks=0,
+            utilization=1,
+        )
+
+    def grow_small(self) -> list[EvictedBlock]:
+        """(X, Y) -> (X-1, Y+8): convert the highest big way to 8 smalls."""
+        if self._state_index + 1 >= len(self._states):
+            raise RuntimeError("already at the smallest-X state")
+        victim_way = self.x - 1
+        evicted = self._evict_big_way(victim_way)
+        self._state_index += 1
+        self.big_ways.pop()
+        self.small_ways.extend([None] * self.smalls_per_big)
+        return [evicted] if evicted else []
+
+    def grow_big(self) -> list[EvictedBlock]:
+        """(X, Y) -> (X+1, Y-8): evict the 8 highest small ways."""
+        if self._state_index == 0:
+            raise RuntimeError("already at the all-big state")
+        evictions = []
+        for _ in range(self.smalls_per_big):
+            way = len(self.small_ways) - 1
+            record = self._evict_small_way(way)
+            if record:
+                evictions.append(record)
+            self.small_ways.pop()
+        self._state_index -= 1
+        self.big_ways.append(None)
+        return evictions
+
+    # ------------------------------------------------------------------
+    # allocation (Table II)
+    # ------------------------------------------------------------------
+    def allocate_big(
+        self, tag: int, victim_chooser
+    ) -> tuple[int, list[EvictedBlock]]:
+        """Install a big block; returns (way, evictions).
+
+        Idempotent: allocating an already-resident tag returns its way.
+        """
+        existing = self.find_big(tag)
+        if existing is not None:
+            return existing, []
+        for way, block in enumerate(self.big_ways):
+            if block is None:
+                self.big_ways[way] = BigBlock(tag)
+                return way, []
+        candidates = list(range(len(self.big_ways)))
+        protected = {w for big, w in self.mru_ways() if big}
+        way = victim_chooser(candidates, protected)
+        record = self._evict_big_way(way)
+        self.big_ways[way] = BigBlock(tag)
+        return way, [record] if record else []
+
+    def allocate_small(
+        self, tag: int, sub_offset: int, victim_chooser
+    ) -> tuple[int, list[EvictedBlock]]:
+        """Install a small block; returns (way, evictions).
+
+        Idempotent: allocating an already-resident block returns its way.
+        """
+        existing = self.find_small(tag, sub_offset)
+        if existing is not None:
+            return existing, []
+        for way, block in enumerate(self.small_ways):
+            if block is None:
+                self.small_ways[way] = SmallBlock(tag, sub_offset)
+                return way, []
+        candidates = list(range(len(self.small_ways)))
+        protected = {w for big, w in self.mru_ways() if not big}
+        way = victim_chooser(candidates, protected)
+        record = self._evict_small_way(way)
+        self.small_ways[way] = SmallBlock(tag, sub_offset)
+        return way, [record] if record else []
+
+    # ------------------------------------------------------------------
+    def resident_bytes(self) -> int:
+        big = sum(1 for b in self.big_ways if b is not None)
+        small = sum(1 for b in self.small_ways if b is not None)
+        return big * 512 + small * 64
+
+    def used_bytes(self) -> int:
+        """Bytes actually referenced (space-utilization metric)."""
+        big = sum(b.utilization for b in self.big_ways if b is not None)
+        small = sum(1 for b in self.small_ways if b is not None)
+        return big * 64 + small * 64
+
+    @property
+    def associativity(self) -> int:
+        return self.x + self.y

@@ -1,0 +1,111 @@
+"""Block size predictor: utilization tracker + 2-bit counter table.
+
+Section III-B3. Two cooperating components:
+
+* the **tracker** samples ~4% of the sets and watches the per-64B-sub-block
+  utilization bit vectors of big blocks resident in those sets; when a
+  sampled big block is evicted, its utilization count is compared with the
+  threshold ``T`` (paper: 5 of 8) to classify it big or small;
+* the **predictor** is a table of ``2**P`` 2-bit saturating counters
+  (paper: P = 16 => 16 KB) indexed by ``P`` bits of the tag+set-index
+  bits; tracker classifications push the counter toward "11" (big) or
+  "00" (small), and cache misses consult it to choose the fetch size.
+
+Counters start at "10" (weakly big): the controller initializes all
+blocks as big (Section III-B4), so cold predictions are big, but a
+single sparse observation is enough to flip an entry — matching the
+training responsiveness the paper's long runs achieve.
+"""
+
+from __future__ import annotations
+
+from repro.common.stats import RateStat
+
+__all__ = ["BlockSizePredictor", "UtilizationTracker"]
+
+
+class BlockSizePredictor:
+    """2-bit saturating counter table; predicts big (True) or small."""
+
+    def __init__(self, index_bits: int = 16, *, threshold: int = 5) -> None:
+        if index_bits < 1:
+            raise ValueError("index_bits must be >= 1")
+        if not 1 <= threshold <= 8:
+            raise ValueError("threshold must be in 1..8")
+        self.index_bits = index_bits
+        self.threshold = threshold
+        self._counters = bytearray([2] * (1 << index_bits))
+        self._mask = (1 << index_bits) - 1
+        self.accuracy = RateStat()  # correct = predicted class matched outcome
+
+    @property
+    def storage_bits(self) -> int:
+        """2 bits per entry (paper: 2 * 2^16 = 128 Kbit = 16 KB at P=16)."""
+        return 2 * (1 << self.index_bits)
+
+    def _index(self, block_key: int) -> int:
+        """Index by P bits of the tag+set bits, mixed for dispersion.
+
+        The product is right-shifted before masking so that high-order
+        key bits (the tag) influence the selected entry.
+        """
+        return ((block_key * 2_654_435_761) >> 15) & self._mask
+
+    def predict_big(self, block_key: int) -> bool:
+        return self._counters[self._index(block_key)] >= 2
+
+    def train(self, block_key: int, *, was_big: bool) -> None:
+        """Tracker feedback: saturate toward 11 (big) or 00 (small)."""
+        idx = self._index(block_key)
+        predicted_big = self._counters[idx] >= 2
+        self.accuracy.record(predicted_big == was_big)
+        if was_big:
+            if self._counters[idx] < 3:
+                self._counters[idx] += 1
+        elif self._counters[idx] > 0:
+            self._counters[idx] -= 1
+
+    def classify(self, utilization: int) -> bool:
+        """Threshold rule: utilization >= T sub-blocks => big."""
+        return utilization >= self.threshold
+
+
+class UtilizationTracker:
+    """Set-sampling front-end feeding evicted-block utilizations.
+
+    The tracker piggybacks on the cache's per-big-block utilization bit
+    vectors (which the cache keeps anyway for waste accounting): it simply
+    decides *which* sets participate in training and forwards their
+    eviction utilizations to the predictor. Sampling every
+    ``sample_every``-th set matches the paper's ~4% of sets (~20 KB of
+    tracking state for a 256 MB cache).
+    """
+
+    def __init__(
+        self,
+        predictor: BlockSizePredictor,
+        *,
+        sample_every: int = 25,
+    ) -> None:
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self.predictor = predictor
+        self.sample_every = sample_every
+        self.observations = 0
+
+    def is_sampled(self, set_index: int) -> bool:
+        return set_index % self.sample_every == 0
+
+    def observe_eviction(self, set_index: int, block_key: int, utilization: int) -> None:
+        """Train the predictor from a big-block eviction in a sampled set."""
+        if not self.is_sampled(set_index):
+            return
+        self.observations += 1
+        self.predictor.train(
+            block_key, was_big=self.predictor.classify(utilization)
+        )
+
+    def storage_bytes(self, num_sets: int, big_ways: int = 4) -> float:
+        """Tracking SRAM: one 8-bit vector per big way of each sampled set."""
+        sampled = num_sets // self.sample_every
+        return sampled * big_ways  # 8 bits = 1 byte per tracked way

@@ -1,0 +1,151 @@
+"""Physical address manipulation for DRAM cache organizations.
+
+The paper (Section III-B1) fixes the fundamental units used throughout:
+
+* 64-byte *sub-blocks* — the granularity of the LLSC, of AlloyCache blocks,
+  of small bi-modal blocks, and of dirty-data writebacks.
+* 512-byte *big blocks* — eight consecutive sub-blocks.
+* 2 KB (or 4 KB) *sets* — a set's data maps onto a single DRAM page.
+
+For a cache of size ``C`` with set size ``S`` there are ``2**M = C / S``
+sets. With a 512 B big block, the low 9 address bits are the block offset,
+the next ``M`` bits select the set, and the remaining bits are the tag.
+Small (64 B) blocks additionally store the 3 high-order offset bits
+(bits 6..8) so that a 64 B block can be matched exactly within the 512 B
+frame that indexes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+SUB_BLOCK_SIZE = 64
+SUB_BLOCK_BITS = 6
+
+__all__ = [
+    "SUB_BLOCK_SIZE",
+    "SUB_BLOCK_BITS",
+    "AddressMap",
+    "is_power_of_two",
+    "log2_int",
+    "align_down",
+    "sub_block_index",
+]
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True for positive powers of two (1, 2, 4, ...)."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_int(value: int) -> int:
+    """Exact integer log2; raises ValueError for non powers of two."""
+    if not is_power_of_two(value):
+        raise ValueError(f"{value} is not a positive power of two")
+    return value.bit_length() - 1
+
+
+def align_down(address: int, granularity: int) -> int:
+    """Align ``address`` down to a power-of-two ``granularity``."""
+    return address & ~(granularity - 1)
+
+
+def sub_block_index(address: int, block_size: int) -> int:
+    """Index of the 64B sub-block of ``address`` within its enclosing block.
+
+    For the paper's 512B big blocks this is the 3-bit value in address
+    bits 6..8 (0..7).
+    """
+    return (address & (block_size - 1)) >> SUB_BLOCK_BITS
+
+
+@dataclass(frozen=True)
+class AddressMap:
+    """Splits physical addresses into (tag, set index, offset) fields.
+
+    Parameters
+    ----------
+    cache_size:
+        Total data capacity of the cache in bytes.
+    set_size:
+        Bytes of data per set (the paper maps one set per DRAM page,
+        so 2048 or 4096).
+    block_size:
+        The *indexing* block size. For the bi-modal cache this is the big
+        block size (512 B): small blocks share the big-block index and are
+        disambiguated by the stored high-order offset bits.
+    address_bits:
+        Width of the physical address space (paper uses 40 bits for its
+        illustrative tag-latency model).
+    """
+
+    cache_size: int
+    set_size: int
+    block_size: int
+    address_bits: int = 40
+
+    def __post_init__(self) -> None:
+        for name in ("cache_size", "set_size", "block_size"):
+            if not is_power_of_two(getattr(self, name)):
+                raise ValueError(f"{name} must be a power of two")
+        if self.block_size < SUB_BLOCK_SIZE:
+            raise ValueError("block_size must be >= 64B sub-block")
+        if self.set_size < self.block_size:
+            raise ValueError("set_size must be >= block_size")
+        if self.cache_size < self.set_size:
+            raise ValueError("cache_size must be >= set_size")
+
+    @property
+    def num_sets(self) -> int:
+        return self.cache_size // self.set_size
+
+    @property
+    def set_index_bits(self) -> int:
+        return log2_int(self.num_sets)
+
+    @property
+    def offset_bits(self) -> int:
+        return log2_int(self.block_size)
+
+    @property
+    def tag_bits(self) -> int:
+        """Tag width for big blocks (paper: A - M - 9 bits)."""
+        return self.address_bits - self.set_index_bits - self.offset_bits
+
+    @property
+    def small_extra_bits(self) -> int:
+        """Extra offset bits stored for small-block tags (paper: 3)."""
+        return self.offset_bits - SUB_BLOCK_BITS
+
+    def set_index(self, address: int) -> int:
+        return (address >> self.offset_bits) & (self.num_sets - 1)
+
+    def tag(self, address: int) -> int:
+        return address >> (self.offset_bits + self.set_index_bits)
+
+    def block_address(self, address: int) -> int:
+        """Address aligned to the big-block granularity."""
+        return align_down(address, self.block_size)
+
+    def sub_block(self, address: int) -> int:
+        """0..(block_size/64 - 1): which 64B sub-block within the block."""
+        return sub_block_index(address, self.block_size)
+
+    def small_tag(self, address: int) -> int:
+        """Tag used to match a small (64 B) block.
+
+        Concatenation of the big-block tag and the high-order offset bits,
+        exactly the comparison the paper's metadata stores for small ways.
+        """
+        return (self.tag(address) << self.small_extra_bits) | self.sub_block(address)
+
+    def rebuild(self, tag: int, set_index: int, sub_block: int = 0) -> int:
+        """Inverse of the split: reconstruct a sub-block-aligned address."""
+        return (
+            (tag << (self.offset_bits + self.set_index_bits))
+            | (set_index << self.offset_bits)
+            | (sub_block << SUB_BLOCK_BITS)
+        )
+
+    def sub_blocks_per_block(self) -> int:
+        return self.block_size // SUB_BLOCK_SIZE

@@ -1,0 +1,185 @@
+"""Lightweight statistics primitives shared by every simulator component.
+
+The paper reports rates (hit rates, row-buffer hit rates, predictor
+accuracies), averages (access latency, miss penalty) and distributions
+(block utilization, MRU hit position). These helpers provide exactly
+those aggregations with zero external dependencies so that inner-loop
+accounting stays cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Counter", "RunningMean", "Histogram", "RateStat", "StatGroup"]
+
+
+@dataclass
+class Counter:
+    """A named monotonic event counter."""
+
+    value: int = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+@dataclass
+class RunningMean:
+    """Streaming mean/min/max without storing samples."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+
+    def add(self, sample: float) -> None:
+        self.count += 1
+        self.total += sample
+        if sample < self.minimum:
+            self.minimum = sample
+        if sample > self.maximum:
+            self.maximum = sample
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "RunningMean") -> None:
+        self.count += other.count
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+
+@dataclass
+class Histogram:
+    """Integer-bucket histogram (e.g. utilization levels 1..8, MRU ranks)."""
+
+    buckets: dict[int, int] = field(default_factory=dict)
+
+    def add(self, bucket: int, amount: int = 1) -> None:
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + amount
+
+    @property
+    def total(self) -> int:
+        return sum(self.buckets.values())
+
+    def fraction(self, bucket: int) -> float:
+        total = self.total
+        return self.buckets.get(bucket, 0) / total if total else 0.0
+
+    def fractions(self) -> dict[int, float]:
+        total = self.total
+        if not total:
+            return {}
+        return {k: v / total for k, v in sorted(self.buckets.items())}
+
+    def cumulative_fraction(self, upto: int) -> float:
+        """Fraction of mass in buckets <= ``upto``."""
+        total = self.total
+        if not total:
+            return 0.0
+        return sum(v for k, v in self.buckets.items() if k <= upto) / total
+
+    def reset(self) -> None:
+        self.buckets.clear()
+
+
+@dataclass
+class RateStat:
+    """Hits/total rate with explicit miss accounting."""
+
+    hits: int = 0
+    misses: int = 0
+
+    def record(self, hit: bool) -> None:
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+
+    @property
+    def total(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def rate(self) -> float:
+        total = self.total
+        return self.hits / total if total else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.total
+        return self.misses / total if total else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+class StatGroup:
+    """A named bag of stats with a uniform ``snapshot()`` for reporting.
+
+    Components register their counters once and the harness converts the
+    whole tree into plain dictionaries for table rendering.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._stats: dict[str, object] = {}
+
+    def counter(self, name: str) -> Counter:
+        return self._register(name, Counter())
+
+    def mean(self, name: str) -> RunningMean:
+        return self._register(name, RunningMean())
+
+    def histogram(self, name: str) -> Histogram:
+        return self._register(name, Histogram())
+
+    def rate(self, name: str) -> RateStat:
+        return self._register(name, RateStat())
+
+    def _register(self, name: str, stat):
+        if name in self._stats:
+            raise ValueError(f"duplicate stat {name!r} in group {self.name!r}")
+        self._stats[name] = stat
+        return stat
+
+    def __getitem__(self, name: str):
+        return self._stats[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._stats
+
+    def snapshot(self) -> dict[str, object]:
+        """Flatten to JSON-friendly values for reporting."""
+        out: dict[str, object] = {}
+        for name, stat in self._stats.items():
+            if isinstance(stat, Counter):
+                out[name] = stat.value
+            elif isinstance(stat, RunningMean):
+                out[name] = {"count": stat.count, "mean": stat.mean}
+            elif isinstance(stat, RateStat):
+                out[name] = {
+                    "hits": stat.hits,
+                    "misses": stat.misses,
+                    "rate": stat.rate,
+                }
+            elif isinstance(stat, Histogram):
+                out[name] = dict(sorted(stat.buckets.items()))
+        return out
+
+    def reset(self) -> None:
+        for stat in self._stats.values():
+            stat.reset()  # type: ignore[union-attr]

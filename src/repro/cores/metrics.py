@@ -1,0 +1,44 @@
+"""System-level performance metrics (Eyerman & Eeckhout, IEEE Micro'08).
+
+The paper's headline metric is ANTT:
+
+    ANTT = (1/n) * sum_i C_i^MP / C_i^SP
+
+where ``C_i^MP`` are the cycles program ``i`` takes in the
+multiprogrammed run and ``C_i^SP`` standalone. Lower is better; the
+paper reports *improvement* of scheme A over baseline B as
+``(ANTT_B - ANTT_A) / ANTT_B`` in percent.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["antt", "weighted_speedup", "improvement_percent"]
+
+
+def antt(multiprog_cycles: Sequence[float], standalone_cycles: Sequence[float]) -> float:
+    """Average normalized turnaround time (>= 1.0 in practice)."""
+    if len(multiprog_cycles) != len(standalone_cycles) or not multiprog_cycles:
+        raise ValueError("need equal, non-empty cycle vectors")
+    for sp in standalone_cycles:
+        if sp <= 0:
+            raise ValueError("standalone cycles must be positive")
+    ratios = [mp / sp for mp, sp in zip(multiprog_cycles, standalone_cycles)]
+    return sum(ratios) / len(ratios)
+
+
+def weighted_speedup(
+    multiprog_cycles: Sequence[float], standalone_cycles: Sequence[float]
+) -> float:
+    """System throughput metric: sum of per-program IPC ratios."""
+    if len(multiprog_cycles) != len(standalone_cycles) or not multiprog_cycles:
+        raise ValueError("need equal, non-empty cycle vectors")
+    return sum(sp / mp for mp, sp in zip(multiprog_cycles, standalone_cycles))
+
+
+def improvement_percent(baseline: float, improved: float) -> float:
+    """Relative reduction of a lower-is-better metric, in percent."""
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    return 100.0 * (baseline - improved) / baseline

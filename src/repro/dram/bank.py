@@ -1,0 +1,162 @@
+"""Bank-state timing model.
+
+Each bank tracks its open row and the time at which it can accept the next
+command. An access is resolved into one of the three canonical cases the
+paper's Figure 3 reasons about:
+
+* **row hit** — the row is already open: pay CAS only,
+* **row closed** — the bank is precharged: pay ACT + CAS,
+* **row conflict** — a different row is open: pay PRE + ACT + CAS.
+
+Refresh is modeled deterministically: every ``tREFI`` the bank becomes
+unavailable for ``tRFC`` and its row buffer is closed, per Table IV's
+refresh parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.common.config import DRAMTimingConfig
+from repro.common.stats import RateStat
+
+__all__ = ["RowOutcome", "BankAccess", "Bank"]
+
+
+class RowOutcome(Enum):
+    """How an access found the row buffer."""
+
+    HIT = "hit"
+    CLOSED = "closed"
+    CONFLICT = "conflict"
+
+
+@dataclass(frozen=True)
+class BankAccess:
+    """Timing of one column access as resolved by a bank.
+
+    ``issue_time`` is when the bank started serving the request,
+    ``data_ready`` is when the first beat of data is available (CAS
+    resolved; the channel adds data-bus transfer on top), and
+    ``outcome`` records the row-buffer case for RBH statistics.
+    """
+
+    outcome: RowOutcome
+    issue_time: int
+    data_ready: int
+
+    @property
+    def core_latency(self) -> int:
+        return self.data_ready - self.issue_time
+
+
+class Bank:
+    """One DRAM bank with an open-page (row buffer) policy."""
+
+    def __init__(self, timings: DRAMTimingConfig, *, refresh_offset: int = 0) -> None:
+        self._timings = timings
+        self._open_row: int | None = None
+        self._ready_at = 0
+        self._next_refresh = timings.trefi + refresh_offset
+        self.row_buffer = RateStat()  # hit = row-buffer hit
+        self.activations = 0
+        self.precharges = 0
+        self.refreshes = 0
+
+    @property
+    def open_row(self) -> int | None:
+        return self._open_row
+
+    @property
+    def ready_at(self) -> int:
+        return self._ready_at
+
+    def _apply_refresh(self, now: int) -> int:
+        """Account refresh; returns the adjusted access time.
+
+        Refreshes that fell entirely within an idle period already
+        happened — they close the row and count, but do not delay this
+        access. Only a refresh *in progress* at the access time stalls
+        it (by the remainder of tRFC).
+        """
+        t = max(now, self._ready_at)
+        if t < self._next_refresh:
+            return t
+        elapsed = t - self._next_refresh
+        completed = elapsed // self._timings.trefi
+        self.refreshes += int(completed)
+        self._next_refresh += completed * self._timings.trefi
+        # The bank is mid-refresh if t lands inside [start, start + tRFC).
+        if t < self._next_refresh + self._timings.trfc:
+            t = self._next_refresh + self._timings.trfc
+        self.refreshes += 1
+        self._next_refresh += self._timings.trefi
+        self._open_row = None
+        return t
+
+    def activate(self, row: int, now: int) -> int:
+        """Open ``row`` without issuing a column access.
+
+        Used by the Bi-Modal cache to open the data row concurrently with
+        the metadata-bank tag read (Section III-D2: the row is opened in
+        anticipation of a hit, the column access waits for the tag check).
+        Returns the time at which the row is open.
+        """
+        t = self._apply_refresh(now)
+        if self._open_row == row:
+            self._ready_at = max(self._ready_at, t)
+            return t
+        if self._open_row is not None:
+            t += self._timings.trp
+            self.precharges += 1
+        t += self._timings.trcd
+        self.activations += 1
+        self._open_row = row
+        self._ready_at = t
+        return t
+
+    def access(self, row: int, now: int) -> BankAccess:
+        """Resolve a column access to ``row`` arriving at time ``now``.
+
+        CAS commands pipeline: the bank accepts the next command tCCD
+        after this one's CAS (not after its data returns), so open-row
+        streams sustain full bus bandwidth while each individual access
+        still observes the complete CL (and ACT/PRE) latency.
+        """
+        t = self._apply_refresh(now)
+        timings = self._timings
+        if self._open_row == row:
+            outcome = RowOutcome.HIT
+            cas_issue = t
+        elif self._open_row is None:
+            outcome = RowOutcome.CLOSED
+            self.activations += 1
+            cas_issue = t + timings.trcd
+        else:
+            outcome = RowOutcome.CONFLICT
+            self.precharges += 1
+            self.activations += 1
+            cas_issue = t + timings.trp + timings.trcd
+        data_ready = cas_issue + timings.cl
+        self._open_row = row
+        self._ready_at = cas_issue + timings.tccd
+        self.row_buffer.record(outcome is RowOutcome.HIT)
+        return BankAccess(outcome=outcome, issue_time=t, data_ready=data_ready)
+
+    def column_access(self, now: int) -> int:
+        """Extra column access to the already-open row (multi-burst reads).
+
+        Returns the time the additional CAS resolves. The row must be open.
+        """
+        if self._open_row is None:
+            raise RuntimeError("column_access requires an open row")
+        t = max(now, self._ready_at)
+        self._ready_at = t + self._timings.tccd
+        return t + self._timings.cl
+
+    def reset_stats(self) -> None:
+        self.row_buffer.reset()
+        self.activations = 0
+        self.precharges = 0
+        self.refreshes = 0

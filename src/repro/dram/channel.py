@@ -1,0 +1,153 @@
+"""A DRAM channel: a set of banks sharing one data bus.
+
+Bank-level parallelism is captured by per-bank state; the shared data bus
+serializes transfers. A multi-burst read (e.g. a 512 B big-block fill =
+8 bursts of 64 B, or the 2-burst metadata read of 18 tags) occupies the
+bus for ``bursts * burst_cycles``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import DRAMGeometry, DRAMTimingConfig
+from repro.dram.bank import Bank, RowOutcome
+
+__all__ = ["ChannelAccess", "Channel"]
+
+
+@dataclass(frozen=True)
+class ChannelAccess:
+    """Completed access: request time -> last data beat on the bus."""
+
+    outcome: RowOutcome
+    request_time: int
+    data_start: int
+    data_end: int
+    bursts: int
+
+    @property
+    def latency(self) -> int:
+        return self.data_end - self.request_time
+
+    @property
+    def critical_end(self) -> int:
+        """When the first (critical) 64 B beat is available.
+
+        Multi-burst fetches deliver critical-word-first: the requesting
+        core unblocks after the first beat while the rest of the block
+        streams into the fill buffer.
+        """
+        if self.bursts <= 1:
+            return self.data_end
+        per_burst = (self.data_end - self.data_start) // self.bursts
+        return self.data_start + per_burst
+
+
+class Channel:
+    """Banks plus one shared, serializing data bus."""
+
+    def __init__(
+        self,
+        timings: DRAMTimingConfig,
+        num_banks: int,
+        *,
+        refresh_stagger: int = 0,
+    ) -> None:
+        if num_banks < 1:
+            raise ValueError("num_banks must be >= 1")
+        self._timings = timings
+        self.banks = [
+            Bank(timings, refresh_offset=(i * refresh_stagger)) for i in range(num_banks)
+        ]
+        self._bus_free_at = 0
+        self.bus_busy_cycles = 0
+
+    @property
+    def num_banks(self) -> int:
+        return len(self.banks)
+
+    @property
+    def bus_free_at(self) -> int:
+        return self._bus_free_at
+
+    def _transfer(
+        self, cas_done: int, bursts: int, transfer_cycles: int | None
+    ) -> tuple[int, int]:
+        start = max(cas_done, self._bus_free_at)
+        cycles = (
+            transfer_cycles
+            if transfer_cycles is not None
+            else bursts * self._timings.burst_cycles
+        )
+        end = start + cycles
+        self._bus_free_at = end
+        self.bus_busy_cycles += end - start
+        return start, end
+
+    def access(
+        self,
+        bank: int,
+        row: int,
+        now: int,
+        *,
+        bursts: int = 1,
+        transfer_cycles: int | None = None,
+    ) -> ChannelAccess:
+        """One row-buffer-managed access transferring ``bursts`` * 64 B.
+
+        ``transfer_cycles`` overrides the bus occupancy for odd-sized
+        transfers (e.g. AlloyCache's 72-byte TAD burst).
+        """
+        if bursts < 1:
+            raise ValueError("bursts must be >= 1")
+        result = self.banks[bank].access(row, now)
+        start, end = self._transfer(result.data_ready, bursts, transfer_cycles)
+        return ChannelAccess(
+            outcome=result.outcome,
+            request_time=now,
+            data_start=start,
+            data_end=end,
+            bursts=bursts,
+        )
+
+    def activate(self, bank: int, row: int, now: int) -> int:
+        """Open a row without transferring data (anticipatory activation)."""
+        return self.banks[bank].activate(row, now)
+
+    def column_after_activate(self, bank: int, now: int, *, bursts: int = 1) -> ChannelAccess:
+        """Column access to a row previously opened with :meth:`activate`.
+
+        Used for the Bi-Modal way-locator-miss path: the data row was opened
+        concurrently with the metadata read; once tags match, only CAS +
+        transfer remain.
+        """
+        cas_done = self.banks[bank].column_access(now)
+        start, end = self._transfer(cas_done, bursts, None)
+        return ChannelAccess(
+            outcome=RowOutcome.HIT,
+            request_time=now,
+            data_start=start,
+            data_end=end,
+            bursts=bursts,
+        )
+
+    def row_buffer_hit_rate(self) -> float:
+        hits = sum(b.row_buffer.hits for b in self.banks)
+        total = sum(b.row_buffer.total for b in self.banks)
+        return hits / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        for bank in self.banks:
+            bank.reset_stats()
+        self.bus_busy_cycles = 0
+
+
+def build_channels(
+    geometry: DRAMGeometry, timings: DRAMTimingConfig, *, refresh_stagger: int = 97
+) -> list[Channel]:
+    """Construct the channels of a device with staggered bank refresh."""
+    return [
+        Channel(timings, geometry.banks_per_channel, refresh_stagger=refresh_stagger)
+        for _ in range(geometry.channels)
+    ]

@@ -1,0 +1,146 @@
+"""A complete DRAM device: channels, banks and address interleaving.
+
+Used twice in the system:
+
+* as **off-chip main memory** (DDR3-1600H) where requests carry physical
+  addresses decoded with the paper's ``row-rank-bank-mc-column``
+  interleaving (Table IV) — ranks are folded into the bank dimension; and
+* as the **stacked DRAM** of the cache, where organizations compute their
+  own (channel, bank, row) placement (e.g. the Bi-Modal metadata bank) and
+  use :meth:`DRAMDevice.access_direct`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.addressing import SUB_BLOCK_BITS, log2_int
+from repro.common.config import DRAMGeometry, DRAMTimingConfig
+from repro.dram.channel import Channel, ChannelAccess, build_channels
+
+__all__ = ["DRAMLocation", "DRAMDevice"]
+
+
+@dataclass(frozen=True)
+class DRAMLocation:
+    """Decoded placement of an address."""
+
+    channel: int
+    bank: int
+    row: int
+    column: int  # 64B-burst index within the row
+
+
+class DRAMDevice:
+    """Channels + open-page banks + row-rank-bank-mc-column interleaving."""
+
+    def __init__(
+        self,
+        geometry: DRAMGeometry,
+        timings: DRAMTimingConfig,
+        *,
+        name: str = "dram",
+    ) -> None:
+        self.name = name
+        self.geometry = geometry
+        self.timings = timings
+        self.channels: list[Channel] = build_channels(geometry, timings)
+        self._column_bits = log2_int(geometry.page_size // 64)
+        self._channel_bits = log2_int(_ceil_pow2(geometry.channels))
+        self._bank_bits = log2_int(_ceil_pow2(geometry.banks_per_channel))
+        self.reads = 0
+        self.writes = 0
+        self.bytes_transferred = 0
+
+    # ------------------------------------------------------------------
+    # address decoding (off-chip use)
+    # ------------------------------------------------------------------
+    def decode(self, address: int) -> DRAMLocation:
+        """Split an address: LSB -> column, channel (mc), bank, row."""
+        bits = address >> SUB_BLOCK_BITS
+        column = bits & ((1 << self._column_bits) - 1)
+        bits >>= self._column_bits
+        channel = bits & ((1 << self._channel_bits) - 1)
+        bits >>= self._channel_bits
+        bank = bits & ((1 << self._bank_bits) - 1)
+        bits >>= self._bank_bits
+        row = bits
+        channel %= self.geometry.channels
+        bank %= self.geometry.banks_per_channel
+        return DRAMLocation(channel=channel, bank=bank, row=row, column=column)
+
+    # ------------------------------------------------------------------
+    # timed accesses
+    # ------------------------------------------------------------------
+    def read(self, address: int, now: int, *, bursts: int = 1) -> ChannelAccess:
+        """Read ``bursts`` consecutive 64 B beats starting at ``address``.
+
+        Multi-burst reads stay within one row for any transfer that does
+        not cross a page boundary (the paper's big blocks never do).
+        """
+        loc = self.decode(address)
+        self.reads += 1
+        self.bytes_transferred += bursts * 64
+        return self.channels[loc.channel].access(loc.bank, loc.row, now, bursts=bursts)
+
+    def write(self, address: int, now: int, *, bursts: int = 1) -> ChannelAccess:
+        """Write; same row-buffer management as reads in this model."""
+        loc = self.decode(address)
+        self.writes += 1
+        self.bytes_transferred += bursts * 64
+        return self.channels[loc.channel].access(loc.bank, loc.row, now, bursts=bursts)
+
+    def access_direct(
+        self,
+        channel: int,
+        bank: int,
+        row: int,
+        now: int,
+        *,
+        bursts: int = 1,
+        transfer_cycles: int | None = None,
+    ) -> ChannelAccess:
+        """Access an explicitly placed row (stacked-DRAM cache use)."""
+        self.reads += 1
+        self.bytes_transferred += bursts * 64
+        return self.channels[channel].access(
+            bank, row, now, bursts=bursts, transfer_cycles=transfer_cycles
+        )
+
+    def activate_direct(self, channel: int, bank: int, row: int, now: int) -> int:
+        """Open a row without data transfer (anticipatory activation)."""
+        return self.channels[channel].activate(bank, row, now)
+
+    def column_direct(
+        self, channel: int, bank: int, now: int, *, bursts: int = 1
+    ) -> ChannelAccess:
+        """Column access to a row opened via :meth:`activate_direct`."""
+        self.reads += 1
+        self.bytes_transferred += bursts * 64
+        return self.channels[channel].column_after_activate(bank, now, bursts=bursts)
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+    def row_buffer_hit_rate(self) -> float:
+        hits = sum(b.row_buffer.hits for ch in self.channels for b in ch.banks)
+        total = sum(b.row_buffer.total for ch in self.channels for b in ch.banks)
+        return hits / total if total else 0.0
+
+    def total_activations(self) -> int:
+        return sum(b.activations for ch in self.channels for b in ch.banks)
+
+    def total_precharges(self) -> int:
+        return sum(b.precharges for ch in self.channels for b in ch.banks)
+
+    def reset_stats(self) -> None:
+        for channel in self.channels:
+            channel.reset_stats()
+        self.reads = 0
+        self.writes = 0
+        self.bytes_transferred = 0
+
+
+def _ceil_pow2(value: int) -> int:
+    """Smallest power of two >= value (for non-power-of-two channel counts)."""
+    return 1 << (value - 1).bit_length()

@@ -1,0 +1,83 @@
+"""Command-level reference model for validating the bank timing.
+
+``ReferenceBank`` simulates one DRAM bank at command granularity
+(PRE/ACT/CAS with explicit inter-command constraints). It is
+deliberately slow and simple — it exists so tests can check that the
+fast access-granularity :class:`~repro.dram.bank.Bank` produces the
+same latencies on arbitrary request sequences, which is the kind of
+evidence a timing model needs before anyone trusts the numbers built
+on top of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import DRAMTimingConfig
+
+__all__ = ["ReferenceAccess", "ReferenceBank"]
+
+
+@dataclass(frozen=True)
+class ReferenceAccess:
+    """One resolved access with its command times."""
+
+    precharge_at: int | None
+    activate_at: int | None
+    cas_at: int
+    data_ready: int
+
+
+class ReferenceBank:
+    """Single bank, explicit command schedule, in-order service.
+
+    Constraints modeled (matching the fast model's contract):
+
+    * CAS→CAS to the open row: ``tCCD``;
+    * ACT→CAS: ``tRCD``; PRE→ACT: ``tRP``;
+    * a new command sequence cannot start before the previous command's
+      issue slot frees (``ready_at``);
+    * refresh every ``tREFI`` lasting ``tRFC``, closing the row; idle
+      refreshes are not charged to later requests.
+    """
+
+    def __init__(self, timings: DRAMTimingConfig) -> None:
+        self._t = timings
+        self._open_row: int | None = None
+        self._next_slot = 0
+        self._next_refresh = timings.trefi
+
+    def _refresh_adjust(self, t: int) -> int:
+        if t < self._next_refresh:
+            return t
+        elapsed = t - self._next_refresh
+        completed = elapsed // self._t.trefi
+        self._next_refresh += completed * self._t.trefi
+        if t < self._next_refresh + self._t.trfc:
+            t = self._next_refresh + self._t.trfc
+        self._next_refresh += self._t.trefi
+        self._open_row = None
+        return t
+
+    def access(self, row: int, now: int) -> ReferenceAccess:
+        start = self._refresh_adjust(max(now, self._next_slot))
+        precharge_at = None
+        activate_at = None
+        t = start
+        if self._open_row is None:
+            activate_at = t
+            t += self._t.trcd
+        elif self._open_row != row:
+            precharge_at = t
+            t += self._t.trp
+            activate_at = t
+            t += self._t.trcd
+        cas_at = t
+        self._open_row = row
+        self._next_slot = cas_at + self._t.tccd
+        return ReferenceAccess(
+            precharge_at=precharge_at,
+            activate_at=activate_at,
+            cas_at=cas_at,
+            data_ready=cas_at + self._t.cl,
+        )

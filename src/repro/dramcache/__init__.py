@@ -1,0 +1,18 @@
+"""DRAM cache organizations the paper evaluates against."""
+
+from repro.dramcache.alloy import AlloyCache, MAPPredictor
+from repro.dramcache.atcache import ATCache
+from repro.dramcache.base import DRAMCacheAccess, DRAMCacheBase
+from repro.dramcache.footprint import FootprintCache, FootprintPredictor
+from repro.dramcache.lohhill import LohHillCache
+
+__all__ = [
+    "AlloyCache",
+    "MAPPredictor",
+    "ATCache",
+    "DRAMCacheAccess",
+    "DRAMCacheBase",
+    "FootprintCache",
+    "FootprintPredictor",
+    "LohHillCache",
+]

@@ -1,0 +1,164 @@
+"""AlloyCache — the paper's aggressive baseline (Qureshi & Loh, MICRO'12).
+
+Direct-mapped, 64-byte blocks, with tag and data *alloyed* into one
+72-byte TAD (tag-and-data) unit so a single DRAM access with a slightly
+bigger burst returns both. A 2 KB row holds 28 TADs. A MAP (memory access
+predictor) guesses hit/miss per access: predicted misses overlap the
+off-chip fetch with the cache probe; predicted hits probe the cache alone.
+
+Substitution note: MAP-I indexes by instruction address, which synthetic
+traces do not carry; we index the same 2-bit-counter table by a hash of
+the 4 KB region of the miss address, which captures the same
+streaming-vs-resident correlation MAP-I exploits (misses cluster on the
+same regions a load instruction streams through).
+"""
+
+from __future__ import annotations
+
+from repro.common.config import DRAMCacheGeometry
+from repro.dram.controller import MemoryController
+from repro.dramcache.base import DRAMCacheAccess, DRAMCacheBase
+
+__all__ = ["MAPPredictor", "AlloyCache"]
+
+_TADS_PER_ROW = 28
+_TAD_TRANSFER_CYCLES = 5  # 72 B on the 16 B/cycle stacked bus, rounded up
+_TAG_COMPARE_CYCLES = 1
+
+
+class MAPPredictor:
+    """2-bit saturating hit/miss predictor table (1 KB => 4096 counters)."""
+
+    def __init__(self, entries: int = 4096) -> None:
+        if entries < 1:
+            raise ValueError("entries must be >= 1")
+        self._counters = [3] * entries  # optimistic: predict miss initially
+        self._mask = entries - 1
+        self.correct = 0
+        self.wrong = 0
+
+    def _index(self, address: int) -> int:
+        region = address >> 12
+        return ((region * 2_654_435_761) >> 15) & self._mask
+
+    def predict_miss(self, address: int) -> bool:
+        return self._counters[self._index(address)] >= 2
+
+    def update(self, address: int, was_miss: bool) -> None:
+        idx = self._index(address)
+        predicted_miss = self._counters[idx] >= 2
+        if predicted_miss == was_miss:
+            self.correct += 1
+        else:
+            self.wrong += 1
+        if was_miss:
+            if self._counters[idx] < 3:
+                self._counters[idx] += 1
+        elif self._counters[idx] > 0:
+            self._counters[idx] -= 1
+
+    @property
+    def accuracy(self) -> float:
+        total = self.correct + self.wrong
+        return self.correct / total if total else 0.0
+
+
+class AlloyCache(DRAMCacheBase):
+    """Direct-mapped tags-with-data DRAM cache."""
+
+    name = "alloy"
+
+    def __init__(
+        self,
+        geometry: DRAMCacheGeometry,
+        offchip: MemoryController,
+        *,
+        use_map_predictor: bool = True,
+    ) -> None:
+        super().__init__(geometry, offchip)
+        rows = geometry.capacity // geometry.geometry.page_size
+        self.num_slots = rows * _TADS_PER_ROW
+        self._tags: dict[int, int] = {}  # slot -> block number
+        self._dirty: set[int] = set()
+        self.predictor = MAPPredictor() if use_map_predictor else None
+        self._channels = geometry.geometry.channels
+        self._banks = geometry.geometry.banks_per_channel
+
+    # ------------------------------------------------------------------
+    def _slot(self, address: int) -> tuple[int, int]:
+        """(slot index, block number) for a 64 B block address."""
+        block = address >> 6
+        return block % self.num_slots, block
+
+    def _location(self, slot: int) -> tuple[int, int, int]:
+        """Interleave TAD rows across channels then banks."""
+        row = slot // _TADS_PER_ROW
+        channel = row % self._channels
+        bank = (row // self._channels) % self._banks
+        bank_row = row // (self._channels * self._banks)
+        return channel, bank, bank_row
+
+    def _probe(self, slot: int, now: int) -> int:
+        """One TAD access (tag+data big burst); returns data-end time."""
+        channel, bank, row = self._location(slot)
+        access = self.dram.access_direct(
+            channel, bank, row, now, bursts=1, transfer_cycles=_TAD_TRANSFER_CYCLES
+        )
+        return access.data_end
+
+    def _fill(self, slot: int, block: int, now: int, *, dirty: bool) -> None:
+        """Install a block; dirty victims write back at 64 B granularity."""
+        victim = self._tags.get(slot)
+        if victim is not None and slot in self._dirty:
+            self._writeback_offchip(victim << 6, now, bursts=1)
+        self._dirty.discard(slot)
+        self._tags[slot] = block
+        if dirty:
+            self._dirty.add(slot)
+        channel, bank, row = self._location(slot)
+        self._post(
+            now,
+            lambda: self.dram.access_direct(
+                channel, bank, row, now, bursts=1,
+                transfer_cycles=_TAD_TRANSFER_CYCLES,
+            ),
+        )
+
+    def resident(self, address: int) -> bool:
+        """State-only residency probe (prefetch bypass support)."""
+        slot, block = self._slot(address)
+        return self._tags.get(slot) == block
+
+    # ------------------------------------------------------------------
+    def _access(self, address: int, now: int, is_write: bool) -> DRAMCacheAccess:
+        slot, block = self._slot(address)
+        resident = self._tags.get(slot) == block
+
+        predicted_miss = False
+        if self.predictor is not None and not is_write:
+            predicted_miss = self.predictor.predict_miss(address)
+            self.predictor.update(address, not resident)
+
+        probe_end = self._probe(slot, now) + _TAG_COMPARE_CYCLES
+
+        if is_write:
+            if resident:
+                self._dirty.add(slot)
+            else:
+                # write-allocate: fetch the rest of the line, then install
+                fetch_end = self._fetch_offchip(address, now, bursts=1)
+                self._fill(slot, block, fetch_end, dirty=True)
+            return DRAMCacheAccess(hit=resident, start=now, complete=probe_end)
+
+        if resident:
+            # A false miss prediction also launched a useless memory read.
+            if predicted_miss:
+                self._fetch_offchip(address, now, bursts=1)
+            return DRAMCacheAccess(hit=True, start=now, complete=probe_end)
+
+        # Actual miss: fetch starts at `now` when predicted (parallel
+        # access), else only once the probe disproved residency.
+        fetch_start = now if predicted_miss else probe_end
+        fetch_end = self._fetch_offchip(address, fetch_start, bursts=1)
+        self._fill(slot, block, fetch_end, dirty=False)
+        return DRAMCacheAccess(hit=False, start=now, complete=fetch_end)

@@ -1,0 +1,213 @@
+"""Common contract for all DRAM cache organizations.
+
+Every organization (AlloyCache, Loh-Hill, ATCache, Footprint Cache and the
+Bi-Modal cache) plugs between the LLSC and off-chip memory and exposes one
+operation: :meth:`DRAMCacheBase.access`. The returned completion time *is*
+the LLSC miss penalty the paper's Figure 8(c) compares; hit/miss, off-chip
+traffic and wasted-fetch accounting use one shared stats vocabulary so the
+harness can tabulate all schemes uniformly.
+"""
+
+from __future__ import annotations
+
+import heapq
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from collections.abc import Callable
+
+from repro.common.config import DRAMCacheGeometry
+from repro.common.stats import RateStat, RunningMean
+from repro.dram.controller import MemoryController
+from repro.dram.device import DRAMDevice
+
+__all__ = ["DRAMCacheAccess", "DRAMCacheBase"]
+
+
+@dataclass(frozen=True)
+class DRAMCacheAccess:
+    """Outcome of one LLSC-miss access to the DRAM cache."""
+
+    hit: bool
+    start: int
+    complete: int
+
+    @property
+    def latency(self) -> int:
+        return self.complete - self.start
+
+
+class DRAMCacheBase(ABC):
+    """Shared state and accounting for DRAM cache organizations.
+
+    Subclasses implement :meth:`_access` and use the provided
+    ``self.dram`` (stacked device) and ``self.offchip`` (memory
+    controller) plus the accounting helpers.
+    """
+
+    name = "base"
+
+    def __init__(
+        self,
+        geometry: DRAMCacheGeometry,
+        offchip: MemoryController,
+    ) -> None:
+        self.geometry = geometry
+        self.offchip = offchip
+        self.dram = DRAMDevice(
+            geometry.geometry, geometry.timing, name=f"{self.name}-stack"
+        )
+        self.hit_stat = RateStat()
+        self.read_latency = RunningMean()
+        self.hit_latency = RunningMean()
+        self.miss_latency = RunningMean()
+        # Off-chip traffic accounting (bytes).
+        self.offchip_fetched_bytes = 0
+        self.offchip_writeback_bytes = 0
+        self.offchip_wasted_bytes = 0  # fetched but never referenced
+        self.bypassed_accesses = 0
+        # Deferred (posted) operations: fills, writebacks and metadata
+        # updates complete in the future relative to the access that
+        # produced them. They are queued and executed once simulation
+        # time reaches their stamp, so a fill scheduled for t+300 can
+        # never retroactively block a request that arrives at t+10.
+        self._pending: list[tuple[int, int, Callable[[], None]]] = []
+        self._pending_seq = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def access(
+        self, address: int, now: int, *, is_write: bool = False
+    ) -> DRAMCacheAccess:
+        """Serve one LLSC miss (read) or LLSC writeback (write).
+
+        Read latency statistics feed the average-LLSC-miss-penalty
+        comparison; writes are posted (they occupy resources but their
+        completion does not stall the core).
+        """
+        self._drain_posted(now)
+        result = self._access(address, now, is_write)
+        self.hit_stat.record(result.hit)
+        if not is_write:
+            self.read_latency.add(result.latency)
+            if result.hit:
+                self.hit_latency.add(result.latency)
+            else:
+                self.miss_latency.add(result.latency)
+        return result
+
+    @abstractmethod
+    def _access(self, address: int, now: int, is_write: bool) -> DRAMCacheAccess:
+        """Organization-specific access path."""
+
+    # ------------------------------------------------------------------
+    # shared helpers for subclasses
+    # ------------------------------------------------------------------
+    def _post(self, when: int, action: Callable[[], None]) -> None:
+        """Queue a posted operation to execute at simulation time ``when``."""
+        heapq.heappush(self._pending, (when, self._pending_seq, action))
+        self._pending_seq += 1
+
+    def _drain_posted(self, now: int) -> None:
+        """Run every posted operation whose time has arrived."""
+        while self._pending and self._pending[0][0] <= now:
+            _, _, action = heapq.heappop(self._pending)
+            action()
+
+    def flush_posted(self) -> None:
+        """Run all remaining posted operations (end of a drive)."""
+        while self._pending:
+            _, _, action = heapq.heappop(self._pending)
+            action()
+
+    def _fetch_offchip(self, address: int, now: int, *, bursts: int) -> int:
+        """Fetch ``bursts`` * 64 B from main memory.
+
+        Critical-word-first with interleavable tail: the demand request
+        moves only the critical 64 B beat (its completion unblocks the
+        core); the remaining bursts of a multi-block fetch are posted as
+        individual transfers spread behind it, so other requesters'
+        demands can slot between them the way an FR-FCFS scheduler
+        interleaves a long cacheline fill with competing traffic. Total
+        bytes moved and bus occupancy are unchanged.
+        """
+        access = self.offchip.read(address, now, bursts=1)
+        self.offchip_fetched_bytes += bursts * 64
+        if bursts > 1:
+            spread = self.offchip.device.timings.burst_cycles
+            for i in range(1, bursts):
+                when = access.data_end + i * spread
+                tail_address = address + 64 * i
+                self._post(
+                    when,
+                    lambda a=tail_address, t=when: self.offchip.device.read(
+                        a, t, bursts=1
+                    ),
+                )
+        return access.data_end
+
+    def _writeback_offchip(self, address: int, now: int, *, bursts: int) -> None:
+        """Posted dirty writeback to main memory (deferred to ``now``)."""
+        self.offchip_writeback_bytes += bursts * 64
+        self._post(now, lambda: self.offchip.write(address, now, bursts=bursts))
+
+    def _account_waste(self, unused_sub_blocks: int) -> None:
+        """Record fetched-but-never-referenced sub-blocks at eviction."""
+        self.offchip_wasted_bytes += unused_sub_blocks * 64
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        return self.hit_stat.rate
+
+    @property
+    def miss_rate(self) -> float:
+        return self.hit_stat.miss_rate
+
+    @property
+    def avg_read_latency(self) -> float:
+        """Average LLSC miss penalty in CPU cycles (paper Fig. 8c)."""
+        return self.read_latency.mean
+
+    def offchip_traffic_bytes(self) -> int:
+        return self.offchip_fetched_bytes + self.offchip_writeback_bytes
+
+    def wasted_fraction(self) -> float:
+        """Fraction of fetched bytes never referenced before eviction."""
+        if not self.offchip_fetched_bytes:
+            return 0.0
+        return self.offchip_wasted_bytes / self.offchip_fetched_bytes
+
+    def reset_stats(self) -> None:
+        """Clear measurement state, keeping all cache contents/training.
+
+        Used at the end of a warmup phase, mirroring the paper's
+        fast-forward + warm-up protocol: statistics cover only the
+        measured region of the run.
+        """
+        self.hit_stat.reset()
+        self.read_latency.reset()
+        self.hit_latency.reset()
+        self.miss_latency.reset()
+        self.offchip_fetched_bytes = 0
+        self.offchip_writeback_bytes = 0
+        self.offchip_wasted_bytes = 0
+        self.bypassed_accesses = 0
+        self.dram.reset_stats()
+        self.offchip.reset_stats()
+
+    def stats_snapshot(self) -> dict[str, float]:
+        return {
+            "accesses": self.hit_stat.total,
+            "hit_rate": self.hit_rate,
+            "avg_read_latency": self.avg_read_latency,
+            "avg_hit_latency": self.hit_latency.mean,
+            "avg_miss_latency": self.miss_latency.mean,
+            "offchip_fetched_bytes": self.offchip_fetched_bytes,
+            "offchip_writeback_bytes": self.offchip_writeback_bytes,
+            "offchip_wasted_bytes": self.offchip_wasted_bytes,
+            "wasted_fraction": self.wasted_fraction(),
+            "stack_rbh": self.dram.row_buffer_hit_rate(),
+        }

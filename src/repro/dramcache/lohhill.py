@@ -1,0 +1,118 @@
+"""Loh-Hill DRAM cache (MICRO'11) — tags-in-DRAM, 29-way sets.
+
+One 2 KB DRAM row is one set: 3 blocks of tag metadata followed by 29
+64-byte data ways. *Compound access scheduling* keeps the row open across
+the tag read and the subsequent data read, so a hit costs
+ACT + CAS(tags) + compare + CAS(data) on the same row — multiple DRAM
+accesses, which is exactly the high-hit-latency behaviour the paper's
+Figure 3 and Table I attribute to this scheme.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import DRAMCacheGeometry
+from repro.dram.controller import MemoryController
+from repro.dramcache.base import DRAMCacheAccess, DRAMCacheBase
+from repro.sram.replacement import LRU
+
+__all__ = ["LohHillCache"]
+
+_WAYS = 29
+_TAG_BURSTS = 2  # 29 tags x ~4 B = 116 B -> two 64 B bursts
+_TAG_COMPARE_CYCLES = 1
+
+
+class _Set:
+    __slots__ = ("blocks", "dirty", "last_use")
+
+    def __init__(self) -> None:
+        self.blocks: list[int | None] = [None] * _WAYS
+        self.dirty = [False] * _WAYS
+        self.last_use = [0] * _WAYS
+
+
+class LohHillCache(DRAMCacheBase):
+    """29-way set-per-row tags-in-DRAM cache with compound scheduling."""
+
+    name = "lohhill"
+
+    def __init__(self, geometry: DRAMCacheGeometry, offchip: MemoryController) -> None:
+        super().__init__(geometry, offchip)
+        self.num_sets = geometry.capacity // geometry.geometry.page_size
+        self._sets: dict[int, _Set] = {}
+        self._lru = LRU()
+        self._channels = geometry.geometry.channels
+        self._banks = geometry.geometry.banks_per_channel
+        self._tick = 0
+
+    def _set_of(self, address: int) -> tuple[int, int]:
+        block = address >> 6
+        return block % self.num_sets, block
+
+    def _location(self, set_index: int) -> tuple[int, int, int]:
+        channel = set_index % self._channels
+        bank = (set_index // self._channels) % self._banks
+        row = set_index // (self._channels * self._banks)
+        return channel, bank, row
+
+    def _get_set(self, set_index: int) -> _Set:
+        entry = self._sets.get(set_index)
+        if entry is None:
+            entry = _Set()
+            self._sets[set_index] = entry
+        return entry
+
+    def _victim_way(self, entry: _Set) -> int:
+        for way, block in enumerate(entry.blocks):
+            if block is None:
+                return way
+        candidates = list(range(_WAYS))
+        return self._lru.victim(candidates, last_use=entry.last_use)
+
+    def resident(self, address: int) -> bool:
+        """State-only residency probe (prefetch bypass support)."""
+        set_index, block = self._set_of(address)
+        entry = self._sets.get(set_index)
+        return entry is not None and block in entry.blocks
+
+    def _access(self, address: int, now: int, is_write: bool) -> DRAMCacheAccess:
+        self._tick += 1
+        set_index, block = self._set_of(address)
+        entry = self._get_set(set_index)
+        channel, bank, row = self._location(set_index)
+
+        # Compound access: tag read opens the row and keeps it open.
+        tag_access = self.dram.access_direct(
+            channel, bank, row, now, bursts=_TAG_BURSTS
+        )
+        tags_known = tag_access.data_end + _TAG_COMPARE_CYCLES
+
+        way = None
+        for w, resident in enumerate(entry.blocks):
+            if resident == block:
+                way = w
+                break
+
+        if way is not None:
+            entry.last_use[way] = self._tick
+            if is_write:
+                entry.dirty[way] = True
+                return DRAMCacheAccess(hit=True, start=now, complete=tags_known)
+            data = self.dram.column_direct(channel, bank, tags_known, bursts=1)
+            return DRAMCacheAccess(hit=True, start=now, complete=data.data_end)
+
+        # Miss: off-chip fetch after the tag check disproved residency.
+        fetch_end = self._fetch_offchip(address, tags_known, bursts=1)
+        victim_way = self._victim_way(entry)
+        victim = entry.blocks[victim_way]
+        if victim is not None and entry.dirty[victim_way]:
+            self._writeback_offchip(victim << 6, fetch_end, bursts=1)
+        entry.blocks[victim_way] = block
+        entry.dirty[victim_way] = is_write
+        entry.last_use[victim_way] = self._tick
+        # Fill write into the row; posted at fill time.
+        self._post(
+            fetch_end,
+            lambda: self.dram.access_direct(channel, bank, row, fetch_end, bursts=1),
+        )
+        return DRAMCacheAccess(hit=False, start=now, complete=fetch_end)

@@ -1,0 +1,5 @@
+"""Memory-system energy model."""
+
+from repro.energy.model import EnergyBreakdown, EnergyModel, EnergyParams
+
+__all__ = ["EnergyBreakdown", "EnergyModel", "EnergyParams"]

@@ -1,0 +1,32 @@
+"""Experiment harness: construction, driving, experiments, reporting."""
+
+from repro.harness.export import export_csv, export_json, load_json
+from repro.harness.figures import bar_chart, grouped_bar_chart
+from repro.harness.reporting import format_percent, format_table, print_table
+from repro.harness.runner import (
+    SCALE,
+    ExperimentSetup,
+    build_cache,
+    build_offchip,
+    drive_cache,
+    run_scheme_on_mix,
+    scaled_locator_bits,
+)
+
+__all__ = [
+    "bar_chart",
+    "grouped_bar_chart",
+    "export_csv",
+    "export_json",
+    "load_json",
+    "format_percent",
+    "format_table",
+    "print_table",
+    "SCALE",
+    "ExperimentSetup",
+    "build_cache",
+    "build_offchip",
+    "drive_cache",
+    "run_scheme_on_mix",
+    "scaled_locator_bits",
+]

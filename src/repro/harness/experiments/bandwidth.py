@@ -1,0 +1,193 @@
+"""Bandwidth and row-buffer experiments: Figures 9(a), 9(b), 9(c), 10."""
+
+from __future__ import annotations
+
+from repro.harness.runner import (
+    ExperimentSetup,
+    build_cache,
+    drive_cache,
+    run_scheme_on_mix,
+    scaled_locator_bits,
+)
+from repro.bimodal.cache import BiModalConfig
+from repro.workloads.mixes import mixes_for_cores
+
+__all__ = [
+    "fig9a_wasted_bandwidth",
+    "fig9b_metadata_rbh",
+    "fig9c_way_locator_hit_rate",
+    "fig10_small_block_fraction",
+]
+
+
+def fig9a_wasted_bandwidth(
+    *,
+    setup: ExperimentSetup | None = None,
+    mix_names: list[str] | None = None,
+) -> list[dict]:
+    """Figure 9(a): wasted off-chip bytes, fixed-512B vs Bi-Modal.
+
+    The paper reports savings of 67%/62%/71% (4/8/16-core averages) from
+    bi-modality; workloads that wasted the most (E8, E12, E14, E15)
+    benefit most. Measured post-warmup (steady state), matching the
+    paper's fast-forward protocol.
+    """
+    setup = setup or ExperimentSetup(num_cores=8)
+    names = mix_names or list(mixes_for_cores(setup.num_cores))
+    rows = []
+    for name in names:
+        fixed = run_scheme_on_mix(
+            "fixed512", name, setup=setup, warmup_fraction=0.5
+        ).stats
+        bimodal = run_scheme_on_mix(
+            "bimodal", name, setup=setup, warmup_fraction=0.5
+        ).stats
+        fixed_waste = fixed["offchip_wasted_bytes"]
+        bi_waste = bimodal["offchip_wasted_bytes"]
+        saving = (fixed_waste - bi_waste) / fixed_waste if fixed_waste else 0.0
+        rows.append(
+            {
+                "mix": name,
+                "fixed512_wasted_mb": fixed_waste / (1 << 20),
+                "bimodal_wasted_mb": bi_waste / (1 << 20),
+                "saving_pct": 100.0 * saving,
+            }
+        )
+    if rows:
+        total_fixed = sum(r["fixed512_wasted_mb"] for r in rows)
+        total_bi = sum(r["bimodal_wasted_mb"] for r in rows)
+        rows.append(
+            {
+                "mix": "total",
+                "fixed512_wasted_mb": total_fixed,
+                "bimodal_wasted_mb": total_bi,
+                "saving_pct": 100.0 * (total_fixed - total_bi) / total_fixed
+                if total_fixed
+                else 0.0,
+            }
+        )
+    return rows
+
+
+def fig9b_metadata_rbh(
+    *,
+    setup: ExperimentSetup | None = None,
+    mix_names: list[str] | None = None,
+) -> list[dict]:
+    """Figure 9(b): metadata row-buffer hit rate, separate vs co-located.
+
+    Measured on the full Bi-Modal configuration: with the way locator
+    deployed, DRAM tag reads are locator-miss events, and it is exactly
+    those scattered reads whose row-buffer behaviour the dense metadata
+    bank improves (16 sets per open metadata page vs 1 for co-located
+    tags). The paper reports a 37% average RBH improvement.
+
+    Known deviation: absolute RBH values are pessimistic here because
+    the access-granularity model serves bank requests in arrival order —
+    a real FR-FCFS controller batches same-row tag reads from different
+    cores that our model interleaves. The separate-vs-co-located
+    *relative* advantage is what this experiment reproduces.
+    """
+    setup = setup or ExperimentSetup()
+    names = mix_names or list(mixes_for_cores(setup.num_cores))
+    k = scaled_locator_bits(scale=setup.scale)
+    rows = []
+    for name in names:
+        results = {}
+        for label, colocated in (("separate", False), ("colocated", True)):
+            cfg = BiModalConfig(
+                locator_index_bits=k,
+                predictor_index_bits=10,
+                tracker_sample_every=2,
+                adaptation_interval=2_000,
+                colocated_metadata=colocated,
+                parallel_tag_data=not colocated,
+            )
+            result = run_scheme_on_mix(
+                "bimodal", name, setup=setup, bimodal_config=cfg
+            )
+            results[label] = result.stats["metadata_rbh"]
+        gain = (
+            (results["separate"] - results["colocated"]) / results["colocated"]
+            if results["colocated"]
+            else 0.0
+        )
+        rows.append(
+            {
+                "mix": name,
+                "colocated_rbh": results["colocated"],
+                "separate_rbh": results["separate"],
+                "gain_pct": 100.0 * gain,
+            }
+        )
+    if rows:
+        avg = {"mix": "mean"}
+        for key in ("colocated_rbh", "separate_rbh", "gain_pct"):
+            avg[key] = sum(r[key] for r in rows) / len(rows)
+        rows.append(avg)
+    return rows
+
+
+def fig9c_way_locator_hit_rate(
+    *,
+    setup: ExperimentSetup | None = None,
+    mix_names: list[str] | None = None,
+    k_values: tuple[int, ...] | None = None,
+) -> list[dict]:
+    """Figure 9(c): way locator hit rate vs table size K.
+
+    K values are expressed at paper scale (10/12/14/16) and shifted by
+    the capacity scale; the paper finds K=14 the sweet spot (~95% hit
+    rate on quad-core workloads).
+    """
+    setup = setup or ExperimentSetup()
+    names = mix_names or list(mixes_for_cores(setup.num_cores))
+    paper_ks = k_values or (10, 12, 14, 16)
+    rows = []
+    for name in names:
+        row: dict = {"mix": name}
+        for paper_k in paper_ks:
+            k = scaled_locator_bits(paper_k, setup.scale)
+            cfg = BiModalConfig(
+                locator_index_bits=k,
+                predictor_index_bits=10,
+                tracker_sample_every=2,
+                adaptation_interval=2_000,
+            )
+            result = run_scheme_on_mix(
+                "bimodal", name, setup=setup, bimodal_config=cfg
+            )
+            row[f"K{paper_k}"] = result.stats["way_locator_hit_rate"]
+        rows.append(row)
+    if rows:
+        avg: dict = {"mix": "mean"}
+        for paper_k in paper_ks:
+            key = f"K{paper_k}"
+            avg[key] = sum(r[key] for r in rows) / len(rows)
+        rows.append(avg)
+    return rows
+
+
+def fig10_small_block_fraction(
+    *,
+    setup: ExperimentSetup | None = None,
+    mix_names: list[str] | None = None,
+) -> list[dict]:
+    """Figure 10: fraction of accesses served by small blocks.
+
+    The paper sees wide variation — 1% (Q17) to 48% (Q23) — showing the
+    organization adapts to workload spatial behaviour.
+    """
+    setup = setup or ExperimentSetup()
+    names = mix_names or list(mixes_for_cores(setup.num_cores))
+    rows = []
+    for name in names:
+        stats = run_scheme_on_mix("bimodal", name, setup=setup).stats
+        rows.append(
+            {
+                "mix": name,
+                "small_fraction": stats["small_access_fraction"],
+                "global_state": str(stats["global_state"]),
+            }
+        )
+    return rows

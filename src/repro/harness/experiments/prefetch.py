@@ -1,0 +1,90 @@
+"""Table VI: interaction with a next-N-lines prefetcher.
+
+Both the baseline (AlloyCache) and the Bi-Modal cache get the same
+prefetcher between the LLSC and the DRAM cache; improvements are
+measured against the *prefetch-enabled* baseline, as in the paper
+(Section V-I). Two Bi-Modal policies: PREF_NORMAL (prefetches allocate)
+and PREF_BYPASS (prefetch misses do not allocate).
+"""
+
+from __future__ import annotations
+
+from repro.cores.metrics import improvement_percent
+from repro.cores.multiprog import MultiProgramRunner
+from repro.harness.runner import ExperimentSetup, build_cache
+from repro.prefetch.nextn import PREF_BYPASS, PREF_NORMAL, NextNPrefetcher
+from repro.workloads.mixes import mixes_for_cores
+
+__all__ = ["table6_prefetch"]
+
+
+def _antt_with_prefetch(
+    scheme: str,
+    mix_name: str,
+    *,
+    setup: ExperimentSetup,
+    degree: int,
+    mode: str,
+) -> float:
+    mix = mixes_for_cores(setup.num_cores)[mix_name]
+    total = setup.accesses_per_core * setup.num_cores
+
+    def factory():
+        cache = build_cache(
+            scheme,
+            setup.system,
+            scale=setup.scale,
+            adaptation_interval=max(1_000, total // 150),
+        )
+        return NextNPrefetcher(cache, degree=degree, mode=mode)
+
+    runner = MultiProgramRunner(
+        mix,
+        factory,
+        accesses_per_core=setup.accesses_per_core,
+        seed=setup.seed,
+        footprint_scale=setup.footprint_scale,
+    )
+    antt, _ = runner.run_antt()
+    return antt
+
+
+def table6_prefetch(
+    *,
+    setup: ExperimentSetup | None = None,
+    mix_names: list[str] | None = None,
+    degrees: tuple[int, ...] = (1, 3),
+) -> list[dict]:
+    """Table VI: ANTT improvement over the prefetch-enabled baseline.
+
+    Paper (quad-core): N=1 -> 9.8% (NORMAL) / 10.4% (BYPASS);
+    N=3 -> 8.7% / 9.3%. The shape to reproduce: gains persist under
+    prefetching, BYPASS slightly ahead of NORMAL, and the aggressive
+    prefetcher narrows the gap.
+    """
+    setup = setup or ExperimentSetup()
+    names = mix_names or list(mixes_for_cores(setup.num_cores))[:6]
+    rows = []
+    for degree in degrees:
+        normal_gains = []
+        bypass_gains = []
+        for name in names:
+            base = _antt_with_prefetch(
+                "alloy", name, setup=setup, degree=degree, mode=PREF_NORMAL
+            )
+            normal = _antt_with_prefetch(
+                "bimodal", name, setup=setup, degree=degree, mode=PREF_NORMAL
+            )
+            bypass = _antt_with_prefetch(
+                "bimodal", name, setup=setup, degree=degree, mode=PREF_BYPASS
+            )
+            normal_gains.append(improvement_percent(base, normal))
+            bypass_gains.append(improvement_percent(base, bypass))
+        rows.append(
+            {
+                "N": degree,
+                "pref_normal_pct": sum(normal_gains) / len(normal_gains),
+                "pref_bypass_pct": sum(bypass_gains) / len(bypass_gains),
+            }
+        )
+    return rows

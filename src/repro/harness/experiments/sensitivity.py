@@ -1,0 +1,245 @@
+"""Figure 12 sensitivity study and the ablations beyond the paper.
+
+``BiModal(X-Y-Z)`` in the paper's notation: cache size X, big block size
+Y, big-block associativity Z. All improvements are over a same-sized
+AlloyCache. Capacities are expressed at paper scale and shifted by the
+experiment's capacity scale factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.bimodal.cache import BiModalConfig
+from repro.cores.metrics import improvement_percent
+from repro.cores.multiprog import MultiProgramRunner
+from repro.harness.runner import (
+    ExperimentSetup,
+    build_cache,
+    run_scheme_on_mix,
+    scaled_locator_bits,
+)
+from repro.workloads.mixes import mixes_for_cores
+
+__all__ = [
+    "fig12_sensitivity",
+    "ablation_threshold",
+    "ablation_weight",
+    "ablation_sampling",
+    "ablation_parallel_tag",
+]
+
+
+def _antt_for(
+    scheme: str,
+    mix_name: str,
+    *,
+    setup: ExperimentSetup,
+    cache_mb: int | None = None,
+    bimodal_config: BiModalConfig | None = None,
+) -> float:
+    mix = mixes_for_cores(setup.num_cores)[mix_name]
+    system = setup.system
+    if cache_mb is not None:
+        system = system.scaled_cache(cache_mb << 20)
+    total = setup.accesses_per_core * setup.num_cores
+
+    def factory():
+        return build_cache(
+            scheme,
+            system,
+            scale=setup.scale,
+            bimodal_config=bimodal_config,
+            adaptation_interval=max(1_000, total // 150),
+        )
+
+    runner = MultiProgramRunner(
+        mix,
+        factory,
+        accesses_per_core=setup.accesses_per_core,
+        seed=setup.seed,
+        footprint_scale=setup.footprint_scale,
+    )
+    antt, _ = runner.run_antt()
+    return antt
+
+
+def fig12_sensitivity(
+    *,
+    setup: ExperimentSetup | None = None,
+    mix_names: list[str] | None = None,
+) -> list[dict]:
+    """Figure 12: gains hold across cache size, block size, associativity.
+
+    Paper configurations (at full scale): BiModal(64M-512-4),
+    BiModal(512M-512-4), BiModal(128M-256-8), BiModal(128M-1024-2) and an
+    8-way variant via a 4 KB set; each vs a same-sized AlloyCache.
+    """
+    setup = setup or ExperimentSetup()
+    names = mix_names or ["Q2", "Q7", "Q12", "Q20"]
+    k = scaled_locator_bits(scale=setup.scale)
+    base_cfg = BiModalConfig(
+        locator_index_bits=k,
+        predictor_index_bits=10,
+        tracker_sample_every=2,
+        adaptation_interval=2_000,
+    )
+    paper_cache_mb = setup.system.dram_cache.capacity >> 20  # already scaled
+
+    variants = [
+        # (label, scaled cache MB, config tweak)
+        ("BiModal(64M-512-4)", max(1, paper_cache_mb // 2), base_cfg),
+        ("BiModal(128M-512-4)", paper_cache_mb, base_cfg),
+        ("BiModal(512M-512-4)", paper_cache_mb * 4, base_cfg),
+        (
+            "BiModal(128M-256-8)",
+            paper_cache_mb,
+            replace(base_cfg, big_block_size=256),
+        ),
+        (
+            "BiModal(128M-1024-2)",
+            paper_cache_mb,
+            replace(base_cfg, big_block_size=1024),
+        ),
+        (
+            "BiModal(128M-512-8)",
+            paper_cache_mb,
+            replace(base_cfg, set_size=4096),
+        ),
+    ]
+    rows = []
+    for label, cache_mb, cfg in variants:
+        gains = []
+        for name in names:
+            base = _antt_for("alloy", name, setup=setup, cache_mb=cache_mb)
+            bi = _antt_for(
+                "bimodal", name, setup=setup, cache_mb=cache_mb, bimodal_config=cfg
+            )
+            gains.append(improvement_percent(base, bi))
+        rows.append(
+            {
+                "config": label,
+                "scaled_cache_mb": cache_mb,
+                "mean_antt_gain_pct": sum(gains) / len(gains),
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Ablations beyond the paper (DESIGN.md section 5)
+# ----------------------------------------------------------------------
+def _bimodal_stats(
+    mix_name: str, setup: ExperimentSetup, cfg: BiModalConfig
+) -> dict:
+    return run_scheme_on_mix(
+        "bimodal", mix_name, setup=setup, bimodal_config=cfg
+    ).stats
+
+
+def _base_config(setup: ExperimentSetup) -> BiModalConfig:
+    return BiModalConfig(
+        locator_index_bits=scaled_locator_bits(scale=setup.scale),
+        predictor_index_bits=10,
+        tracker_sample_every=2,
+        adaptation_interval=2_000,
+    )
+
+
+def ablation_threshold(
+    *,
+    setup: ExperimentSetup | None = None,
+    mix_name: str = "Q7",
+    thresholds: tuple[int, ...] = (2, 3, 5, 7, 8),
+) -> list[dict]:
+    """Utilization threshold T sweep (paper fixes T=5, suggests stricter
+    T trades bandwidth for hit rate)."""
+    setup = setup or ExperimentSetup()
+    rows = []
+    for t in thresholds:
+        cfg = replace(_base_config(setup), utilization_threshold=t)
+        stats = _bimodal_stats(mix_name, setup, cfg)
+        rows.append(
+            {
+                "T": t,
+                "hit_rate": stats["hit_rate"],
+                "offchip_mb": stats["offchip_fetched_bytes"] / (1 << 20),
+                "small_fraction": stats["small_access_fraction"],
+            }
+        )
+    return rows
+
+
+def ablation_weight(
+    *,
+    setup: ExperimentSetup | None = None,
+    mix_name: str = "Q7",
+    weights: tuple[float, ...] = (0.25, 0.5, 0.75, 1.0, 1.5),
+) -> list[dict]:
+    """Adaptation weight W sweep (paper fixes W=0.75)."""
+    setup = setup or ExperimentSetup()
+    rows = []
+    for w in weights:
+        cfg = replace(_base_config(setup), adaptation_weight=w)
+        stats = _bimodal_stats(mix_name, setup, cfg)
+        rows.append(
+            {
+                "W": w,
+                "hit_rate": stats["hit_rate"],
+                "small_fraction": stats["small_access_fraction"],
+                "global_state": str(stats["global_state"]),
+            }
+        )
+    return rows
+
+
+def ablation_sampling(
+    *,
+    setup: ExperimentSetup | None = None,
+    mix_name: str = "Q7",
+    rates: tuple[int, ...] = (1, 2, 8, 32),
+) -> list[dict]:
+    """Tracker set-sampling sweep (paper uses ~4% of sets)."""
+    setup = setup or ExperimentSetup()
+    rows = []
+    for every in rates:
+        cfg = replace(_base_config(setup), tracker_sample_every=every)
+        stats = _bimodal_stats(mix_name, setup, cfg)
+        rows.append(
+            {
+                "sample_every": every,
+                "hit_rate": stats["hit_rate"],
+                "predictor_accuracy": stats["predictor_accuracy"],
+                "small_fraction": stats["small_access_fraction"],
+            }
+        )
+    return rows
+
+
+def ablation_parallel_tag(
+    *,
+    setup: ExperimentSetup | None = None,
+    mix_names: list[str] | None = None,
+) -> list[dict]:
+    """Parallel vs serial tag+data issue on way locator misses."""
+    setup = setup or ExperimentSetup()
+    names = mix_names or ["Q2", "Q7"]
+    rows = []
+    for name in names:
+        res = {}
+        for label, parallel in (("parallel", True), ("serial", False)):
+            cfg = replace(_base_config(setup), parallel_tag_data=parallel)
+            res[label] = _bimodal_stats(name, setup, cfg)["avg_read_latency"]
+        rows.append(
+            {
+                "mix": name,
+                "parallel_latency": res["parallel"],
+                "serial_latency": res["serial"],
+                "saving_pct": 100.0
+                * (res["serial"] - res["parallel"])
+                / res["serial"]
+                if res["serial"]
+                else 0.0,
+            }
+        )
+    return rows

@@ -1,0 +1,120 @@
+"""Tables I and III: the feature matrix and way-locator storage table."""
+
+from __future__ import annotations
+
+from repro.common.tables import (
+    PAPER_TABLE3_LATENCY_CYCLES,
+    PAPER_TABLE3_STORAGE_KB,
+    sram_latency_cycles,
+    way_locator_storage_bytes,
+)
+
+__all__ = ["table1_feature_matrix", "table3_way_locator_storage"]
+
+
+def table1_feature_matrix() -> list[dict]:
+    """Table I: qualitative comparison of DRAM cache organizations."""
+    return [
+        {
+            "attribute": "block_size",
+            "lohhill": "64B",
+            "alloy": "64B",
+            "atcache": "64B",
+            "footprint": "2048B",
+            "bimodal": "512B+64B",
+        },
+        {
+            "attribute": "associativity",
+            "lohhill": "29-way",
+            "alloy": "direct",
+            "atcache": "29-way",
+            "footprint": "fixed",
+            "bimodal": "4-18 way",
+        },
+        {
+            "attribute": "metadata",
+            "lohhill": "DRAM",
+            "alloy": "DRAM",
+            "atcache": "DRAM",
+            "footprint": "SRAM",
+            "bimodal": "DRAM",
+        },
+        {
+            "attribute": "metadata_overhead",
+            "lohhill": "high",
+            "alloy": "high",
+            "atcache": "high",
+            "footprint": "low",
+            "bimodal": "low",
+        },
+        {
+            "attribute": "hit_latency",
+            "lohhill": "high",
+            "alloy": "low",
+            "atcache": "high",
+            "footprint": "moderate",
+            "bimodal": "low",
+        },
+        {
+            "attribute": "hit_rate",
+            "lohhill": "low",
+            "alloy": "low",
+            "atcache": "low",
+            "footprint": "high",
+            "bimodal": "high",
+        },
+        {
+            "attribute": "wasted_offchip_bw",
+            "lohhill": "none",
+            "alloy": "none",
+            "atcache": "none",
+            "footprint": "low",
+            "bimodal": "low",
+        },
+        {
+            "attribute": "internal_fragmentation",
+            "lohhill": "none",
+            "alloy": "none",
+            "atcache": "none",
+            "footprint": "high",
+            "bimodal": "reduced",
+        },
+    ]
+
+
+# (cache MB, memory GB) -> address bits and set-index bits at 2KB sets.
+_TABLE3_CONFIGS = {
+    (128, 4): (32, 16),
+    (256, 8): (33, 17),
+    (512, 16): (34, 18),
+}
+
+
+def table3_way_locator_storage() -> list[dict]:
+    """Table III: way locator storage and latency vs K and cache size.
+
+    Computes the Figure 6 entry format's storage with our closed-form
+    model and places the paper's published numbers alongside.
+    """
+    rows = []
+    for k in (10, 12, 14, 16):
+        for (cache_mb, mem_gb), (addr_bits, set_bits) in _TABLE3_CONFIGS.items():
+            storage = way_locator_storage_bytes(
+                address_bits=addr_bits,
+                set_index_bits=set_bits,
+                offset_bits=9,
+                locator_index_bits=k,
+                max_ways=18,
+            )
+            rows.append(
+                {
+                    "K": k,
+                    "cache_mb": cache_mb,
+                    "mem_gb": mem_gb,
+                    "model_kb": storage / 1024.0,
+                    "paper_kb": PAPER_TABLE3_STORAGE_KB[k][(cache_mb, mem_gb)],
+                    "model_cycles": sram_latency_cycles(int(storage)),
+                    "paper_cycles": PAPER_TABLE3_LATENCY_CYCLES[k],
+                }
+            )
+    return rows

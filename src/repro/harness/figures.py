@@ -1,0 +1,79 @@
+"""Terminal bar-chart rendering for experiment rows.
+
+The paper's figures are bar charts; these helpers render the same
+series as unicode bars so `python -m repro fig8c` and the examples can
+show the *shape* directly in a terminal, not just a number table.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["bar_chart", "grouped_bar_chart"]
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(value: float, maximum: float, width: int) -> str:
+    if maximum <= 0:
+        return ""
+    cells = value / maximum * width
+    full = int(cells)
+    frac = int((cells - full) * 8)
+    return "█" * full + (_BLOCKS[frac] if frac else "")
+
+
+def bar_chart(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    label: str,
+    value: str,
+    width: int = 40,
+    title: str | None = None,
+    fmt: str = "{:.3g}",
+) -> str:
+    """One horizontal bar per row: ``label  ████▌ value``."""
+    if not rows:
+        return "(no rows)"
+    values = [float(r[value]) for r in rows]
+    labels = [str(r[label]) for r in rows]
+    maximum = max(values) if values else 0.0
+    label_width = max(len(l) for l in labels)
+    lines = [title] if title else []
+    for name, val in zip(labels, values):
+        lines.append(
+            f"{name.ljust(label_width)}  {_bar(val, maximum, width).ljust(width)} "
+            f"{fmt.format(val)}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    label: str,
+    series: Sequence[str],
+    width: int = 30,
+    title: str | None = None,
+    fmt: str = "{:.3g}",
+) -> str:
+    """Several bars per row, one per series column (paper-style groups)."""
+    if not rows:
+        return "(no rows)"
+    maximum = max(
+        float(r[s]) for r in rows for s in series if r.get(s) is not None
+    )
+    label_width = max(len(str(r[label])) for r in rows)
+    series_width = max(len(s) for s in series)
+    lines = [title] if title else []
+    for row in rows:
+        lines.append(str(row[label]))
+        for s in series:
+            if row.get(s) is None:
+                continue
+            val = float(row[s])
+            lines.append(
+                f"  {s.ljust(series_width)}  "
+                f"{_bar(val, maximum, width).ljust(width)} {fmt.format(val)}"
+            )
+    return "\n".join(lines)

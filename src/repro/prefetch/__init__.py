@@ -1,0 +1,5 @@
+"""Hardware prefetching between the LLSC and the DRAM cache."""
+
+from repro.prefetch.nextn import PREF_BYPASS, PREF_NORMAL, NextNPrefetcher
+
+__all__ = ["PREF_BYPASS", "PREF_NORMAL", "NextNPrefetcher"]

@@ -1,0 +1,25 @@
+"""SRAM substrate: set-associative caches, replacement, MSHRs, hierarchy."""
+
+from repro.sram.cache import AccessResult, SetAssociativeCache
+from repro.sram.hierarchy import CacheHierarchy, FilterOutcome
+from repro.sram.mshr import MSHRFile
+from repro.sram.replacement import (
+    LRU,
+    Random,
+    RandomNotRecent,
+    ReplacementPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "AccessResult",
+    "SetAssociativeCache",
+    "CacheHierarchy",
+    "FilterOutcome",
+    "MSHRFile",
+    "LRU",
+    "Random",
+    "RandomNotRecent",
+    "ReplacementPolicy",
+    "make_policy",
+]

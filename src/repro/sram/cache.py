@@ -1,0 +1,182 @@
+"""Generic set-associative SRAM cache.
+
+Serves as the L1 data caches and the shared last-level SRAM cache
+(*LLSC* in the paper's terminology) that sit in front of the DRAM cache,
+and as the building block for SRAM side structures (ATCache's tag cache,
+Footprint Cache's tag array).
+
+The model is functional-plus-recency: it tracks residency, dirtiness and
+LRU state, and reports evictions so the caller can issue writebacks. All
+timing is attributed by the enclosing component (hit latencies come from
+the config / CACTI tables).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.addressing import is_power_of_two, log2_int
+from repro.common.stats import Histogram, RateStat
+from repro.sram.replacement import ReplacementPolicy, make_policy
+
+__all__ = ["AccessResult", "SetAssociativeCache"]
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one cache access.
+
+    ``writeback_address`` is the block address of a dirty victim that must
+    be written to the next level (None when no dirty eviction happened).
+    ``victim_address`` reports any eviction, dirty or clean.
+    """
+
+    hit: bool
+    writeback_address: int | None = None
+    victim_address: int | None = None
+
+
+class _Line:
+    __slots__ = ("tag", "valid", "dirty", "last_use")
+
+    def __init__(self) -> None:
+        self.tag = 0
+        self.valid = False
+        self.dirty = False
+        self.last_use = 0
+
+
+class SetAssociativeCache:
+    """Write-back, write-allocate set-associative cache."""
+
+    def __init__(
+        self,
+        size: int,
+        associativity: int,
+        block_size: int = 64,
+        *,
+        policy: str | ReplacementPolicy = "lru",
+        seed: int = 0,
+        name: str = "cache",
+        track_mru: bool = False,
+    ) -> None:
+        if not is_power_of_two(size) or not is_power_of_two(block_size):
+            raise ValueError("size and block_size must be powers of two")
+        if associativity < 1:
+            raise ValueError("associativity must be >= 1")
+        num_sets = size // (block_size * associativity)
+        if num_sets < 1 or not is_power_of_two(num_sets):
+            raise ValueError("size/(block*assoc) must be a power-of-two set count")
+        self.name = name
+        self.size = size
+        self.associativity = associativity
+        self.block_size = block_size
+        self.num_sets = num_sets
+        self._offset_bits = log2_int(block_size)
+        self._index_mask = num_sets - 1
+        self._sets = [
+            [_Line() for _ in range(associativity)] for _ in range(num_sets)
+        ]
+        if isinstance(policy, ReplacementPolicy):
+            self._policy = policy
+        else:
+            self._policy = make_policy(policy, seed=seed)
+        self._tick = 0
+        self.accesses = RateStat()
+        self.evictions = 0
+        self.writebacks = 0
+        # Figure 5 instrumentation: distribution of hits over MRU stack
+        # positions (0 = most recently used way of the set).
+        self.mru_hits: Histogram | None = Histogram() if track_mru else None
+
+    # ------------------------------------------------------------------
+    def _locate(self, address: int) -> tuple[int, int, int | None]:
+        """Return (tag, set index, way or None)."""
+        block = address >> self._offset_bits
+        index = block & self._index_mask
+        tag = block >> self._index_bits()
+        ways = self._sets[index]
+        for way, line in enumerate(ways):
+            if line.valid and line.tag == tag:
+                return tag, index, way
+        return tag, index, None
+
+    def _index_bits(self) -> int:
+        return log2_int(self.num_sets)
+
+    def block_address(self, tag: int, index: int) -> int:
+        return ((tag << self._index_bits()) | index) << self._offset_bits
+
+    # ------------------------------------------------------------------
+    def contains(self, address: int) -> bool:
+        """Residency probe without recency side effects."""
+        _, _, way = self._locate(address)
+        return way is not None
+
+    def access(self, address: int, *, is_write: bool = False) -> AccessResult:
+        """Access one block; allocates on miss; returns eviction info."""
+        self._tick += 1
+        tag, index, way = self._locate(address)
+        ways = self._sets[index]
+        if way is not None:
+            line = ways[way]
+            if self.mru_hits is not None:
+                rank = sum(
+                    1
+                    for other in ways
+                    if other.valid and other.last_use > line.last_use
+                )
+                self.mru_hits.add(rank)
+            line.last_use = self._tick
+            if is_write:
+                line.dirty = True
+            self.accesses.record(True)
+            return AccessResult(hit=True)
+
+        self.accesses.record(False)
+        victim_way = self._choose_victim(index)
+        line = ways[victim_way]
+        writeback = None
+        victim = None
+        if line.valid:
+            victim = self.block_address(line.tag, index)
+            self.evictions += 1
+            if line.dirty:
+                writeback = victim
+                self.writebacks += 1
+        line.tag = tag
+        line.valid = True
+        line.dirty = is_write
+        line.last_use = self._tick
+        return AccessResult(hit=False, writeback_address=writeback, victim_address=victim)
+
+    def _choose_victim(self, index: int) -> int:
+        ways = self._sets[index]
+        for way, line in enumerate(ways):
+            if not line.valid:
+                return way
+        candidates = list(range(self.associativity))
+        last_use = [ways[w].last_use for w in candidates]
+        return self._policy.victim(candidates, last_use=last_use)
+
+    def invalidate(self, address: int) -> bool:
+        """Drop a block if present (no writeback); True if it was resident."""
+        _, index, way = self._locate(address)
+        if way is None:
+            return False
+        self._sets[index][way].valid = False
+        return True
+
+    def resident_blocks(self) -> int:
+        return sum(
+            1 for ways in self._sets for line in ways if line.valid
+        )
+
+    @property
+    def hit_rate(self) -> float:
+        return self.accesses.rate
+
+    def reset_stats(self) -> None:
+        self.accesses.reset()
+        self.evictions = 0
+        self.writebacks = 0

@@ -1,0 +1,73 @@
+"""Miss Status Holding Registers.
+
+The LLSC of Table IV carries 128/256/512 MSHRs for 4/8/16 cores. In the
+trace-driven model, MSHRs serve two purposes:
+
+* **merging** — a request to a block that already has an outstanding miss
+  does not produce a second DRAM cache access; it completes when the
+  primary miss fills; and
+* **throttling** — when all MSHRs are busy, a new miss stalls until one
+  frees, which feeds back into the core model as extra stall time.
+"""
+
+from __future__ import annotations
+
+__all__ = ["MSHRFile"]
+
+
+class MSHRFile:
+    """Bounded set of outstanding block misses keyed by block address."""
+
+    def __init__(self, entries: int) -> None:
+        if entries < 1:
+            raise ValueError("entries must be >= 1")
+        self.capacity = entries
+        self._inflight: dict[int, int] = {}  # block addr -> fill time
+        self.primary_misses = 0
+        self.merged_misses = 0
+        self.stalls = 0
+
+    def _expire(self, now: int) -> None:
+        if len(self._inflight) < self.capacity // 2:
+            return
+        done = [addr for addr, t in self._inflight.items() if t <= now]
+        for addr in done:
+            del self._inflight[addr]
+
+    def lookup(self, block_address: int, now: int) -> int | None:
+        """If the block has an outstanding miss, return its fill time."""
+        fill = self._inflight.get(block_address)
+        if fill is not None and fill > now:
+            self.merged_misses += 1
+            return fill
+        if fill is not None:
+            del self._inflight[block_address]
+        return None
+
+    def allocate(self, block_address: int, now: int, fill_time: int) -> int:
+        """Reserve an MSHR; returns the (possibly stalled) issue time."""
+        self._expire(now)
+        issue = now
+        if len(self._inflight) >= self.capacity:
+            earliest = min(self._inflight.values())
+            if earliest > now:
+                issue = earliest
+                self.stalls += 1
+            self._expire(issue)
+            if len(self._inflight) >= self.capacity:
+                # Evict the earliest-completing entry outright; it is the
+                # next to retire in any case.
+                oldest = min(self._inflight, key=self._inflight.get)
+                del self._inflight[oldest]
+        self._inflight[block_address] = fill_time
+        self.primary_misses += 1
+        return issue
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._inflight)
+
+    def reset_stats(self) -> None:
+        self.primary_misses = 0
+        self.merged_misses = 0
+        self.stalls = 0

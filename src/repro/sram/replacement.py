@@ -1,0 +1,93 @@
+"""Replacement policies for set-associative structures.
+
+Three policies cover everything the paper's system needs:
+
+* ``LRU`` — conventional recency stack, used by the SRAM hierarchy (L1,
+  LLSC) and by structures like the ATCache tag cache;
+* ``Random`` — seeded pseudo-random victim choice;
+* ``RandomNotRecent`` — the Bi-Modal cache's policy (Section III-D1):
+  randomly replace a way that is *not* one of the top-2 MRU ways, as
+  identified by the way locator; when no recency information is available
+  for the set, fall back to pure random.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+
+__all__ = ["ReplacementPolicy", "LRU", "Random", "RandomNotRecent", "make_policy"]
+
+
+class ReplacementPolicy(ABC):
+    """Chooses a victim way among currently valid candidate ways."""
+
+    @abstractmethod
+    def victim(
+        self,
+        candidates: Sequence[int],
+        *,
+        last_use: Sequence[int] | None = None,
+        protected: frozenset[int] | set[int] = frozenset(),
+    ) -> int:
+        """Return the way to evict.
+
+        ``candidates`` are the evictable way indices; ``last_use`` (aligned
+        with candidates) carries recency timestamps where tracked;
+        ``protected`` holds ways that should survive if any alternative
+        exists (e.g. top-2 MRU ways from the way locator).
+        """
+
+
+class LRU(ReplacementPolicy):
+    """Evict the least-recently-used candidate (requires timestamps)."""
+
+    def victim(self, candidates, *, last_use=None, protected=frozenset()):
+        if not candidates:
+            raise ValueError("no candidates to evict")
+        if last_use is None:
+            raise ValueError("LRU requires last_use timestamps")
+        order = sorted(range(len(candidates)), key=lambda i: last_use[i])
+        for idx in order:
+            if candidates[idx] not in protected:
+                return candidates[idx]
+        return candidates[order[0]]
+
+
+class Random(ReplacementPolicy):
+    """Seeded uniform random victim."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def victim(self, candidates, *, last_use=None, protected=frozenset()):
+        if not candidates:
+            raise ValueError("no candidates to evict")
+        unprotected = [way for way in candidates if way not in protected]
+        pool = unprotected or list(candidates)
+        return pool[self._rng.randrange(len(pool))]
+
+
+class RandomNotRecent(Random):
+    """Random among non-MRU ways; alias that documents the paper's policy.
+
+    Identical mechanics to :class:`Random` — the caller passes the top-2
+    MRU ways (from the way locator, when it has them for this set) via
+    ``protected``. With an empty ``protected`` this degrades to pure
+    random, matching the paper's fallback when the locator holds no
+    entries for the set.
+    """
+
+
+def make_policy(name: str, *, seed: int = 0) -> ReplacementPolicy:
+    """Factory: 'lru' | 'random' | 'random_not_recent'."""
+    table = {
+        "lru": lambda: LRU(),
+        "random": lambda: Random(seed),
+        "random_not_recent": lambda: RandomNotRecent(seed),
+    }
+    try:
+        return table[name]()
+    except KeyError:
+        raise ValueError(f"unknown replacement policy {name!r}") from None

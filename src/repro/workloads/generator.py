@@ -1,0 +1,390 @@
+"""Region-based synthetic access-stream generator.
+
+Turns a :class:`~repro.workloads.profile.ProgramProfile` into a
+reproducible stream of (address, is_write, instruction-gap) records at the
+level the DRAM cache observes (post-LLSC), mirroring the paper's
+trace-driven methodology.
+
+Model
+-----
+The program's footprint is a pool of 512-byte *regions* (big-block sized).
+Each region is born with a fixed spatial-utilization mask: ``k`` sub-blocks
+(sampled from the profile's utilization distribution) laid out as a
+contiguous run at a per-region offset — the set of sub-blocks the program
+*ever* touches in that region. Region popularity follows a power law over
+a pseudo-randomly permuted rank order (so hot regions are scattered across
+the address space, not clustered), giving Zipf-like temporal reuse.
+
+Popularity is assigned at *cluster* granularity (8 contiguous regions =
+4 KB), with the visited region drawn uniformly inside the hot cluster:
+real data structures are contiguous, so spatial locality extends beyond
+one 512 B block — which is what makes 1-4 KB cache blocks (Figure 1) and
+2 KB footprint pages behave realistically.
+
+A *visit* picks a region by popularity and touches a geometric-length
+burst of its used sub-blocks in order. This yields, by construction:
+
+* Figure 2-style utilization distributions (a region never uses more than
+  its mask),
+* block-size-sensitive miss rates (dense regions turn 8 small-block
+  misses into 1 big-block miss; sparse regions do not),
+* MRU-concentrated set access patterns (power-law reuse), and
+* realistic row-buffer behaviour (bursts are sequential within a region).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.workloads.profile import ProgramProfile
+
+__all__ = ["TraceChunk", "ProgramTrace"]
+
+_REGION_BYTES = 512
+_SUB_BLOCKS = 8
+_CLUSTER_REGIONS = 8  # popularity granularity: 8 regions = 4 KB
+_SUPER_CLUSTERS = 16  # permutation granularity: 16 clusters = 64 KB
+_PERMUTE_PRIME = 2_654_435_761  # Knuth multiplicative-hash constant
+
+
+@dataclass(frozen=True)
+class TraceChunk:
+    """A batch of accesses as parallel numpy arrays."""
+
+    addresses: np.ndarray  # uint64, byte addresses (64B-aligned)
+    is_write: np.ndarray  # bool
+    icount: np.ndarray  # uint32, instructions since the previous access
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+    def __iter__(self) -> Iterator[tuple[int, bool, int]]:
+        return zip(
+            self.addresses.tolist(),
+            self.is_write.tolist(),
+            self.icount.tolist(),
+        )
+
+
+class ProgramTrace:
+    """Reproducible access stream for one program instance.
+
+    The generated records are the accesses the **DRAM cache** observes:
+    the raw program stream is filtered through a private LLSC-share
+    model (an LRU cache of ``llsc_filter_blocks`` 64 B blocks), so only
+    LLSC misses and dirty-victim writebacks are emitted. This is what
+    "the DRAM cache sits behind a cache-coherent shared LLSC" means for
+    the trace: short-term same-block reuse is absorbed upstream, while
+    spatial structure and medium/long-distance reuse pass through.
+
+    Parameters
+    ----------
+    profile:
+        The statistical program description.
+    seed:
+        Master seed; combined with the profile's ``seed_salt``.
+    base_address:
+        Start of this instance's private address range (multiprogrammed
+        workloads give each core a disjoint range).
+    llsc_filter_blocks:
+        Capacity, in 64 B blocks, of the program's LLSC share used for
+        filtering. 1024 blocks = 64 KB matches one core's slice of the
+        scaled Table IV LLSC (4 MB / 4 cores / 16 capacity scale).
+        0 disables filtering (raw program stream).
+    """
+
+    def __init__(
+        self,
+        profile: ProgramProfile,
+        *,
+        seed: int = 1,
+        base_address: int = 0,
+        llsc_filter_blocks: int = 1024,
+    ) -> None:
+        self.profile = profile
+        self.base_address = base_address
+        self._rng = np.random.default_rng(
+            np.random.SeedSequence([seed, profile.seed_salt, 0xB1_0DA1])
+        )
+        self.num_regions = max(16, int(profile.footprint_mb * (1 << 20) / _REGION_BYTES))
+        # Round up to whole super-clusters so the permutation and the
+        # cluster->region math stay exact.
+        self.num_clusters = -(-self.num_regions // _CLUSTER_REGIONS)
+        self.num_clusters = (
+            -(-self.num_clusters // _SUPER_CLUSTERS) * _SUPER_CLUSTERS
+        )
+        self.num_regions = self.num_clusters * _CLUSTER_REGIONS
+        self._region_util = self._sample_region_utilizations()
+        self._region_offset = self._rng.integers(
+            0, _SUB_BLOCKS, size=self.num_regions, dtype=np.uint8
+        )
+        self._rank_cdf = self._build_rank_cdf(profile.reuse_alpha)
+        self._recent_regions: list[int] = []
+        # Sticky per-region visit point: consecutive visits of a region
+        # touch the same sub-block run and only occasionally rotate to
+        # another part of the mask. Low-utilization regions therefore
+        # see *temporal* reuse of one 64 B block punctuated by rare
+        # migrations — the pointer-chasing pattern that makes small
+        # cache blocks viable — while dense regions still sweep their
+        # whole mask through their long bursts.
+        self._region_hot = self._rng.integers(
+            0, _SUB_BLOCKS, size=self.num_regions, dtype=np.uint8
+        )
+        # Per-cluster streaming pointer: visits walk a cluster's regions
+        # in order (uint8 wrap-around is harmless modulo 8).
+        self._cluster_next = self._rng.integers(
+            0, _CLUSTER_REGIONS, size=self.num_clusters, dtype=np.uint8
+        )
+        # LLSC-share filter state: LRU over 64B block numbers with dirty
+        # bits, persistent across chunks.
+        self.llsc_filter_blocks = llsc_filter_blocks
+        self._filter: "OrderedDict[int, bool]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    def _sample_region_utilizations(self) -> np.ndarray:
+        """Per-region spatial utilization, correlated within clusters.
+
+        Utilization is a property of the *data structure* a region
+        belongs to (an array is dense everywhere, a linked-list heap is
+        sparse everywhere), so the level is drawn once per 4 KB cluster
+        and inherited by its regions — which is what makes block-size
+        prediction learnable, exactly as in real programs.
+        """
+        levels = np.array(sorted(self.profile.utilization_dist), dtype=np.uint8)
+        probs = np.array(
+            [self.profile.utilization_dist[int(k)] for k in levels], dtype=np.float64
+        )
+        probs = probs / probs.sum()
+        per_cluster = self._rng.choice(levels, size=self.num_clusters, p=probs)
+        return np.repeat(per_cluster, _CLUSTER_REGIONS)
+
+    def _build_rank_cdf(self, alpha: float) -> np.ndarray:
+        """Power-law popularity over *clusters* (4 KB spans)."""
+        ranks = np.arange(1, self.num_clusters + 1, dtype=np.float64)
+        weights = ranks ** (-alpha)
+        cdf = np.cumsum(weights)
+        cdf /= cdf[-1]
+        return cdf
+
+    def _ranks_to_regions(self, ranks: np.ndarray) -> np.ndarray:
+        """Scatter cluster ranks across the address space, pick a member.
+
+        Clusters (not individual regions) are permuted, so the 8 regions
+        of a hot cluster stay adjacent — preserving >512 B spatial
+        locality while decorrelating popularity from address order.
+        Successive visits to a cluster walk its regions sequentially
+        (streaming within the structure), which is what lets 1-4 KB
+        cache blocks keep amortizing misses (Figure 1).
+        """
+        # Permute at super-cluster (64 KB) granularity: ranks of similar
+        # popularity stay spatially adjacent within a 64 KB span, the way
+        # a real program's hot structures are contiguous over many KB,
+        # while span placement is still decorrelated from rank order.
+        num_super = self.num_clusters // _SUPER_CLUSTERS
+        super_rank = ranks.astype(np.uint64) // _SUPER_CLUSTERS
+        within = ranks.astype(np.uint64) % _SUPER_CLUSTERS
+        clusters = (
+            (super_rank * _PERMUTE_PRIME) % np.uint64(num_super)
+        ) * np.uint64(_SUPER_CLUSTERS) + within
+        idx = clusters.astype(np.int64)
+        intra = self._cluster_next[idx].astype(np.uint64)
+        np.add.at(self._cluster_next, idx, 1)
+        return clusters * np.uint64(_CLUSTER_REGIONS) + (
+            intra % np.uint64(_CLUSTER_REGIONS)
+        )
+
+    # ------------------------------------------------------------------
+    def chunks(self, num_accesses: int, *, chunk_size: int = 1 << 16) -> Iterator[TraceChunk]:
+        """Yield ~``num_accesses`` post-LLSC records in chunks."""
+        if num_accesses < 1:
+            raise ValueError("num_accesses must be >= 1")
+        remaining = num_accesses
+        while remaining > 0:
+            raw = self._generate_chunk(min(chunk_size, remaining))
+            chunk = self._llsc_filter(raw, cap=remaining)
+            if len(chunk) == 0:
+                continue
+            remaining -= len(chunk)
+            yield chunk
+
+    def _llsc_filter(self, raw: TraceChunk, *, cap: int) -> TraceChunk:
+        """Filter a raw chunk through the private LLSC share.
+
+        Emits LLSC misses (reads, or writes that miss — modeled as a
+        read-for-ownership fetch) and dirty-victim writebacks. The
+        instruction gaps of absorbed records accumulate onto the next
+        emitted one, preserving the instruction clock.
+        """
+        if not self.llsc_filter_blocks:
+            return raw
+        capacity = self.llsc_filter_blocks
+        cache = self._filter
+        out_addr: list[int] = []
+        out_write: list[bool] = []
+        out_icount: list[int] = []
+        pending_gap = 0
+        for addr, is_write, gap in zip(
+            raw.addresses.tolist(), raw.is_write.tolist(), raw.icount.tolist()
+        ):
+            pending_gap += gap
+            block = addr >> 6
+            if block in cache:
+                cache.move_to_end(block)
+                if is_write:
+                    cache[block] = True
+                continue  # LLSC hit: absorbed
+            # LLSC miss: the DRAM cache sees a read (fetch/ownership).
+            out_addr.append(addr)
+            out_write.append(False)
+            out_icount.append(pending_gap)
+            pending_gap = 0
+            cache[block] = bool(is_write)
+            if len(cache) > capacity:
+                victim, dirty = cache.popitem(last=False)
+                if dirty:
+                    out_addr.append(victim << 6)
+                    out_write.append(True)
+                    out_icount.append(1)
+            if len(out_addr) >= cap:
+                break
+        # A miss plus its victim writeback can overshoot the cap by one.
+        del out_addr[cap:], out_write[cap:], out_icount[cap:]
+        if not out_addr:
+            return TraceChunk(
+                addresses=np.empty(0, dtype=np.uint64),
+                is_write=np.empty(0, dtype=bool),
+                icount=np.empty(0, dtype=np.uint32),
+            )
+        return TraceChunk(
+            addresses=np.array(out_addr, dtype=np.uint64),
+            is_write=np.array(out_write, dtype=bool),
+            icount=np.array(out_icount, dtype=np.uint32),
+        )
+
+    def one_chunk(self, num_accesses: int) -> TraceChunk:
+        """Generate the whole request count as a single chunk."""
+        parts = list(self.chunks(num_accesses, chunk_size=num_accesses))
+        if len(parts) == 1:
+            return parts[0]
+        return TraceChunk(
+            addresses=np.concatenate([p.addresses for p in parts]),
+            is_write=np.concatenate([p.is_write for p in parts]),
+            icount=np.concatenate([p.icount for p in parts]),
+        )
+
+    def _apply_revisit_locality(self, regions: np.ndarray) -> np.ndarray:
+        """Blend short-term dwell (loop) locality into the visit stream.
+
+        With probability ``revisit_prob`` a visit returns to one of the
+        recently visited regions (geometrically biased toward the most
+        recent), modeling the loop-dwell behaviour that concentrates
+        accesses on MRU ways. The recency pool persists across chunks.
+        """
+        prob = self.profile.revisit_prob
+        if prob <= 0.0 or len(regions) == 0:
+            return regions
+        rng = self._rng
+        n = len(regions)
+        window = self.profile.revisit_window
+        take_recent = rng.random(n) < prob
+        # Geometric preference for the most recent entries of the pool.
+        depth = np.minimum(rng.geometric(0.35, size=n) - 1, window - 1)
+        # A dwell sometimes *advances* to the next region of the cluster
+        # (sequential scanning through a structure) instead of repeating
+        # the same region — the source of >512 B spatial locality.
+        advance = rng.random(n) < 0.5
+        out = regions.copy()
+        pool = self._recent_regions
+        last_region = _CLUSTER_REGIONS - 1
+        for i in range(n):
+            if take_recent[i] and pool:
+                j = min(int(depth[i]), len(pool) - 1)
+                region = pool[j]
+                if advance[i] and (region % _CLUSTER_REGIONS) != last_region:
+                    region += 1
+                    pool[j] = region
+                out[i] = region
+            else:
+                pool.insert(0, int(out[i]))
+                del pool[window:]
+        return out
+
+    def _generate_chunk(self, target: int) -> TraceChunk:
+        rng = self._rng
+        mean_burst = self.profile.burst_len
+        # Enough visits to cover the target at the expected burst length.
+        n_visits = max(8, int(target / mean_burst * 1.3) + 4)
+
+        ranks = np.searchsorted(self._rank_cdf, rng.random(n_visits))
+        regions = self._ranks_to_regions(ranks)
+        regions = self._apply_revisit_locality(regions)
+        util = self._region_util[regions].astype(np.int64)  # k in 1..8
+        offsets = self._region_offset[regions].astype(np.int64)
+
+        # Geometric burst lengths (mean ~ burst_len), capped at one sweep
+        # of the region's used sub-blocks: a visit never touches more
+        # distinct data than the region's mask holds, so low-utilization
+        # (pointer-chasing) regions are touched one or two sub-blocks per
+        # visit — their reuse is temporal, across visits, not spatial.
+        p = min(1.0, 1.0 / mean_burst)
+        bursts = rng.geometric(p, size=n_visits).astype(np.int64)
+        bursts = np.minimum(bursts, util)
+        # Dense regions are touched by streaming passes: most visits
+        # sweep the whole mask in one go (a memcpy/array pass does not
+        # stop mid-line), which is what pushes their residency-lifetime
+        # utilization to 8/8 (Figure 2's dense end).
+        full_sweep = (util >= 5) & (rng.random(n_visits) < 0.85)
+        bursts = np.where(full_sweep, util, bursts)
+        # Sticky start point with utilization-dependent rotation. A
+        # region with a single used sub-block can only repeat it, and the
+        # LLSC upstream absorbs most exact repeats — so multi-sub-block
+        # regions are revisited at *varying* offsets (rotation ~0.5),
+        # which is what makes 64 B blocks miss on data that 512 B blocks
+        # cover. Single-sub-block regions keep the pointer-chasing
+        # stickiness that makes small blocks viable.
+        rotate_prob = np.where(util >= 2, 0.5, 0.05)
+        rotate = rng.random(n_visits) < rotate_prob
+        fresh = (rng.random(n_visits) * util).astype(np.int64)
+        if rotate.any():
+            self._region_hot[regions[rotate]] = fresh[rotate].astype(np.uint8)
+        starts = self._region_hot[regions].astype(np.int64) % util
+        # The visit pointer advances by the burst it consumed, so dense
+        # regions stream through their whole mask over a few visits
+        # (full utilization), while one-sub-block visits stay sticky.
+        self._region_hot[regions] = ((starts + bursts) % util).astype(np.uint8)
+
+        total = int(bursts.sum())
+        visit_of = np.repeat(np.arange(n_visits), bursts)
+        j = np.arange(total) - np.repeat(np.cumsum(bursts) - bursts, bursts)
+
+        k = util[visit_of]
+        sub = (offsets[visit_of] + (starts[visit_of] + j) % k) % _SUB_BLOCKS
+        addr = (
+            np.uint64(self.base_address)
+            + regions[visit_of].astype(np.uint64) * np.uint64(_REGION_BYTES)
+            + sub.astype(np.uint64) * np.uint64(64)
+        )
+
+        if total > target:
+            addr = addr[:target]
+            total = target
+
+        writes = rng.random(total) < self.profile.write_frac
+        mean_gap = 1000.0 / self.profile.intensity_apki
+        gaps = rng.geometric(min(1.0, 1.0 / mean_gap), size=total).astype(np.uint32)
+        return TraceChunk(addresses=addr, is_write=writes, icount=gaps)
+
+    # ------------------------------------------------------------------
+    def footprint_bytes(self) -> int:
+        """Upper bound of distinct bytes this instance can touch."""
+        return int(self._region_util.sum()) * 64
+
+    def region_utilization_histogram(self) -> dict[int, float]:
+        """Ground-truth utilization distribution over regions."""
+        values, counts = np.unique(self._region_util, return_counts=True)
+        total = counts.sum()
+        return {int(v): float(c / total) for v, c in zip(values, counts)}

@@ -1,0 +1,114 @@
+"""Multiprogrammed trace assembly.
+
+Per-core :class:`~repro.workloads.generator.ProgramTrace` streams are
+merged into one interleaved stream ordered by *instruction time*: each
+core advances its own instruction counter by the per-access gaps, and the
+merged stream emits the globally earliest next access. This reproduces
+how a multiprogrammed workload presents interleaved demand to a shared
+DRAM cache without needing the timing model (which consumes the merged
+stream downstream and applies real cycle times).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from collections.abc import Iterator
+
+from repro.workloads.generator import ProgramTrace, TraceChunk
+from repro.workloads.mixes import WorkloadMix
+
+__all__ = ["TraceRecord", "MultiProgramTrace", "CORE_ADDRESS_STRIDE"]
+
+# Each core owns a disjoint 64 GB slice of the physical address space.
+CORE_ADDRESS_STRIDE = 1 << 36
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One interleaved access."""
+
+    core: int
+    address: int
+    is_write: bool
+    icount: int  # instructions on this core since its previous access
+
+
+class _CoreStream:
+    """Buffered per-core iterator over chunked trace generation."""
+
+    def __init__(self, core: int, trace: ProgramTrace, accesses: int) -> None:
+        self.core = core
+        self._iter = trace.chunks(accesses)
+        self._chunk: TraceChunk | None = None
+        self._pos = 0
+        self.instr_time = 0
+
+    def next_record(self) -> TraceRecord | None:
+        if self._chunk is None or self._pos >= len(self._chunk):
+            try:
+                self._chunk = next(self._iter)
+            except StopIteration:
+                return None
+            self._pos = 0
+        i = self._pos
+        self._pos += 1
+        gap = int(self._chunk.icount[i])
+        self.instr_time += gap
+        return TraceRecord(
+            core=self.core,
+            address=int(self._chunk.addresses[i]),
+            is_write=bool(self._chunk.is_write[i]),
+            icount=gap,
+        )
+
+
+class MultiProgramTrace:
+    """Instruction-time-ordered merge of a mix's per-core streams."""
+
+    def __init__(
+        self,
+        mix: WorkloadMix,
+        *,
+        accesses_per_core: int,
+        seed: int = 1,
+        footprint_scale: float = 1.0,
+        intensity_scale: float = 1.0,
+    ) -> None:
+        if accesses_per_core < 1:
+            raise ValueError("accesses_per_core must be >= 1")
+        scaled = mix.scaled(footprint_scale) if footprint_scale != 1.0 else mix
+        scaled = scaled.with_intensity_scale(intensity_scale)
+        self.mix = scaled
+        self.accesses_per_core = accesses_per_core
+        self.traces = [
+            ProgramTrace(
+                profile,
+                seed=seed + core,
+                base_address=core * CORE_ADDRESS_STRIDE,
+            )
+            for core, profile in enumerate(scaled.programs)
+        ]
+        self._streams = [
+            _CoreStream(core, trace, accesses_per_core)
+            for core, trace in enumerate(self.traces)
+        ]
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        """Yield records ordered by per-core instruction time."""
+        heap: list[tuple[int, int, TraceRecord]] = []
+        for stream in self._streams:
+            record = stream.next_record()
+            if record is not None:
+                heapq.heappush(heap, (stream.instr_time, stream.core, record))
+        while heap:
+            _, core, record = heapq.heappop(heap)
+            yield record
+            stream = self._streams[core]
+            nxt = stream.next_record()
+            if nxt is not None:
+                heapq.heappush(heap, (stream.instr_time, core, nxt))
+
+    @property
+    def total_accesses(self) -> int:
+        return self.accesses_per_core * len(self.traces)

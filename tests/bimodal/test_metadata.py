@@ -1,0 +1,98 @@
+"""Metadata layout tests (Figure 4 organization)."""
+
+import pytest
+
+from repro.bimodal.metadata import MetadataLayout
+
+
+@pytest.fixture
+def layout():
+    return MetadataLayout(
+        num_sets=4096, channels=2, banks_per_channel=8, page_size=2048
+    )
+
+
+class TestSeparateMode:
+    def test_bank0_reserved_for_metadata(self, layout):
+        for s in range(256):
+            _, bank, _ = layout.data_location(s)
+            assert bank != 0
+
+    def test_metadata_lives_on_other_channel(self, layout):
+        """Fig. 4: tags for channel c's data sit in channel (c+1) % C, so
+        tag and data accesses can proceed concurrently."""
+        for s in range(256):
+            data_ch, _, _ = layout.data_location(s)
+            meta_ch, meta_bank, _ = layout.metadata_location(s)
+            assert meta_ch == (data_ch + 1) % 2
+            assert meta_bank == 0
+
+    def test_metadata_density(self, layout):
+        """16 sets of metadata share one 2 KB page (the RBH advantage)."""
+        assert layout.sets_per_metadata_page == 16
+        rows = {layout.metadata_location(s)[2] for s in range(0, 64, 2)}
+        # 32 same-channel sets -> 2 metadata rows
+        assert len(rows) == 2
+
+    def test_data_rows_distinct_per_set(self, layout):
+        locations = {layout.data_location(s) for s in range(4096)}
+        assert len(locations) == 4096  # one page per set
+
+    def test_metadata_bursts(self, layout):
+        assert layout.metadata_bursts == 2  # 18 tags -> 2 x 64B
+
+    def test_4kb_sets_need_three_bursts(self):
+        layout = MetadataLayout(
+            num_sets=2048,
+            channels=2,
+            banks_per_channel=8,
+            page_size=2048,
+            meta_bytes_per_set=192,
+        )
+        assert layout.metadata_bursts == 3
+
+
+class TestColocatedMode:
+    def test_metadata_equals_data_location(self):
+        layout = MetadataLayout(
+            num_sets=4096, channels=2, banks_per_channel=8, colocated=True
+        )
+        for s in range(128):
+            assert layout.metadata_location(s) == layout.data_location(s)
+
+    def test_colocated_uses_all_banks(self):
+        layout = MetadataLayout(
+            num_sets=4096, channels=2, banks_per_channel=8, colocated=True
+        )
+        banks = {layout.data_location(s)[1] for s in range(256)}
+        assert banks == set(range(8))
+
+    def test_colocated_density_is_one_set_per_page(self):
+        """The co-located organization offers no metadata packing: each
+        set's tags live in its own data row (motivates Figure 9b)."""
+        layout = MetadataLayout(
+            num_sets=4096, channels=2, banks_per_channel=8, colocated=True
+        )
+        rows = {layout.metadata_location(s) for s in range(64)}
+        assert len(rows) == 64
+
+
+class TestValidation:
+    def test_needs_two_banks(self):
+        with pytest.raises(ValueError):
+            MetadataLayout(num_sets=16, channels=1, banks_per_channel=1)
+
+    def test_metadata_at_least_one_burst(self):
+        with pytest.raises(ValueError):
+            MetadataLayout(
+                num_sets=16, channels=1, banks_per_channel=4, meta_bytes_per_set=32
+            )
+
+    def test_single_channel_separate_mode(self):
+        """With one channel, metadata falls back to the same channel's
+        reserved bank (still a dedicated bank)."""
+        layout = MetadataLayout(num_sets=64, channels=1, banks_per_channel=4)
+        ch, bank, _ = layout.metadata_location(5)
+        assert ch == 0
+        assert bank == 0
+        assert layout.data_location(5)[1] != 0

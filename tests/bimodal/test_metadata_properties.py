@@ -1,0 +1,76 @@
+"""Property tests for the metadata/data placement (Figure 4)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bimodal.metadata import MetadataLayout
+
+
+layouts = st.builds(
+    MetadataLayout,
+    num_sets=st.sampled_from([512, 1024, 4096]),
+    channels=st.sampled_from([1, 2, 4]),
+    banks_per_channel=st.sampled_from([4, 8, 16]),
+    page_size=st.just(2048),
+    meta_bytes_per_set=st.sampled_from([64, 128, 192]),
+    colocated=st.booleans(),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(layout=layouts, set_index=st.integers(min_value=0, max_value=4095))
+def test_locations_are_always_in_range(layout, set_index):
+    set_index %= layout.num_sets
+    for channel, bank, row in (
+        layout.data_location(set_index),
+        layout.metadata_location(set_index),
+    ):
+        assert 0 <= channel < layout.channels
+        assert 0 <= bank < layout.banks_per_channel
+        assert row >= 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(layout=layouts)
+def test_data_placement_is_injective(layout):
+    """No two sets share a data page."""
+    n = min(layout.num_sets, 1024)
+    locations = {layout.data_location(s) for s in range(n)}
+    assert len(locations) == n
+
+
+@settings(max_examples=40, deadline=None)
+@given(layout=layouts)
+def test_separate_mode_reserves_bank_zero(layout):
+    if layout.colocated:
+        return
+    n = min(layout.num_sets, 512)
+    for s in range(n):
+        assert layout.data_location(s)[1] != 0
+        assert layout.metadata_location(s)[1] == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(layout=layouts)
+def test_metadata_density(layout):
+    """Exactly sets_per_metadata_page sets share each metadata row."""
+    if layout.colocated:
+        return
+    per_page = layout.sets_per_metadata_page
+    n = min(layout.num_sets, 1024)
+    from collections import Counter
+
+    rows = Counter(layout.metadata_location(s) for s in range(n))
+    assert max(rows.values()) <= per_page
+
+
+@settings(max_examples=40, deadline=None)
+@given(layout=layouts, set_index=st.integers(0, 4095))
+def test_concurrency_guarantee(layout, set_index):
+    """Separate mode: a set's tag read and data activation never target
+    the same bank (the parallel tag+data requirement)."""
+    if layout.colocated:
+        return
+    set_index %= layout.num_sets
+    data = layout.data_location(set_index)
+    meta = layout.metadata_location(set_index)
+    assert (data[0], data[1]) != (meta[0], meta[1])

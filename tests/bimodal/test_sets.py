@@ -1,0 +1,244 @@
+"""Bi-modal set tests: (X, Y) states, Table II actions, invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bimodal.sets import (
+    SMALLS_PER_BIG,
+    BigBlock,
+    BiModalSet,
+    SmallBlock,
+    allowed_states,
+)
+
+
+def chooser_first(candidates, protected):
+    """Deterministic victim chooser for tests: lowest unprotected way."""
+    pool = [w for w in candidates if w not in protected] or list(candidates)
+    return pool[0]
+
+
+class TestAllowedStates:
+    def test_2kb_states(self):
+        assert allowed_states(2048, 512) == ((4, 0), (3, 8), (2, 16))
+
+    def test_4kb_states(self):
+        assert allowed_states(4096, 512) == (
+            (8, 0),
+            (7, 8),
+            (6, 16),
+            (5, 24),
+            (4, 32),
+        )
+
+    def test_2kb_256b_states(self):
+        states = allowed_states(2048, 256)
+        assert states[0] == (8, 0)
+        assert states[-1] == (4, 16)  # 4 converted ways x 4 smalls each
+
+    def test_too_small_set_rejected(self):
+        with pytest.raises(ValueError):
+            allowed_states(512, 512)
+
+
+class TestBlocks:
+    def test_big_block_touch(self):
+        b = BigBlock(tag=7)
+        b.touch(3, is_write=False)
+        b.touch(3, is_write=True)
+        b.touch(5, is_write=False)
+        assert b.utilization == 2
+        assert b.dirty_sub_blocks == 1
+
+    def test_small_block_fields(self):
+        s = SmallBlock(tag=7, sub_offset=5)
+        assert not s.dirty
+
+
+@pytest.fixture
+def bset():
+    return BiModalSet(allowed_states(2048, 512))
+
+
+class TestLookupAndMRU:
+    def test_initial_state_all_big(self, bset):
+        assert bset.state == (4, 0)
+        assert bset.associativity == 4
+
+    def test_allocate_and_find_big(self, bset):
+        way, evicted = bset.allocate_big(0xAB, chooser_first)
+        assert evicted == []
+        assert bset.find_big(0xAB) == way
+        assert bset.lookup(0xAB, 3) == (True, way)
+
+    def test_big_block_covers_all_sub_offsets(self, bset):
+        bset.allocate_big(0xAB, chooser_first)
+        for sub in range(8):
+            assert bset.lookup(0xAB, sub) is not None
+
+    def test_small_block_requires_offset_match(self, bset):
+        bset.grow_small()
+        way, _ = bset.allocate_small(0xCD, 3, chooser_first)
+        assert bset.lookup(0xCD, 3) == (False, way)
+        assert bset.lookup(0xCD, 4) is None
+
+    def test_mru_tracks_top2(self, bset):
+        bset.touch_mru(True, 0)
+        bset.touch_mru(True, 1)
+        bset.touch_mru(True, 2)
+        assert bset.mru_ways() == {(True, 1), (True, 2)}
+
+    def test_mru_promotion(self, bset):
+        bset.touch_mru(True, 0)
+        bset.touch_mru(True, 1)
+        bset.touch_mru(True, 0)
+        assert (True, 0) in bset.mru_ways()
+
+
+class TestStateTransitions:
+    def test_grow_small_converts_highest_way(self, bset):
+        for tag in range(4):
+            bset.allocate_big(tag, chooser_first)
+        evicted = bset.grow_small()
+        assert bset.state == (3, 8)
+        assert len(bset.big_ways) == 3
+        assert len(bset.small_ways) == 8
+        assert len(evicted) == 1
+        assert evicted[0].way == 3  # highest-numbered big way
+
+    def test_grow_small_empty_way_no_eviction(self, bset):
+        assert bset.grow_small() == []
+
+    def test_grow_big_evicts_highest_smalls(self, bset):
+        bset.grow_small()
+        bset.grow_small()
+        assert bset.state == (2, 16)
+        for i in range(16):
+            bset.allocate_small(i, 0, chooser_first)
+        evicted = bset.grow_big()
+        assert bset.state == (3, 8)
+        assert len(evicted) == SMALLS_PER_BIG
+        assert {e.way for e in evicted} == set(range(8, 16))
+
+    def test_cannot_grow_past_bounds(self, bset):
+        bset.grow_small()
+        bset.grow_small()
+        with pytest.raises(RuntimeError):
+            bset.grow_small()
+        bset.grow_big()
+        bset.grow_big()
+        with pytest.raises(RuntimeError):
+            bset.grow_big()
+
+    def test_grow_small_eviction_reports_waste(self, bset):
+        way, _ = bset.allocate_big(9, chooser_first)
+        bset.big_ways[3] = bset.big_ways[way]
+        bset.big_ways[way] = None
+        bset.big_ways[3].touch(0, is_write=True)
+        evicted = bset.grow_small()
+        assert evicted[0].utilization == 1
+        assert evicted[0].unused_sub_blocks == 7
+        assert evicted[0].dirty_bursts == 1
+
+
+class TestReplacement:
+    def test_big_replacement_prefers_empty(self, bset):
+        bset.allocate_big(1, chooser_first)
+        way, evicted = bset.allocate_big(2, chooser_first)
+        assert evicted == []
+        assert way != bset.find_big(1)
+
+    def test_full_set_evicts(self, bset):
+        for tag in range(4):
+            bset.allocate_big(tag, chooser_first)
+        way, evicted = bset.allocate_big(99, chooser_first)
+        assert len(evicted) == 1
+        assert bset.find_big(99) == way
+        assert bset.find_big(evicted[0].tag) is None
+
+    def test_replacement_protects_mru(self, bset):
+        for tag in range(4):
+            bset.allocate_big(tag, chooser_first)
+        bset.touch_mru(True, 0)
+        bset.touch_mru(True, 1)
+        _, evicted = bset.allocate_big(99, chooser_first)
+        assert evicted[0].way not in (0, 1)
+
+    def test_small_eviction_reports_offset(self, bset):
+        bset.grow_small()
+        bset.grow_small()
+        for i in range(16):
+            bset.allocate_small(100 + i, i % 8, chooser_first)
+        _, evicted = bset.allocate_small(999, 0, chooser_first)
+        assert len(evicted) == 1
+        assert evicted[0].big is False
+        assert 0 <= evicted[0].sub_offset < 8
+
+    def test_eviction_drops_mru_entry(self, bset):
+        for tag in range(4):
+            bset.allocate_big(tag, chooser_first)
+        bset.touch_mru(True, 2)
+        bset._evict_big_way(2)
+        assert (True, 2) not in bset.mru_ways()
+
+
+class TestCapacityAccounting:
+    def test_resident_bytes(self, bset):
+        bset.allocate_big(1, chooser_first)
+        bset.grow_small()
+        bset.allocate_small(2, 0, chooser_first)
+        assert bset.resident_bytes() == 512 + 64
+
+    def test_used_bytes(self, bset):
+        way, _ = bset.allocate_big(1, chooser_first)
+        bset.big_ways[way].touch(0, is_write=False)
+        bset.big_ways[way].touch(1, is_write=False)
+        assert bset.used_bytes() == 128
+
+    def test_state_capacity_constant(self, bset):
+        """Every legal state commits exactly the set size in data."""
+        for _ in range(3):
+            x, y = bset.state
+            assert x * 512 + y * 64 == 2048
+            if bset.state_rank() < 2:
+                bset.grow_small()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("big"), st.integers(0, 30)),
+            st.tuples(st.just("small"), st.integers(0, 30)),
+            st.tuples(st.just("grow_small"), st.just(0)),
+            st.tuples(st.just("grow_big"), st.just(0)),
+        ),
+        max_size=60,
+    )
+)
+def test_invariants_under_random_operations(ops):
+    """Way-list lengths always match the state; no duplicate tags."""
+    bset = BiModalSet(allowed_states(2048, 512))
+    for op, arg in ops:
+        if op == "big":
+            bset.allocate_big(arg, chooser_first)
+        elif op == "small":
+            if bset.y > 0:
+                bset.allocate_small(arg, arg % 8, chooser_first)
+        elif op == "grow_small" and bset.state_rank() < 2:
+            bset.grow_small()
+        elif op == "grow_big" and bset.state_rank() > 0:
+            bset.grow_big()
+        x, y = bset.state
+        assert len(bset.big_ways) == x
+        assert len(bset.small_ways) == y
+        assert x * 512 + y * 64 == 2048
+        big_tags = [b.tag for b in bset.big_ways if b is not None]
+        assert len(big_tags) == len(set(big_tags))
+        small_keys = [
+            (b.tag, b.sub_offset) for b in bset.small_ways if b is not None
+        ]
+        assert len(small_keys) == len(set(small_keys))
+        for is_big, way in bset.mru_ways():
+            ways = bset.big_ways if is_big else bset.small_ways
+            assert way < len(ways)

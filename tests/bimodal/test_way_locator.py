@@ -1,0 +1,130 @@
+"""Way locator tests, including the never-mispredicts property."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bimodal.way_locator import WayLocator
+
+
+@pytest.fixture
+def locator():
+    return WayLocator(8, address_bits=32, set_index_bits=12, offset_bits=9)
+
+
+class TestLookupInsert:
+    def test_miss_then_hit(self, locator):
+        assert locator.lookup(5, 0x77, 3) is None
+        locator.insert(5, 0x77, 3, is_big=True, way=2)
+        assert locator.lookup(5, 0x77, 0) == (True, 2)
+
+    def test_big_entry_matches_any_offset(self, locator):
+        locator.insert(5, 0x77, 0, is_big=True, way=2)
+        for sub in range(8):
+            assert locator.lookup(5, 0x77, sub) == (True, 2)
+
+    def test_small_entry_requires_offset(self, locator):
+        locator.insert(5, 0x77, 3, is_big=False, way=9)
+        assert locator.lookup(5, 0x77, 3) == (False, 9)
+        assert locator.lookup(5, 0x77, 4) is None
+
+    def test_distinct_small_offsets_coexist(self, locator):
+        locator.insert(5, 0x77, 3, is_big=False, way=9)
+        locator.insert(5, 0x77, 4, is_big=False, way=10)
+        assert locator.lookup(5, 0x77, 3) == (False, 9)
+        assert locator.lookup(5, 0x77, 4) == (False, 10)
+
+    def test_update_existing_entry_way(self, locator):
+        locator.insert(5, 0x77, 0, is_big=True, way=1)
+        locator.insert(5, 0x77, 0, is_big=True, way=3)
+        assert locator.lookup(5, 0x77, 0) == (True, 3)
+        assert locator.occupancy() == 1
+
+    def test_two_way_lru_replacement(self, locator):
+        # Three keys colliding on one index: same set, different tags
+        # that share the low index bits.
+        step = 1 << locator.index_bits
+        keys = [(1, t) for t in (0, step >> locator.set_index_bits or 1, 2 * (step >> locator.set_index_bits or 1))]
+        # simpler: vary set index by full table size so index collides
+        locator2 = WayLocator(4, address_bits=32, set_index_bits=12, offset_bits=9)
+        s0, s1, s2 = 3, 3 + 16, 3 + 32  # same low-4 index bits
+        locator2.insert(s0, 0, 0, is_big=True, way=0)
+        locator2.insert(s1, 0, 0, is_big=True, way=1)
+        locator2.lookup(s0, 0, 0)  # refresh s0
+        locator2.insert(s2, 0, 0, is_big=True, way=2)  # evicts s1 (LRU)
+        assert locator2.lookup(s0, 0, 0) is not None
+        assert locator2.lookup(s1, 0, 0) is None
+        assert locator2.lookup(s2, 0, 0) is not None
+
+
+class TestInvalidate:
+    def test_invalidate_on_eviction(self, locator):
+        locator.insert(5, 0x77, 0, is_big=True, way=2)
+        assert locator.invalidate(5, 0x77, 0, is_big=True)
+        assert locator.lookup(5, 0x77, 0) is None
+
+    def test_invalidate_small_needs_offset(self, locator):
+        locator.insert(5, 0x77, 3, is_big=False, way=9)
+        assert not locator.invalidate(5, 0x77, 4, is_big=False)
+        assert locator.invalidate(5, 0x77, 3, is_big=False)
+
+    def test_invalidate_absent_is_noop(self, locator):
+        assert not locator.invalidate(5, 0x77, 0, is_big=True)
+
+
+class TestStatsAndStorage:
+    def test_hit_rate(self, locator):
+        locator.lookup(1, 1, 0)
+        locator.insert(1, 1, 0, is_big=True, way=0)
+        locator.lookup(1, 1, 0)
+        assert locator.hit_rate == pytest.approx(0.5)
+
+    def test_storage_and_latency(self):
+        loc = WayLocator(14, address_bits=32, set_index_bits=16, offset_bits=9)
+        assert loc.storage_bytes == pytest.approx(77.8 * 1024, rel=0.15)
+        assert loc.latency_cycles == 1
+        assert loc.num_entries == 2 << 14
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WayLocator(0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "invalidate", "lookup"]),
+            st.integers(0, 63),  # set index
+            st.integers(0, 15),  # tag
+            st.integers(0, 7),  # sub offset
+            st.booleans(),  # is_big
+            st.integers(0, 17),  # way
+        ),
+        max_size=200,
+    )
+)
+def test_never_wrong_property(ops):
+    """The locator never returns stale information.
+
+    Model: a dict of live blocks. Any locator hit must agree with the
+    model (the insert/invalidate discipline guarantees it); misses are
+    always allowed (it is a cache of way information).
+    """
+    locator = WayLocator(5, address_bits=28, set_index_bits=8, offset_bits=9)
+    live: dict[tuple, tuple] = {}
+    for op, set_index, tag, sub, is_big, way in ops:
+        key = (set_index, tag, is_big, 0 if is_big else sub)
+        if op == "insert":
+            # inserting implies the block exists in the cache
+            live[key] = (is_big, way)
+            locator.insert(set_index, tag, sub, is_big=is_big, way=way)
+        elif op == "invalidate":
+            live.pop(key, None)
+            locator.invalidate(set_index, tag, sub, is_big=is_big)
+        else:
+            result = locator.lookup(set_index, tag, sub)
+            if result is not None:
+                found_big, found_way = result
+                model_key = (set_index, tag, found_big, 0 if found_big else sub)
+                assert model_key in live
+                assert live[model_key] == (found_big, found_way)

@@ -1,0 +1,126 @@
+"""Unit + property tests for address field manipulation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.addressing import (
+    SUB_BLOCK_SIZE,
+    AddressMap,
+    align_down,
+    is_power_of_two,
+    log2_int,
+    sub_block_index,
+)
+
+
+class TestPowerOfTwoHelpers:
+    def test_is_power_of_two_accepts_powers(self):
+        for exp in range(0, 40):
+            assert is_power_of_two(1 << exp)
+
+    def test_is_power_of_two_rejects_non_powers(self):
+        for value in (0, -1, -2, 3, 5, 6, 7, 9, 100, 513):
+            assert not is_power_of_two(value)
+
+    def test_log2_int_exact(self):
+        assert log2_int(1) == 0
+        assert log2_int(512) == 9
+        assert log2_int(1 << 30) == 30
+
+    def test_log2_int_rejects_non_powers(self):
+        with pytest.raises(ValueError):
+            log2_int(3)
+        with pytest.raises(ValueError):
+            log2_int(0)
+
+    def test_align_down(self):
+        assert align_down(0x12345, 512) == 0x12200
+        assert align_down(511, 512) == 0
+        assert align_down(512, 512) == 512
+
+    def test_sub_block_index(self):
+        assert sub_block_index(0, 512) == 0
+        assert sub_block_index(64, 512) == 1
+        assert sub_block_index(448, 512) == 7
+        assert sub_block_index(512 + 64, 512) == 1
+
+
+@pytest.fixture
+def paper_map() -> AddressMap:
+    """128 MB cache, 2 KB sets, 512 B big blocks — Table IV 4-core."""
+    return AddressMap(cache_size=128 << 20, set_size=2048, block_size=512)
+
+
+class TestAddressMap:
+    def test_paper_geometry(self, paper_map):
+        assert paper_map.num_sets == 64 * 1024
+        assert paper_map.set_index_bits == 16
+        assert paper_map.offset_bits == 9
+        assert paper_map.tag_bits == 40 - 16 - 9
+        assert paper_map.small_extra_bits == 3
+
+    def test_field_extraction(self, paper_map):
+        address = (0x5A << 25) | (0x1234 << 9) | 0x1C5
+        assert paper_map.tag(address) == 0x5A
+        assert paper_map.set_index(address) == 0x1234
+        assert paper_map.sub_block(address) == 0x1C5 >> 6
+
+    def test_small_tag_distinguishes_sub_blocks(self, paper_map):
+        base = 0x123400
+        tags = {paper_map.small_tag(base + 64 * i) for i in range(8)}
+        assert len(tags) == 8
+
+    def test_block_address_alignment(self, paper_map):
+        assert paper_map.block_address(0x12345) % 512 == 0
+
+    def test_sub_blocks_per_block(self, paper_map):
+        assert paper_map.sub_blocks_per_block() == 8
+
+    def test_validation_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            AddressMap(cache_size=100, set_size=2048, block_size=512)
+        with pytest.raises(ValueError):
+            AddressMap(cache_size=1 << 20, set_size=2048, block_size=32)
+        with pytest.raises(ValueError):
+            AddressMap(cache_size=1 << 20, set_size=512, block_size=2048)
+        with pytest.raises(ValueError):
+            AddressMap(cache_size=1024, set_size=2048, block_size=512)
+
+
+@given(
+    tag=st.integers(min_value=0, max_value=(1 << 15) - 1),
+    set_index=st.integers(min_value=0, max_value=(1 << 16) - 1),
+    sub=st.integers(min_value=0, max_value=7),
+)
+def test_rebuild_roundtrip(tag, set_index, sub):
+    """rebuild() is the exact inverse of the (tag, set, sub) split."""
+    am = AddressMap(cache_size=128 << 20, set_size=2048, block_size=512)
+    address = am.rebuild(tag, set_index, sub)
+    assert am.tag(address) == tag
+    assert am.set_index(address) == set_index
+    assert am.sub_block(address) == sub
+    assert address % SUB_BLOCK_SIZE == 0
+
+
+@given(address=st.integers(min_value=0, max_value=(1 << 40) - 1))
+def test_split_covers_address(address):
+    """Any address decomposes into consistent fields."""
+    am = AddressMap(cache_size=64 << 20, set_size=2048, block_size=512)
+    rebuilt = am.rebuild(am.tag(address), am.set_index(address), am.sub_block(address))
+    assert rebuilt == align_down(address, SUB_BLOCK_SIZE)
+
+
+@given(
+    cache_exp=st.integers(min_value=21, max_value=30),
+    set_exp=st.sampled_from([11, 12]),
+    block_exp=st.sampled_from([8, 9, 10]),
+)
+def test_geometry_identities(cache_exp, set_exp, block_exp):
+    """Set/tag/offset bit widths always partition the address."""
+    if block_exp > set_exp:
+        return
+    am = AddressMap(
+        cache_size=1 << cache_exp, set_size=1 << set_exp, block_size=1 << block_exp
+    )
+    assert am.offset_bits + am.set_index_bits + am.tag_bits == am.address_bits
+    assert am.num_sets * am.set_size == am.cache_size

@@ -1,0 +1,82 @@
+"""Tests for the CACTI latency staircase and Table III formulas."""
+
+import pytest
+
+from repro.common.tables import (
+    PAPER_TABLE3_LATENCY_CYCLES,
+    PAPER_TABLE3_STORAGE_KB,
+    TAG_STORE_LATENCY,
+    sram_latency_cycles,
+    way_locator_entry_bits,
+    way_locator_storage_bytes,
+)
+
+
+class TestSRAMStaircase:
+    def test_anchored_on_paper_points(self):
+        # Way locator sizes from Table III: 1-2 cycles
+        assert sram_latency_cycles(int(77.8 * 1024)) == 1
+        assert sram_latency_cycles(int(294.9 * 1024)) == 2
+        # Tag stores from Section III-C2: 6/7/9 cycles
+        assert sram_latency_cycles(1 << 20) == 6
+        assert sram_latency_cycles(2 << 20) == 7
+        assert sram_latency_cycles(4 << 20) == 9
+
+    def test_monotone(self):
+        sizes = [1 << e for e in range(6, 24)]
+        latencies = [sram_latency_cycles(s) for s in sizes]
+        assert latencies == sorted(latencies)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            sram_latency_cycles(0)
+
+    def test_huge_structures_capped(self):
+        assert sram_latency_cycles(1 << 30) == 13
+
+
+class TestWayLocatorStorage:
+    def test_entry_bits_figure6(self):
+        # 128MB cache / 4GB memory: 32-bit addresses, 16 set bits,
+        # 9 offset bits, K=14: valid+size+(23-14)+3+5 = 19 bits
+        bits = way_locator_entry_bits(32, 16, 9, 14, max_ways=18)
+        assert bits == 1 + 1 + (16 + 7 - 14) + 3 + 5
+
+    def test_storage_tracks_paper_within_tolerance(self):
+        # Model vs published Table III: the paper's numbers follow the
+        # same formula modulo rounding of the way-id field; stay within
+        # 15% everywhere.
+        configs = {(128, 4): (32, 16), (256, 8): (33, 17), (512, 16): (34, 18)}
+        for k, table in PAPER_TABLE3_STORAGE_KB.items():
+            for (cache_mb, mem_gb), paper_kb in table.items():
+                addr_bits, set_bits = configs[(cache_mb, mem_gb)]
+                model_kb = (
+                    way_locator_storage_bytes(addr_bits, set_bits, 9, k) / 1024.0
+                )
+                assert model_kb == pytest.approx(paper_kb, rel=0.15), (
+                    k,
+                    cache_mb,
+                )
+
+    def test_latency_matches_paper(self):
+        configs = {(128, 4): (32, 16), (256, 8): (33, 17), (512, 16): (34, 18)}
+        for k, cycles in PAPER_TABLE3_LATENCY_CYCLES.items():
+            for (cache_mb, mem_gb), (addr_bits, set_bits) in configs.items():
+                size = way_locator_storage_bytes(addr_bits, set_bits, 9, k)
+                assert sram_latency_cycles(int(size)) == cycles
+
+    def test_storage_grows_with_k(self):
+        sizes = [way_locator_storage_bytes(32, 16, 9, k) for k in (10, 12, 14, 16)]
+        assert sizes == sorted(sizes)
+        # 4x entries per +2 K bits, slightly less than 4x bytes (fewer
+        # remaining bits per entry).
+        assert 3.0 < sizes[1] / sizes[0] <= 4.0
+
+    def test_rejects_too_wide_index(self):
+        with pytest.raises(ValueError):
+            way_locator_entry_bits(32, 16, 9, 40)
+
+
+def test_tag_store_latency_table():
+    assert TAG_STORE_LATENCY[1 << 20] == 6
+    assert TAG_STORE_LATENCY[4 << 20] == 9

@@ -1,0 +1,58 @@
+"""Interval core model tests."""
+
+import pytest
+
+from repro.common.config import CoreConfig
+from repro.cores.interval import IntervalCore
+
+
+@pytest.fixture
+def core():
+    return IntervalCore(0, CoreConfig(base_cpi=0.5, memory_level_parallelism=2.0))
+
+
+class TestProgress:
+    def test_compute_advances_by_cpi(self, core):
+        core.advance_compute(1000)
+        assert core.cycles == pytest.approx(500.0)
+        assert core.instructions == 1000
+
+    def test_read_stall_divided_by_mlp(self, core):
+        core.apply_read_stall(200.0)
+        assert core.cycles == pytest.approx(100.0)
+        assert core.memory_stall_cycles == pytest.approx(100.0)
+        assert core.reads == 1
+
+    def test_writes_do_not_stall(self, core):
+        core.note_write()
+        assert core.cycles == 0.0
+        assert core.writes == 1
+
+    def test_now_is_integer_cycles(self, core):
+        core.advance_compute(3)
+        assert isinstance(core.now, int)
+        assert core.now == 1
+
+
+class TestMetrics:
+    def test_cpi(self, core):
+        core.advance_compute(1000)
+        core.apply_read_stall(400.0)
+        assert core.cpi == pytest.approx((500.0 + 200.0) / 1000)
+
+    def test_cpi_empty(self, core):
+        assert core.cpi == 0.0
+
+    def test_stall_fraction(self, core):
+        core.advance_compute(1000)
+        core.apply_read_stall(1000.0)
+        assert core.stall_fraction == pytest.approx(0.5)
+
+    def test_memory_bound_core_is_slower(self):
+        fast = IntervalCore(0, CoreConfig())
+        slow = IntervalCore(1, CoreConfig())
+        for c in (fast, slow):
+            c.advance_compute(10_000)
+        for _ in range(100):
+            slow.apply_read_stall(300.0)
+        assert slow.cycles > fast.cycles

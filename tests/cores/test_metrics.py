@@ -1,0 +1,59 @@
+"""ANTT / weighted speedup metric tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cores.metrics import antt, improvement_percent, weighted_speedup
+
+
+class TestANTT:
+    def test_no_slowdown_gives_one(self):
+        assert antt([100, 200], [100, 200]) == pytest.approx(1.0)
+
+    def test_uniform_slowdown(self):
+        assert antt([200, 400], [100, 200]) == pytest.approx(2.0)
+
+    def test_mean_of_ratios(self):
+        # ratios 2.0 and 1.0 -> 1.5 (not total-cycles ratio)
+        assert antt([200, 200], [100, 200]) == pytest.approx(1.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            antt([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            antt([], [])
+        with pytest.raises(ValueError):
+            antt([1.0], [0.0])
+
+    @given(
+        st.lists(st.floats(1.0, 1e6), min_size=1, max_size=8),
+        st.floats(1.0, 4.0),
+    )
+    def test_scaling_property(self, standalone, factor):
+        """Scaling all multiprogrammed cycles scales ANTT linearly."""
+        mp = [s * factor for s in standalone]
+        assert antt(mp, standalone) == pytest.approx(factor)
+
+
+class TestWeightedSpeedup:
+    def test_equal_runs(self):
+        assert weighted_speedup([100, 100], [100, 100]) == pytest.approx(2.0)
+
+    def test_slowdown_reduces(self):
+        assert weighted_speedup([200, 200], [100, 100]) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([], [])
+
+
+class TestImprovement:
+    def test_reduction_is_positive(self):
+        assert improvement_percent(2.0, 1.8) == pytest.approx(10.0)
+
+    def test_regression_is_negative(self):
+        assert improvement_percent(1.0, 1.1) == pytest.approx(-10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            improvement_percent(0.0, 1.0)

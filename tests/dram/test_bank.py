@@ -1,0 +1,122 @@
+"""Bank state machine: row-buffer cases, anticipatory ACT, refresh."""
+
+import pytest
+
+from repro.common.config import DRAMTimingConfig
+from repro.dram.bank import Bank, RowOutcome
+
+
+@pytest.fixture
+def timings() -> DRAMTimingConfig:
+    return DRAMTimingConfig.stacked()
+
+
+@pytest.fixture
+def bank(timings) -> Bank:
+    return Bank(timings)
+
+
+class TestRowBufferCases:
+    def test_first_access_is_row_closed(self, bank, timings):
+        access = bank.access(row=5, now=0)
+        assert access.outcome is RowOutcome.CLOSED
+        assert access.core_latency == timings.trcd + timings.cl
+
+    def test_same_row_hits(self, bank, timings):
+        bank.access(row=5, now=0)
+        access = bank.access(row=5, now=1000)
+        assert access.outcome is RowOutcome.HIT
+        assert access.core_latency == timings.cl
+
+    def test_different_row_conflicts(self, bank, timings):
+        bank.access(row=5, now=0)
+        access = bank.access(row=6, now=1000)
+        assert access.outcome is RowOutcome.CONFLICT
+        assert access.core_latency == timings.trp + timings.trcd + timings.cl
+
+    def test_cas_commands_pipeline_at_tccd(self, bank, timings):
+        """Open-row accesses pipeline: back-to-back row hits issue tCCD
+        apart, well before the earlier access's data returns."""
+        bank.access(row=5, now=0)  # opens the row (CAS at tRCD)
+        first = bank.access(row=5, now=1000)
+        second = bank.access(row=5, now=1001)
+        assert second.issue_time == first.issue_time + timings.tccd
+        assert second.issue_time < first.data_ready
+
+    def test_rbh_accounting(self, bank):
+        bank.access(row=1, now=0)
+        bank.access(row=1, now=1000)
+        bank.access(row=2, now=2000)
+        assert bank.row_buffer.hits == 1
+        assert bank.row_buffer.misses == 2
+
+    def test_activation_precharge_counts(self, bank):
+        bank.access(row=1, now=0)  # ACT
+        bank.access(row=2, now=1000)  # PRE + ACT
+        assert bank.activations == 2
+        assert bank.precharges == 1
+
+
+class TestAnticipatoryActivate:
+    def test_activate_opens_row(self, bank, timings):
+        ready = bank.activate(row=7, now=0)
+        assert ready == timings.trcd
+        assert bank.open_row == 7
+
+    def test_activate_same_row_is_free(self, bank, timings):
+        bank.activate(row=7, now=0)
+        ready = bank.activate(row=7, now=timings.trcd + 5)
+        assert ready == timings.trcd + 5
+
+    def test_activate_conflicting_row_precharges(self, bank, timings):
+        bank.activate(row=7, now=0)
+        ready = bank.activate(row=8, now=1000)
+        assert ready == 1000 + timings.trp + timings.trcd
+        assert bank.precharges == 1
+
+    def test_column_after_activate(self, bank, timings):
+        bank.activate(row=7, now=0)
+        done = bank.column_access(now=timings.trcd)
+        assert done == timings.trcd + timings.cl
+
+    def test_column_access_requires_open_row(self, bank):
+        with pytest.raises(RuntimeError):
+            bank.column_access(now=0)
+
+    def test_access_after_activate_is_row_hit(self, bank):
+        bank.activate(row=7, now=0)
+        access = bank.access(row=7, now=100)
+        assert access.outcome is RowOutcome.HIT
+
+
+class TestRefresh:
+    def test_refresh_closes_row_without_stalling_idle_periods(self, timings):
+        bank = Bank(timings)
+        bank.access(row=3, now=0)
+        # Jump far past many refresh intervals: the access right after
+        # must not pay for all the refreshes that happened while idle.
+        later = timings.trefi * 100 + timings.trfc + 7
+        access = bank.access(row=3, now=later)
+        # Row was closed by refresh -> not a hit.
+        assert access.outcome is not RowOutcome.HIT
+        assert access.issue_time <= later + timings.trfc
+        assert bank.refreshes >= 100
+
+    def test_access_during_refresh_window_is_stalled(self, timings):
+        bank = Bank(timings)
+        # Land exactly at the start of the first refresh.
+        access = bank.access(row=1, now=timings.trefi)
+        assert access.issue_time == timings.trefi + timings.trfc
+
+    def test_refresh_offset_staggers(self, timings):
+        early = Bank(timings, refresh_offset=0)
+        late = Bank(timings, refresh_offset=500)
+        a = early.access(row=1, now=timings.trefi)
+        b = late.access(row=1, now=timings.trefi)
+        assert a.issue_time > b.issue_time
+
+    def test_reset_stats(self, bank):
+        bank.access(row=1, now=0)
+        bank.reset_stats()
+        assert bank.row_buffer.total == 0
+        assert bank.activations == 0

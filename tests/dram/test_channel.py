@@ -1,0 +1,97 @@
+"""Channel tests: bus serialization and multi-burst transfers."""
+
+import pytest
+
+from repro.common.config import DRAMGeometry, DRAMTimingConfig
+from repro.dram.channel import Channel, build_channels
+
+
+@pytest.fixture
+def timings():
+    return DRAMTimingConfig.stacked()
+
+
+@pytest.fixture
+def channel(timings):
+    return Channel(timings, num_banks=4)
+
+
+class TestBasicAccess:
+    def test_single_burst_latency(self, channel, timings):
+        access = channel.access(bank=0, row=1, now=0)
+        expected = timings.trcd + timings.cl + timings.burst_cycles
+        assert access.latency == expected
+        assert access.bursts == 1
+
+    def test_multi_burst_occupies_bus(self, channel, timings):
+        access = channel.access(bank=0, row=1, now=0, bursts=8)
+        assert access.data_end - access.data_start == 8 * timings.burst_cycles
+
+    def test_transfer_cycles_override(self, channel, timings):
+        access = channel.access(bank=0, row=1, now=0, transfer_cycles=5)
+        assert access.data_end - access.data_start == 5
+
+    def test_bursts_must_be_positive(self, channel):
+        with pytest.raises(ValueError):
+            channel.access(bank=0, row=1, now=0, bursts=0)
+
+
+class TestBusSerialization:
+    def test_bank_parallel_but_bus_serial(self, channel, timings):
+        """Two banks can overlap ACT/CAS but share the data bus."""
+        a = channel.access(bank=0, row=1, now=0)
+        b = channel.access(bank=1, row=1, now=0)
+        # Same issue time, same core latency, but b's transfer is pushed
+        # behind a's on the bus.
+        assert b.data_start >= a.data_end
+
+    def test_bus_busy_accounting(self, channel, timings):
+        channel.access(bank=0, row=1, now=0, bursts=2)
+        assert channel.bus_busy_cycles == 2 * timings.burst_cycles
+
+    def test_bus_idle_gap_not_counted(self, channel, timings):
+        channel.access(bank=0, row=1, now=0)
+        channel.access(bank=0, row=1, now=10_000)
+        assert channel.bus_busy_cycles == 2 * timings.burst_cycles
+
+
+class TestActivatePlusColumn:
+    def test_column_after_activate(self, channel, timings):
+        ready = channel.activate(bank=2, row=9, now=0)
+        access = channel.column_after_activate(bank=2, now=ready)
+        assert access.data_end == ready + timings.cl + timings.burst_cycles
+
+    def test_parallel_tag_data_pattern(self, channel, timings):
+        """The Bi-Modal locator-miss pattern: tag read on one bank while
+        the data row opens on another; data column issues after tags."""
+        tag = channel.access(bank=0, row=1, now=0, bursts=2)
+        channel.activate(bank=1, row=2, now=0)
+        data = channel.column_after_activate(bank=1, now=tag.data_end + 1)
+        # The data access pays only CAS + transfer after the tag check.
+        assert data.data_end - (tag.data_end + 1) <= timings.cl + 2 * timings.burst_cycles
+
+
+class TestRBH:
+    def test_row_buffer_hit_rate_aggregates_banks(self, channel):
+        channel.access(bank=0, row=1, now=0)
+        channel.access(bank=0, row=1, now=500)
+        channel.access(bank=1, row=2, now=1000)
+        assert channel.row_buffer_hit_rate() == pytest.approx(1 / 3)
+
+    def test_reset(self, channel):
+        channel.access(bank=0, row=1, now=0)
+        channel.reset_stats()
+        assert channel.row_buffer_hit_rate() == 0.0
+        assert channel.bus_busy_cycles == 0
+
+
+def test_build_channels():
+    geo = DRAMGeometry(channels=3, banks_per_channel=4, page_size=2048)
+    channels = build_channels(geo, DRAMTimingConfig.stacked())
+    assert len(channels) == 3
+    assert all(c.num_banks == 4 for c in channels)
+
+
+def test_channel_requires_banks():
+    with pytest.raises(ValueError):
+        Channel(DRAMTimingConfig.stacked(), num_banks=0)

@@ -1,0 +1,73 @@
+"""Memory controller tests: queueing window and latency accounting."""
+
+import pytest
+
+from repro.common.config import DRAMGeometry, DRAMTimingConfig
+from repro.dram.controller import MemoryController
+
+
+def make_controller(queue_depth=256):
+    geo = DRAMGeometry(channels=1, banks_per_channel=16, page_size=2048)
+    return MemoryController(geo, DRAMTimingConfig.ddr3_1600h(), queue_depth=queue_depth)
+
+
+class TestBasicOperation:
+    def test_read_latency_recorded(self):
+        mc = make_controller()
+        access = mc.read(0x4000, now=0)
+        assert access.latency > 0
+        assert mc.read_latency.count == 1
+        assert mc.reads == 1
+
+    def test_writes_counted_separately(self):
+        mc = make_controller()
+        mc.write(0x4000, now=0)
+        assert mc.writes == 1
+        assert mc.reads == 0
+        assert mc.read_latency.count == 0
+
+    def test_burst_transfer_bytes(self):
+        mc = make_controller()
+        mc.read(0x4000, now=0, bursts=8)
+        assert mc.bytes_transferred == 512
+
+    def test_open_page_row_hits(self):
+        mc = make_controller()
+        mc.read(0x4000, now=0)
+        mc.read(0x4040, now=500)
+        assert mc.row_buffer_hit_rate() == pytest.approx(0.5)
+
+
+class TestCommandQueue:
+    def test_full_queue_delays_new_requests(self):
+        mc = make_controller(queue_depth=2)
+        a = mc.read(0x0000, now=0)
+        b = mc.read(0x10000, now=0)
+        c = mc.read(0x20000, now=0)  # queue full: waits for oldest
+        assert c.request_time >= min(a.data_end, b.data_end)
+
+    def test_deep_queue_no_delay(self):
+        mc = make_controller(queue_depth=256)
+        first = mc.read(0x0000, now=0)
+        second = mc.read(0x40000, now=0)
+        assert second.request_time == 0
+
+    def test_queue_depth_validation(self):
+        with pytest.raises(ValueError):
+            make_controller(queue_depth=0)
+
+    def test_inflight_window_bounded(self):
+        mc = make_controller(queue_depth=4)
+        for i in range(200):
+            mc.read(i * 0x10000, now=0)
+        # Bounded memory: the per-channel deque is trimmed.
+        assert len(mc._inflight[0]) <= 16 * 4
+
+
+def test_reset_stats():
+    mc = make_controller()
+    mc.read(0x4000, now=0)
+    mc.reset_stats()
+    assert mc.reads == 0
+    assert mc.read_latency.count == 0
+    assert mc.bytes_transferred == 0

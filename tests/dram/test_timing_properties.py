@@ -1,0 +1,94 @@
+"""Property-based timing-model invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.config import DRAMGeometry, DRAMTimingConfig
+from repro.dram.bank import Bank
+from repro.dram.channel import Channel
+from repro.dram.device import DRAMDevice
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    requests=st.lists(
+        st.tuples(st.integers(0, 7), st.integers(0, 200)),  # (row, gap)
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_bank_time_is_causal_and_monotone(requests):
+    """With non-decreasing arrivals, service times never go backwards
+    and every access completes after it was issued."""
+    bank = Bank(DRAMTimingConfig.stacked())
+    now = 0
+    last_ready = 0
+    for row, gap in requests:
+        now += gap
+        access = bank.access(row, now)
+        assert access.issue_time >= now
+        assert access.data_ready > access.issue_time
+        assert access.data_ready >= last_ready
+        last_ready = access.data_ready
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    requests=st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 7), st.integers(1, 8)),
+        min_size=1,
+        max_size=50,
+    )
+)
+def test_channel_bus_never_overlaps(requests):
+    """Data-bus occupancy windows of successive transfers are disjoint."""
+    channel = Channel(DRAMTimingConfig.stacked(), num_banks=4)
+    now = 0
+    windows = []
+    for bank, row, bursts in requests:
+        now += 3
+        access = channel.access(bank, row, now, bursts=bursts)
+        windows.append((access.data_start, access.data_end))
+    for (s1, e1), (s2, e2) in zip(windows, windows[1:]):
+        assert s2 >= e1
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    requests=st.lists(
+        st.tuples(st.integers(0, (1 << 26) - 1), st.booleans()),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_device_latency_bounds(requests):
+    """Every access latency is at least the uncontended row-hit cost and
+    bounded by queueing behind all earlier requests."""
+    timings = DRAMTimingConfig.ddr3_1600h()
+    device = DRAMDevice(
+        DRAMGeometry(channels=2, banks_per_channel=8, page_size=2048), timings
+    )
+    floor = timings.cl + timings.burst_cycles
+    now = 0
+    for address, is_write in requests:
+        now += 5
+        fn = device.write if is_write else device.read
+        access = fn(address & ~63, now)
+        assert access.latency >= floor
+        # loose upper bound: all prior traffic plus one worst-case access
+        assert access.latency < (len(requests) + 1) * (
+            timings.trp + timings.trcd + timings.cl + timings.burst_cycles
+        ) + timings.trfc
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed_rows=st.lists(st.integers(0, 3), min_size=2, max_size=30))
+def test_rbh_counts_consistent(seed_rows):
+    """hits + misses == accesses for any access pattern."""
+    bank = Bank(DRAMTimingConfig.stacked())
+    now = 0
+    for row in seed_rows:
+        now += 100
+        bank.access(row, now)
+    assert bank.row_buffer.total == len(seed_rows)
+    assert bank.activations >= 1
+    assert bank.precharges <= bank.activations

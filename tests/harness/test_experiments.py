@@ -1,0 +1,141 @@
+"""Smoke tests for every experiment entry point (tiny configurations)."""
+
+import pytest
+
+import repro.harness.experiments as E
+from repro.harness.runner import ExperimentSetup
+
+TINY = ExperimentSetup(num_cores=4, accesses_per_core=2500)
+TINY8 = ExperimentSetup(num_cores=8, accesses_per_core=1200)
+MIXES = ["Q2", "Q7"]
+
+
+class TestDesignSpace:
+    def test_fig1_rows(self):
+        rows = E.fig1_miss_rate_vs_block_size(
+            setup=TINY, mix_names=MIXES, block_sizes=(64, 512)
+        )
+        assert [r["mix"] for r in rows] == ["Q2", "Q7", "mean"]
+        for row in rows:
+            assert 0.0 <= row["512B"] <= row["64B"] <= 1.0
+
+    def test_fig2_distribution_sums_to_one(self):
+        rows = E.fig2_block_utilization(setup=TINY, mix_names=["Q2"])
+        total = sum(rows[0][f"u{level}"] for level in range(1, 9))
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_fig5_mru_concentration(self):
+        rows = E.fig5_mru_hits(setup=TINY, mix_names=["Q2"])
+        assert 0.0 < rows[0]["top2"] <= 1.0
+
+
+class TestLatency:
+    def test_fig3_breakdown_totals(self):
+        rows = E.fig3_latency_breakdown()
+        for row in rows:
+            assert row["total"] > 0
+        by_case = {(r["scheme"], r["case"]): r["total"] for r in rows}
+        # locator hit is the cheapest BiModal case
+        assert (
+            by_case[("BiModal", "way locator hit")]
+            < by_case[("BiModal", "loc. miss, tag row hit")]
+            < by_case[("BiModal", "loc. miss, tag row miss")]
+        )
+
+    def test_fig8c_rows(self):
+        rows = E.fig8c_access_latency(
+            setup=TINY, mix_names=["Q2"], schemes=("alloy", "bimodal")
+        )
+        assert rows[-1]["mix"] == "mean"
+        assert rows[0]["alloy"] > 0
+        assert "bimodal_vs_alloy" in rows[-1]
+
+
+class TestPerformance:
+    def test_fig7_antt(self):
+        rows = E.fig7_antt(setup=TINY, mix_names=["Q1"])
+        assert rows[0]["alloy"] >= 1.0
+        assert rows[0]["bimodal"] >= 1.0
+        assert rows[-1]["mix"] == "mean"
+
+    def test_fig8b_hit_rates(self):
+        rows = E.fig8b_hit_rate(setup=TINY, mix_names=["Q2"])
+        row = rows[0]
+        assert row["fixed512"] > row["alloy"]
+        assert row["bimodal"] > row["alloy"]
+
+
+class TestBandwidth:
+    def test_fig9a_savings(self):
+        rows = E.fig9a_wasted_bandwidth(setup=TINY8, mix_names=["E5"])
+        assert rows[-1]["mix"] == "total"
+        assert rows[0]["fixed512_wasted_mb"] >= rows[0]["bimodal_wasted_mb"] * 0.5
+
+    def test_fig9b_rbh(self):
+        rows = E.fig9b_metadata_rbh(setup=TINY, mix_names=["Q2"])
+        row = rows[0]
+        assert 0.0 <= row["colocated_rbh"] <= 1.0
+        assert 0.0 <= row["separate_rbh"] <= 1.0
+
+    def test_fig9c_k_sweep(self):
+        rows = E.fig9c_way_locator_hit_rate(
+            setup=TINY, mix_names=["Q2"], k_values=(12, 14)
+        )
+        assert set(rows[0]) >= {"mix", "K12", "K14"}
+        assert rows[0]["K14"] >= rows[0]["K12"] - 0.05
+
+    def test_fig10_fractions(self):
+        rows = E.fig10_small_block_fraction(setup=TINY, mix_names=MIXES)
+        for row in rows:
+            assert 0.0 <= row["small_fraction"] <= 1.0
+
+
+class TestTables:
+    def test_table1_matrix(self):
+        rows = E.table1_feature_matrix()
+        attrs = {r["attribute"] for r in rows}
+        assert {"block_size", "metadata", "hit_rate"} <= attrs
+        bimodal = {r["attribute"]: r["bimodal"] for r in rows}
+        assert bimodal["block_size"] == "512B+64B"
+        assert bimodal["metadata"] == "DRAM"
+
+    def test_table3_matches_paper(self):
+        rows = E.table3_way_locator_storage()
+        assert len(rows) == 12
+        for row in rows:
+            assert row["model_kb"] == pytest.approx(row["paper_kb"], rel=0.15)
+            assert row["model_cycles"] == row["paper_cycles"]
+
+
+class TestEnergyPrefetchSensitivity:
+    def test_fig11_energy(self):
+        rows = E.fig11_energy(setup=TINY8, mix_names=["E1"])
+        assert rows[0]["alloy_uj"] > 0
+        assert rows[-1]["mix"] == "mean"
+
+    def test_table6_prefetch(self):
+        rows = E.table6_prefetch(setup=TINY, mix_names=["Q1"], degrees=(1,))
+        assert rows[0]["N"] == 1
+        assert "pref_normal_pct" in rows[0]
+
+    def test_fig12_variants(self):
+        rows = E.fig12_sensitivity(setup=TINY, mix_names=["Q1"])
+        assert len(rows) == 6
+        labels = {r["config"] for r in rows}
+        assert "BiModal(128M-1024-2)" in labels
+
+    def test_extensions(self):
+        rows = E.victim_buffer_study(setup=TINY, mix_names=["Q7"])
+        assert rows[-1]["mix"] == "total"
+        assert 0.0 <= rows[0]["victim_hit_fraction"] <= 1.0
+        rows = E.space_utilization_comparison(setup=TINY, mix_names=["Q7"])
+        assert 0.0 <= rows[0]["bimodal_space_util"] <= 1.0
+        rows = E.controller_comparison(setup=TINY, mix_names=["Q7"])
+        assert {"demand_hit", "dueling_hit"} <= set(rows[0])
+
+    def test_ablations(self):
+        assert len(E.ablation_threshold(setup=TINY, thresholds=(5,))) == 1
+        assert len(E.ablation_weight(setup=TINY, weights=(0.75,))) == 1
+        assert len(E.ablation_sampling(setup=TINY, rates=(2,))) == 1
+        rows = E.ablation_parallel_tag(setup=TINY, mix_names=["Q2"])
+        assert rows[0]["serial_latency"] >= rows[0]["parallel_latency"] * 0.9

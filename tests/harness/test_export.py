@@ -1,0 +1,48 @@
+"""Result export tests."""
+
+import pytest
+
+from repro.harness.export import export_csv, export_json, load_json
+
+ROWS = [
+    {"mix": "Q1", "hit_rate": 0.91, "state": (3, 8)},
+    {"mix": "Q2", "hit_rate": 0.95, "state": (4, 0)},
+]
+
+
+class TestJSON:
+    def test_roundtrip(self, tmp_path):
+        path = export_json(
+            ROWS,
+            tmp_path / "out" / "fig8b.json",
+            experiment="fig8b",
+            metadata={"cores": 4, "scale": 16},
+        )
+        doc = load_json(path)
+        assert doc["experiment"] == "fig8b"
+        assert doc["metadata"]["cores"] == 4
+        assert doc["rows"][0]["mix"] == "Q1"
+        assert doc["rows"][0]["hit_rate"] == 0.91
+        # non-scalar values are stringified
+        assert doc["rows"][0]["state"] == "(3, 8)"
+
+    def test_version_recorded(self, tmp_path):
+        doc = load_json(export_json(ROWS, tmp_path / "x.json"))
+        assert doc["repro_version"]
+
+
+class TestCSV:
+    def test_writes_header_and_rows(self, tmp_path):
+        path = export_csv(ROWS, tmp_path / "fig.csv")
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "mix,hit_rate,state"
+        assert lines[1].startswith("Q1,0.91")
+        assert len(lines) == 3
+
+    def test_column_selection(self, tmp_path):
+        path = export_csv(ROWS, tmp_path / "f.csv", columns=["hit_rate", "mix"])
+        assert path.read_text().splitlines()[0] == "hit_rate,mix"
+
+    def test_empty_rows_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            export_csv([], tmp_path / "f.csv")

@@ -1,0 +1,62 @@
+"""Terminal bar-chart rendering tests."""
+
+from repro.harness.figures import bar_chart, grouped_bar_chart
+
+ROWS = [
+    {"mix": "Q2", "alloy": 140.0, "bimodal": 80.0},
+    {"mix": "Q7", "alloy": 120.0, "bimodal": 100.0},
+]
+
+
+class TestBarChart:
+    def test_renders_labels_values_and_bars(self):
+        text = bar_chart(ROWS, label="mix", value="alloy", title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("Q2")
+        assert "█" in lines[1]
+        assert "140" in lines[1]
+
+    def test_longest_bar_is_max_value(self):
+        text = bar_chart(ROWS, label="mix", value="alloy", width=20)
+        q2, q7 = text.splitlines()
+        assert q2.count("█") == 20
+        assert q7.count("█") < 20
+
+    def test_proportionality(self):
+        rows = [{"x": "a", "v": 10.0}, {"x": "b", "v": 5.0}]
+        text = bar_chart(rows, label="x", value="v", width=30)
+        a, b = text.splitlines()
+        assert abs(a.count("█") - 2 * b.count("█")) <= 1
+
+    def test_empty(self):
+        assert bar_chart([], label="x", value="v") == "(no rows)"
+
+    def test_zero_values(self):
+        rows = [{"x": "a", "v": 0.0}]
+        text = bar_chart(rows, label="x", value="v")
+        assert "a" in text  # renders without division errors
+
+
+class TestGroupedBarChart:
+    def test_one_group_per_row(self):
+        text = grouped_bar_chart(
+            ROWS, label="mix", series=["alloy", "bimodal"], title="G"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "G"
+        assert lines[1] == "Q2"
+        assert lines[2].strip().startswith("alloy")
+        assert lines[3].strip().startswith("bimodal")
+
+    def test_shared_scale_across_groups(self):
+        """Bars are comparable across groups: the global maximum gets
+        the full width."""
+        text = grouped_bar_chart(ROWS, label="mix", series=["alloy"], width=24)
+        bars = [l for l in text.splitlines() if "█" in l]
+        assert max(l.count("█") for l in bars) == 24
+
+    def test_missing_series_skipped(self):
+        rows = [{"mix": "Q1", "a": 1.0, "b": None}]
+        text = grouped_bar_chart(rows, label="mix", series=["a", "b"])
+        assert "b" not in text.splitlines()[-1]

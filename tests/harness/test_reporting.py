@@ -1,0 +1,36 @@
+"""Report rendering tests."""
+
+from repro.harness.reporting import format_percent, format_table
+
+
+class TestFormatTable:
+    def test_renders_header_and_rows(self):
+        rows = [{"mix": "Q1", "hit": 0.5}, {"mix": "Q2", "hit": 0.75}]
+        text = format_table(rows, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "mix" in lines[1] and "hit" in lines[1]
+        assert "Q1" in text and "0.750" in text
+
+    def test_column_selection_and_order(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        text = format_table(rows, columns=["c", "a"])
+        header = text.splitlines()[0]
+        assert header.index("c") < header.index("a")
+        assert "b" not in header
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([], title="x")
+
+    def test_large_numbers_grouped(self):
+        text = format_table([{"bytes": 1234567.0}])
+        assert "1,234,567" in text
+
+    def test_missing_cell_blank(self):
+        text = format_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert text  # renders without KeyError
+
+
+def test_format_percent():
+    assert format_percent(0.1234) == "12.3%"
+    assert format_percent(0.1234, digits=2) == "12.34%"

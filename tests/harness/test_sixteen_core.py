@@ -1,0 +1,32 @@
+"""16-core configuration smoke tests (S-mixes)."""
+
+import pytest
+
+from repro.harness.runner import ExperimentSetup, run_scheme_on_mix
+
+
+@pytest.fixture
+def setup16():
+    return ExperimentSetup(num_cores=16, scale=64, accesses_per_core=1200, seed=1)
+
+
+def test_sixteen_core_mixes_run(setup16):
+    result = run_scheme_on_mix("bimodal", "S1", setup=setup16)
+    stats = result.stats
+    assert stats["accesses"] > 0
+    assert 0.0 <= stats["hit_rate"] <= 1.0
+    assert stats["avg_read_latency"] > 0
+
+
+def test_sixteen_core_geometry(setup16):
+    system = setup16.system
+    assert system.num_cores == 16
+    assert system.dram_cache.geometry.channels == 8
+    assert system.offchip_channels == 4
+    assert system.dram_cache.capacity == (512 << 20) // 64
+
+
+@pytest.mark.parametrize("scheme", ["alloy", "bimodal"])
+def test_sixteen_core_schemes_comparable(setup16, scheme):
+    result = run_scheme_on_mix(scheme, "S7", setup=setup16)
+    assert result.accesses == 16 * 1200

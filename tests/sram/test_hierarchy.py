@@ -1,0 +1,70 @@
+"""Cache hierarchy filtering tests."""
+
+import pytest
+
+from repro.common.config import LLSCConfig
+from repro.sram.hierarchy import CacheHierarchy
+
+
+@pytest.fixture
+def hierarchy():
+    return CacheHierarchy(2, LLSCConfig(size=1 << 20, associativity=8, hit_latency=7))
+
+
+class TestFiltering:
+    def test_first_access_misses_everywhere(self, hierarchy):
+        out = hierarchy.access(0, 0x1000)
+        assert out.level == "miss"
+        assert out.latency == 2 + 7
+
+    def test_second_access_hits_l1(self, hierarchy):
+        hierarchy.access(0, 0x1000)
+        out = hierarchy.access(0, 0x1000)
+        assert out.level == "l1"
+        assert out.latency == 2
+
+    def test_other_core_hits_shared_llsc(self, hierarchy):
+        hierarchy.access(0, 0x1000)
+        out = hierarchy.access(1, 0x1000)
+        assert out.level == "llsc"
+        assert out.latency == 9
+
+    def test_private_l1s(self, hierarchy):
+        hierarchy.access(0, 0x1000)
+        assert not hierarchy.l1s[1].contains(0x1000)
+        assert hierarchy.l1s[0].contains(0x1000)
+
+    def test_llsc_miss_rate(self, hierarchy):
+        hierarchy.access(0, 0x1000)
+        hierarchy.access(1, 0x1000)
+        assert hierarchy.llsc_miss_rate() == pytest.approx(0.5)
+
+
+class TestWritebackPath:
+    def test_dirty_llsc_victim_surfaces(self):
+        # LLSC with a single set of 1 way: any second block evicts.
+        cfg = LLSCConfig(size=64, associativity=1, hit_latency=7)
+        h = CacheHierarchy(1, cfg)
+        h.access(0, 0x0000, is_write=True)
+        out = h.access(0, 0x40000)
+        assert out.level == "miss"
+        assert out.writeback_address == 0x0000
+
+    def test_clean_victim_no_writeback(self):
+        cfg = LLSCConfig(size=64, associativity=1, hit_latency=7)
+        h = CacheHierarchy(1, cfg)
+        h.access(0, 0x0000)
+        out = h.access(0, 0x40000)
+        assert out.writeback_address is None
+
+
+def test_reset_stats():
+    h = CacheHierarchy(1, LLSCConfig(size=1 << 20, associativity=8))
+    h.access(0, 0x1000)
+    h.reset_stats()
+    assert h.llsc.accesses.total == 0
+
+
+def test_requires_cores():
+    with pytest.raises(ValueError):
+        CacheHierarchy(0, LLSCConfig(size=1 << 20, associativity=8))

@@ -1,0 +1,66 @@
+"""MSHR merge/throttle tests."""
+
+import pytest
+
+from repro.sram.mshr import MSHRFile
+
+
+class TestMerging:
+    def test_secondary_miss_merges(self):
+        mshr = MSHRFile(4)
+        mshr.allocate(0x100, now=0, fill_time=100)
+        fill = mshr.lookup(0x100, now=50)
+        assert fill == 100
+        assert mshr.merged_misses == 1
+
+    def test_completed_entry_not_merged(self):
+        mshr = MSHRFile(4)
+        mshr.allocate(0x100, now=0, fill_time=100)
+        assert mshr.lookup(0x100, now=150) is None
+
+    def test_unknown_block_not_merged(self):
+        mshr = MSHRFile(4)
+        assert mshr.lookup(0x200, now=0) is None
+        assert mshr.merged_misses == 0
+
+
+class TestThrottling:
+    def test_full_mshrs_stall_issue(self):
+        mshr = MSHRFile(2)
+        mshr.allocate(0x100, now=0, fill_time=500)
+        mshr.allocate(0x200, now=0, fill_time=600)
+        issue = mshr.allocate(0x300, now=10, fill_time=700)
+        assert issue == 500
+        assert mshr.stalls == 1
+
+    def test_free_mshrs_no_stall(self):
+        mshr = MSHRFile(8)
+        issue = mshr.allocate(0x100, now=25, fill_time=500)
+        assert issue == 25
+        assert mshr.stalls == 0
+
+    def test_expired_entries_freed(self):
+        mshr = MSHRFile(2)
+        mshr.allocate(0x100, now=0, fill_time=10)
+        mshr.allocate(0x200, now=0, fill_time=20)
+        issue = mshr.allocate(0x300, now=100, fill_time=200)
+        assert issue == 100
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            MSHRFile(0)
+
+    def test_outstanding_bounded(self):
+        mshr = MSHRFile(4)
+        for i in range(50):
+            mshr.allocate(i * 64, now=i, fill_time=10_000 + i)
+        assert mshr.outstanding <= 4 + 1
+
+
+def test_reset_stats():
+    mshr = MSHRFile(2)
+    mshr.allocate(0x100, now=0, fill_time=10)
+    mshr.lookup(0x100, now=5)
+    mshr.reset_stats()
+    assert mshr.primary_misses == 0
+    assert mshr.merged_misses == 0

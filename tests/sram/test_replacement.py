@@ -1,0 +1,81 @@
+"""Replacement policy tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sram.replacement import LRU, Random, RandomNotRecent, make_policy
+
+
+class TestLRU:
+    def test_picks_oldest(self):
+        policy = LRU()
+        assert policy.victim([0, 1, 2], last_use=[5, 1, 9]) == 1
+
+    def test_respects_protection(self):
+        policy = LRU()
+        victim = policy.victim([0, 1, 2], last_use=[5, 1, 9], protected={1})
+        assert victim == 0  # next oldest unprotected
+
+    def test_all_protected_falls_back_to_oldest(self):
+        policy = LRU()
+        victim = policy.victim([0, 1], last_use=[5, 1], protected={0, 1})
+        assert victim == 1
+
+    def test_requires_timestamps(self):
+        with pytest.raises(ValueError):
+            LRU().victim([0, 1])
+
+    def test_requires_candidates(self):
+        with pytest.raises(ValueError):
+            LRU().victim([], last_use=[])
+
+
+class TestRandom:
+    def test_deterministic_with_seed(self):
+        a = Random(seed=7)
+        b = Random(seed=7)
+        picks_a = [a.victim(list(range(8))) for _ in range(20)]
+        picks_b = [b.victim(list(range(8))) for _ in range(20)]
+        assert picks_a == picks_b
+
+    def test_avoids_protected(self):
+        policy = Random(seed=1)
+        for _ in range(50):
+            assert policy.victim([0, 1, 2, 3], protected={0, 1}) in (2, 3)
+
+    def test_all_protected_still_returns(self):
+        policy = Random(seed=1)
+        assert policy.victim([0, 1], protected={0, 1}) in (0, 1)
+
+    @given(st.integers(min_value=1, max_value=16))
+    def test_victim_is_candidate(self, n):
+        policy = Random(seed=3)
+        candidates = list(range(n))
+        assert policy.victim(candidates) in candidates
+
+
+class TestRandomNotRecent:
+    def test_is_random_with_mru_protection(self):
+        """The paper's policy: random over ways outside the top-2 MRU."""
+        policy = RandomNotRecent(seed=2)
+        mru = {3, 7}
+        for _ in range(100):
+            assert policy.victim(list(range(8)), protected=mru) not in mru
+
+    def test_covers_non_recent_ways(self):
+        policy = RandomNotRecent(seed=5)
+        seen = {policy.victim(list(range(8)), protected={0, 1}) for _ in range(300)}
+        assert seen == set(range(2, 8))
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [("lru", LRU), ("random", Random), ("random_not_recent", RandomNotRecent)],
+    )
+    def test_make_policy(self, name, cls):
+        assert isinstance(make_policy(name), cls)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            make_policy("plru")

@@ -1,0 +1,36 @@
+"""CLI front-end tests (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import _EXPERIMENTS, main
+
+import repro.harness.experiments as experiments
+
+
+def test_list_runs(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig1" in out and "table3" in out
+
+
+def test_every_listed_experiment_exists():
+    for name, (attr, _, cores, _) in _EXPERIMENTS.items():
+        assert hasattr(experiments, attr), name
+        assert cores in (4, 8, 16)
+
+
+def test_unknown_experiment(capsys):
+    assert main(["figure99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().out
+
+
+def test_static_experiment_prints_table(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "bimodal" in out
+
+
+def test_dynamic_experiment_with_mixes(capsys):
+    assert main(["fig2", "--mixes", "Q2", "--accesses", "1500"]) == 0
+    out = capsys.readouterr().out
+    assert "Q2" in out and "u8" in out

@@ -1,0 +1,82 @@
+"""Documentation/implementation consistency checks.
+
+These tests keep DESIGN.md's experiment index, the CLI registry, the
+benchmark files and the experiment functions in lock-step, so the
+documentation can be trusted as a map of the code.
+"""
+
+from pathlib import Path
+
+import pytest
+
+import repro.harness.experiments as experiments
+from repro.__main__ import _EXPERIMENTS
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def test_every_cli_experiment_exists():
+    for name, (attr, _, _, _) in _EXPERIMENTS.items():
+        assert hasattr(experiments, attr), f"{name} -> {attr} missing"
+
+
+def test_design_md_bench_targets_exist():
+    text = (REPO / "DESIGN.md").read_text()
+    for line in text.splitlines():
+        if "benchmarks/bench_" in line:
+            for token in line.split("`"):
+                if token.startswith("benchmarks/bench_") and token.endswith(".py"):
+                    assert (REPO / token).exists(), token
+
+
+def test_design_md_experiment_functions_exist():
+    text = (REPO / "DESIGN.md").read_text()
+    for line in text.splitlines():
+        if "experiments." in line and "|" in line:
+            for token in line.replace("`", " ").split():
+                if token.startswith("harness.experiments."):
+                    fn = token.split(".")[-1]
+                    assert hasattr(experiments, fn), fn
+
+
+def test_experiments_md_mentions_every_bench():
+    """EXPERIMENTS.md names each figure/table benchmark file."""
+    text = (REPO / "EXPERIMENTS.md").read_text()
+    bench_files = sorted(p.name for p in (REPO / "benchmarks").glob("bench_*.py"))
+    assert bench_files, "no benchmark files found"
+    missing = [name for name in bench_files if name not in text]
+    assert not missing, missing
+
+
+def test_readme_examples_exist():
+    text = (REPO / "README.md").read_text()
+    for line in text.splitlines():
+        if "examples/" in line and ".py" in line:
+            for token in line.split():
+                if token.startswith("examples/") and token.endswith(".py"):
+                    assert (REPO / token).exists(), token
+
+
+def test_all_examples_importable_as_scripts():
+    """Every example compiles (syntax check without executing main)."""
+    import py_compile
+
+    for script in (REPO / "examples").glob("*.py"):
+        py_compile.compile(str(script), doraise=True)
+
+
+def test_module_map_files_exist():
+    """Every path-like entry in DESIGN.md's module map exists."""
+    text = (REPO / "DESIGN.md").read_text()
+    in_map = False
+    for line in text.splitlines():
+        if line.startswith("```"):
+            in_map = not in_map
+            continue
+        if in_map and ".py" in line:
+            token = line.strip().split()[0]
+            if not token.endswith(".py"):
+                continue
+            # resolve relative to src/repro/<subpackage>/ context lines
+            matches = list(REPO.glob(f"src/repro/**/{token}"))
+            assert matches, f"module map names missing file: {token}"

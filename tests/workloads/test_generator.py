@@ -1,0 +1,188 @@
+"""Trace generator tests: determinism, mask conformance, statistics."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.generator import ProgramTrace
+from repro.workloads.profile import ProgramProfile, program
+
+
+def small_profile(**overrides) -> ProgramProfile:
+    base = dict(
+        name="test",
+        footprint_mb=0.5,
+        utilization_dist={1: 0.4, 4: 0.2, 8: 0.4},
+        reuse_alpha=0.9,
+        intensity_apki=20.0,
+        write_frac=0.25,
+        burst_len=3.0,
+    )
+    base.update(overrides)
+    return ProgramProfile(**base)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = ProgramTrace(small_profile(), seed=9).one_chunk(5000)
+        b = ProgramTrace(small_profile(), seed=9).one_chunk(5000)
+        assert np.array_equal(a.addresses, b.addresses)
+        assert np.array_equal(a.is_write, b.is_write)
+        assert np.array_equal(a.icount, b.icount)
+
+    def test_different_seed_different_trace(self):
+        a = ProgramTrace(small_profile(), seed=1).one_chunk(5000)
+        b = ProgramTrace(small_profile(), seed=2).one_chunk(5000)
+        assert not np.array_equal(a.addresses, b.addresses)
+
+    def test_salt_differentiates_same_program(self):
+        a = ProgramTrace(small_profile(seed_salt=0), seed=1).one_chunk(5000)
+        b = ProgramTrace(small_profile(seed_salt=1), seed=1).one_chunk(5000)
+        assert not np.array_equal(a.addresses, b.addresses)
+
+
+class TestStreamStructure:
+    def test_requested_length(self):
+        chunk = ProgramTrace(small_profile(), seed=1).one_chunk(12345)
+        assert len(chunk) == 12345
+
+    def test_chunked_iteration_covers_total(self):
+        total = sum(
+            len(c)
+            for c in ProgramTrace(small_profile(), seed=1).chunks(
+                10000, chunk_size=1024
+            )
+        )
+        assert total == 10000
+
+    def test_addresses_are_sub_block_aligned(self):
+        chunk = ProgramTrace(small_profile(), seed=1).one_chunk(5000)
+        assert (chunk.addresses % 64 == 0).all()
+
+    def test_addresses_respect_base(self):
+        base = 7 << 36
+        trace = ProgramTrace(small_profile(), seed=1, base_address=base)
+        chunk = trace.one_chunk(5000)
+        assert (chunk.addresses >= base).all()
+
+    def test_addresses_within_footprint(self):
+        trace = ProgramTrace(small_profile(), seed=1)
+        chunk = trace.one_chunk(20000)
+        limit = trace.num_regions * 512
+        assert (chunk.addresses < limit).all()
+
+    def test_icount_positive(self):
+        chunk = ProgramTrace(small_profile(), seed=1).one_chunk(5000)
+        assert (chunk.icount >= 1).all()
+
+    def test_icount_tracks_intensity(self):
+        hot = ProgramTrace(small_profile(intensity_apki=50.0), seed=1).one_chunk(20000)
+        cold = ProgramTrace(small_profile(intensity_apki=5.0), seed=1).one_chunk(20000)
+        assert hot.icount.mean() < cold.icount.mean()
+        # Post-LLSC gaps: raw mean is 1000/apki; filtering can only
+        # lengthen them (absorbed records donate their gaps).
+        assert hot.icount.mean() >= 20.0 * 0.8
+        raw = ProgramTrace(
+            small_profile(intensity_apki=50.0), seed=1, llsc_filter_blocks=0
+        ).one_chunk(20000)
+        assert raw.icount.mean() == pytest.approx(20.0, rel=0.2)
+
+    def test_write_fraction(self):
+        chunk = ProgramTrace(small_profile(write_frac=0.4), seed=1).one_chunk(30000)
+        assert chunk.is_write.mean() == pytest.approx(0.4, abs=0.03)
+
+    def test_rejects_zero_accesses(self):
+        with pytest.raises(ValueError):
+            list(ProgramTrace(small_profile(), seed=1).chunks(0))
+
+
+class TestMaskConformance:
+    def test_accesses_stay_inside_region_masks(self):
+        """No address ever touches a sub-block outside its region's mask.
+
+        The mask is a contiguous run of ``util`` sub-blocks starting at
+        the region's offset (mod 8).
+        """
+        trace = ProgramTrace(small_profile(), seed=3)
+        chunk = trace.one_chunk(30000)
+        regions = (chunk.addresses // 512).astype(np.int64)
+        subs = ((chunk.addresses % 512) // 64).astype(np.int64)
+        util = trace._region_util[regions].astype(np.int64)
+        offset = trace._region_offset[regions].astype(np.int64)
+        position = (subs - offset) % 8
+        assert (position < util).all()
+
+    def test_utilization_histogram_matches_profile(self):
+        profile = small_profile(utilization_dist={2: 0.5, 8: 0.5})
+        trace = ProgramTrace(profile, seed=1)
+        hist = trace.region_utilization_histogram()
+        assert set(hist) == {2, 8}
+        assert hist[2] == pytest.approx(0.5, abs=0.05)
+
+    def test_cluster_correlated_utilization(self):
+        """All 8 regions of a cluster share one utilization level."""
+        trace = ProgramTrace(small_profile(), seed=1)
+        util = trace._region_util.reshape(-1, 8)
+        assert (util == util[:, :1]).all()
+
+    def test_footprint_bytes_bounded(self):
+        trace = ProgramTrace(small_profile(), seed=1)
+        assert trace.footprint_bytes() <= trace.num_regions * 512
+
+
+class TestLocality:
+    def test_revisit_increases_short_term_reuse(self):
+        """On the *raw* (unfiltered) stream, the dwell mechanism
+        concentrates short-term region reuse."""
+        sticky = small_profile(revisit_prob=0.7)
+        scattered = small_profile(revisit_prob=0.0)
+
+        def reuse_fraction(profile):
+            chunk = ProgramTrace(
+                profile, seed=2, llsc_filter_blocks=0
+            ).one_chunk(20000)
+            regions = (chunk.addresses // 512).astype(np.int64)
+            recent: list[int] = []
+            hits = 0
+            for r in regions.tolist():
+                if r in recent:
+                    hits += 1
+                    recent.remove(r)
+                recent.insert(0, r)
+                del recent[16:]
+            return hits / len(regions)
+
+        assert reuse_fraction(sticky) > reuse_fraction(scattered)
+
+    def test_llsc_filter_absorbs_short_term_block_reuse(self):
+        """The emitted (post-LLSC) stream contains almost no same-64B
+        re-references within the filter's reach — that reuse is an LLSC
+        hit upstream."""
+        import numpy as np
+
+        chunk = ProgramTrace(small_profile(revisit_prob=0.7), seed=2).one_chunk(20000)
+        blocks = (chunk.addresses // 64).astype(np.int64).tolist()
+        recent: list[int] = []
+        near_repeats = 0
+        for b in blocks:
+            if b in recent:
+                near_repeats += 1
+            recent.insert(0, b)
+            del recent[256:]
+        # reads re-emitted within 256 accesses are rare (writebacks may
+        # echo a recent block address)
+        assert near_repeats / len(blocks) < 0.15
+
+    def test_filter_strips_repeats_relative_to_raw(self):
+        raw = ProgramTrace(small_profile(), seed=5, llsc_filter_blocks=0).one_chunk(4000)
+        filt = ProgramTrace(small_profile(), seed=5).one_chunk(4000)
+        assert len(raw) == len(filt) == 4000
+        # the raw stream repeats blocks freely; the filtered one is
+        # dominated by distinct (miss) addresses
+        raw_unique = len(np.unique(raw.addresses)) / len(raw)
+        filt_unique = len(np.unique(filt.addresses)) / len(filt)
+        assert filt_unique > raw_unique
+
+    def test_footprint_scales_distinct_blocks(self):
+        big = ProgramTrace(small_profile(footprint_mb=4.0), seed=1).one_chunk(30000)
+        small = ProgramTrace(small_profile(footprint_mb=0.25), seed=1).one_chunk(30000)
+        assert len(np.unique(big.addresses)) > len(np.unique(small.addresses))

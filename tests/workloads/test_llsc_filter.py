@@ -1,0 +1,92 @@
+"""Dedicated tests for the generator's LLSC-share filter."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.generator import ProgramTrace, TraceChunk
+from repro.workloads.profile import ProgramProfile
+
+
+def profile(**overrides) -> ProgramProfile:
+    base = dict(
+        name="filter-test",
+        footprint_mb=0.25,
+        utilization_dist={8: 1.0},
+        reuse_alpha=1.0,
+        intensity_apki=20.0,
+        write_frac=0.5,
+        burst_len=4.0,
+    )
+    base.update(overrides)
+    return ProgramProfile(**base)
+
+
+def make_trace(**kw) -> ProgramTrace:
+    defaults = dict(seed=11)
+    defaults.update(kw)
+    return ProgramTrace(profile(), **defaults)
+
+
+def raw_chunk(trace: ProgramTrace, n: int) -> TraceChunk:
+    return trace._generate_chunk(n)
+
+
+class TestFilterSemantics:
+    def test_emits_reads_for_misses(self):
+        trace = make_trace()
+        chunk = trace.one_chunk(3000)
+        # reads dominate; every emitted read is an LLSC miss
+        assert (~chunk.is_write).sum() > 0
+
+    def test_writebacks_are_previously_written_blocks(self):
+        """Every writeback address was earlier emitted/installed dirty."""
+        trace = make_trace(llsc_filter_blocks=64)
+        chunk = trace.one_chunk(5000)
+        seen: set[int] = set()
+        for addr, is_write in zip(
+            chunk.addresses.tolist(), chunk.is_write.tolist()
+        ):
+            block = addr >> 6
+            if is_write:
+                # a writeback must concern a block we fetched earlier
+                assert block in seen
+            seen.add(block)
+
+    def test_write_fraction_becomes_writeback_rate(self):
+        """The emitted write fraction reflects dirty-victim rates, not
+        the raw store fraction."""
+        hot = make_trace()
+        chunk = hot.one_chunk(10000)
+        assert 0.0 < chunk.is_write.mean() < 0.5
+
+    def test_zero_write_program_emits_no_writebacks(self):
+        trace = ProgramTrace(profile(write_frac=0.0), seed=3)
+        chunk = trace.one_chunk(5000)
+        assert chunk.is_write.sum() == 0
+
+    def test_filter_capacity_controls_absorption(self):
+        """A bigger LLSC share absorbs more accesses: generating the
+        same number of emitted records consumes more raw visits."""
+        small = ProgramTrace(profile(), seed=7, llsc_filter_blocks=32)
+        large = ProgramTrace(profile(), seed=7, llsc_filter_blocks=2048)
+        small_gaps = small.one_chunk(4000).icount.astype(np.int64).sum()
+        large_gaps = large.one_chunk(4000).icount.astype(np.int64).sum()
+        # more absorption => more raw instructions per emitted record
+        assert large_gaps > small_gaps
+
+    def test_instruction_clock_preserved(self):
+        """Absorbed records donate their gaps: the emitted stream's mean
+        instruction gap is at least the raw stream's (1000/apki), scaled
+        by the absorption the filter performs."""
+        filtered = ProgramTrace(profile(), seed=9)
+        raw = ProgramTrace(profile(), seed=9, llsc_filter_blocks=0)
+        f_gap = filtered.one_chunk(4000).icount.astype(np.int64).mean()
+        r_gap = raw.one_chunk(4000).icount.astype(np.int64).mean()
+        assert r_gap == pytest.approx(50.0, rel=0.15)  # 1000/apki
+        assert f_gap >= r_gap  # filtering can only lengthen gaps
+
+    def test_deterministic_with_filter(self):
+        a = make_trace().one_chunk(3000)
+        b = make_trace().one_chunk(3000)
+        assert np.array_equal(a.addresses, b.addresses)
+        assert np.array_equal(a.is_write, b.is_write)

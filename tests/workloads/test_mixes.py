@@ -1,0 +1,85 @@
+"""Workload mix tables (Table V analogue)."""
+
+import pytest
+
+from repro.workloads.mixes import (
+    EIGHT_CORE_MIXES,
+    QUAD_CORE_MIXES,
+    SIXTEEN_CORE_MIXES,
+    WorkloadMix,
+    get_mix,
+    mixes_for_cores,
+)
+from repro.workloads.profile import program
+
+
+class TestTables:
+    def test_quad_core_has_23_mixes(self):
+        assert len(QUAD_CORE_MIXES) == 23
+        assert all(m.num_cores == 4 for m in QUAD_CORE_MIXES.values())
+
+    def test_eight_core_has_16_mixes(self):
+        assert len(EIGHT_CORE_MIXES) == 16
+        assert all(m.num_cores == 8 for m in EIGHT_CORE_MIXES.values())
+
+    def test_sixteen_core_has_10_mixes(self):
+        assert len(SIXTEEN_CORE_MIXES) == 10
+        assert all(m.num_cores == 16 for m in SIXTEEN_CORE_MIXES.values())
+
+    def test_intensity_spread(self):
+        """Mixes span high and low memory intensity, like Table V."""
+        marked = [m.is_memory_intensive for m in QUAD_CORE_MIXES.values()]
+        assert any(marked) and not all(marked)
+
+    def test_repeated_programs_are_salted(self):
+        mix = QUAD_CORE_MIXES["Q5"]  # two stream_hi instances
+        stream_salts = [
+            p.seed_salt for p in mix.programs if p.name == "stream_hi"
+        ]
+        assert len(stream_salts) == 2
+        assert stream_salts[0] != stream_salts[1]
+
+    def test_utilization_extremes_present(self):
+        """Q2 dense end, Q23 sparse end (Figure 2 / Figure 10 anchors)."""
+        assert QUAD_CORE_MIXES["Q2"].mean_expected_utilization() > 7.0
+        assert QUAD_CORE_MIXES["Q23"].mean_expected_utilization() < 4.0
+
+
+class TestLookup:
+    @pytest.mark.parametrize("name", ["Q1", "Q23", "E1", "E16", "S1", "S10"])
+    def test_get_mix(self, name):
+        assert get_mix(name).name == name
+
+    def test_unknown_mix(self):
+        with pytest.raises(ValueError):
+            get_mix("Z9")
+
+    def test_mixes_for_cores(self):
+        assert set(mixes_for_cores(4)) == set(QUAD_CORE_MIXES)
+        assert set(mixes_for_cores(8)) == set(EIGHT_CORE_MIXES)
+        assert set(mixes_for_cores(16)) == set(SIXTEEN_CORE_MIXES)
+
+    def test_invalid_core_count(self):
+        with pytest.raises(ValueError):
+            mixes_for_cores(2)
+
+
+class TestScaling:
+    def test_scaled_mix(self):
+        mix = get_mix("Q1").scaled(16)
+        for scaled, original in zip(mix.programs, get_mix("Q1").programs):
+            assert scaled.footprint_mb == pytest.approx(original.footprint_mb / 16)
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadMix(name="empty", programs=())
+
+
+def test_composed_mixes_inherit_programs():
+    """E mixes are pairs of Q mixes over the same program population."""
+    e1 = EIGHT_CORE_MIXES["E1"]
+    q1_names = [p.name for p in QUAD_CORE_MIXES["Q1"].programs]
+    q2_names = [p.name for p in QUAD_CORE_MIXES["Q2"].programs]
+    assert [p.name for p in e1.programs] == q1_names + q2_names
+    # salting makes same-named instances distinct
+    assert program(e1.programs[0].name).footprint_mb == e1.programs[0].footprint_mb

@@ -1,0 +1,93 @@
+"""ProgramProfile validation and library invariants."""
+
+import pytest
+
+from repro.workloads.profile import PROGRAM_LIBRARY, ProgramProfile, program
+
+
+class TestValidation:
+    def test_utilization_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            ProgramProfile("x", 10.0, utilization_dist={8: 0.5})
+
+    def test_utilization_keys_in_range(self):
+        with pytest.raises(ValueError):
+            ProgramProfile("x", 10.0, utilization_dist={9: 1.0})
+        with pytest.raises(ValueError):
+            ProgramProfile("x", 10.0, utilization_dist={0: 1.0})
+
+    def test_footprint_positive(self):
+        with pytest.raises(ValueError):
+            ProgramProfile("x", 0.0)
+
+    def test_write_frac_range(self):
+        with pytest.raises(ValueError):
+            ProgramProfile("x", 10.0, write_frac=1.5)
+
+    def test_revisit_bounds(self):
+        with pytest.raises(ValueError):
+            ProgramProfile("x", 10.0, revisit_prob=1.0)
+        with pytest.raises(ValueError):
+            ProgramProfile("x", 10.0, revisit_window=0)
+
+    def test_burst_and_intensity(self):
+        with pytest.raises(ValueError):
+            ProgramProfile("x", 10.0, burst_len=0.5)
+        with pytest.raises(ValueError):
+            ProgramProfile("x", 10.0, intensity_apki=0)
+
+
+class TestDerived:
+    def test_expected_utilization(self):
+        p = ProgramProfile("x", 10.0, utilization_dist={1: 0.5, 8: 0.5})
+        assert p.expected_utilization() == pytest.approx(4.5)
+
+    def test_memory_intensity_marking(self):
+        hot = ProgramProfile("x", 10.0, intensity_apki=30.0)
+        cold = ProgramProfile("x", 10.0, intensity_apki=5.0)
+        assert hot.is_memory_intensive
+        assert not cold.is_memory_intensive
+
+    def test_scaled_divides_footprint_only(self):
+        p = program("stream_hi")
+        q = p.scaled(16)
+        assert q.footprint_mb == pytest.approx(p.footprint_mb / 16)
+        assert q.utilization_dist == p.utilization_dist
+        assert q.reuse_alpha == p.reuse_alpha
+
+    def test_scaled_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            program("stream_hi").scaled(0)
+
+    def test_with_salt(self):
+        p = program("stream_hi").with_salt(3)
+        assert p.seed_salt == 3
+        assert p.name == "stream_hi"
+
+
+class TestLibrary:
+    def test_lookup(self):
+        assert program("sparse_ptr").name == "sparse_ptr"
+
+    def test_unknown_program(self):
+        with pytest.raises(ValueError):
+            program("nonexistent")
+
+    def test_library_is_valid(self):
+        # Construction already validates; spot-check diversity.
+        assert len(PROGRAM_LIBRARY) >= 10
+        utils = [p.expected_utilization() for p in PROGRAM_LIBRARY.values()]
+        assert min(utils) < 3.0  # sparse programs exist
+        assert max(utils) > 7.0  # dense programs exist
+
+    def test_library_spans_figure2_range(self):
+        """Some programs >90% fully-utilized blocks, some far below 30%."""
+        full_fracs = [
+            p.utilization_dist.get(8, 0.0) for p in PROGRAM_LIBRARY.values()
+        ]
+        assert max(full_fracs) >= 0.9
+        assert min(full_fracs) <= 0.3
+
+    def test_intensity_mix(self):
+        intensive = sum(1 for p in PROGRAM_LIBRARY.values() if p.is_memory_intensive)
+        assert 0 < intensive < len(PROGRAM_LIBRARY)

@@ -1,0 +1,68 @@
+"""Trace record/replay tests."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.mixes import get_mix
+from repro.workloads.trace import MultiProgramTrace
+from repro.workloads.tracefile import load_trace, replay, save_trace
+
+
+def make_trace(accesses=800):
+    return MultiProgramTrace(
+        get_mix("Q1"), accesses_per_core=accesses, seed=5, footprint_scale=64
+    )
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        path = save_trace(make_trace(), tmp_path / "q1.npz")
+        saved = load_trace(path)
+        assert saved.metadata["mix"] == "Q1"
+        assert saved.metadata["num_cores"] == 4
+        assert len(saved) == saved.metadata["records"] == 4 * 800
+
+    def test_replay_matches_regeneration(self, tmp_path):
+        path = save_trace(make_trace(), tmp_path / "q1.npz")
+        saved = load_trace(path)
+        regenerated = [
+            (r.address, r.is_write, r.icount) for r in make_trace()
+        ]
+        replayed = list(replay(saved))
+        assert replayed == regenerated
+
+    def test_limit(self, tmp_path):
+        path = save_trace(make_trace(), tmp_path / "q1.npz", limit=100)
+        assert len(load_trace(path)) == 100
+
+    def test_dtype_economy(self, tmp_path):
+        saved = load_trace(save_trace(make_trace(), tmp_path / "q1.npz"))
+        assert saved.cores.dtype == np.uint8
+        assert saved.addresses.dtype == np.uint64
+        assert saved.icount.dtype == np.uint32
+
+    def test_version_check(self, tmp_path):
+        path = save_trace(make_trace(200), tmp_path / "q1.npz")
+        # corrupt the version field
+        import json
+
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        meta = json.loads(bytes(arrays["metadata"].tobytes()).decode())
+        meta["format_version"] = 99
+        arrays["metadata"] = np.frombuffer(
+            json.dumps(meta).encode(), dtype=np.uint8
+        )
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_replay_drives_a_cache(self, tmp_path):
+        from repro.harness.runner import ExperimentSetup, build_cache, drive_cache
+
+        path = save_trace(make_trace(500), tmp_path / "q1.npz")
+        saved = load_trace(path)
+        setup = ExperimentSetup()
+        cache = build_cache("alloy", setup.system, scale=setup.scale)
+        result = drive_cache(cache, replay(saved), streams=4)
+        assert result.accesses == len(saved)
