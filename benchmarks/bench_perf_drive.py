@@ -1,0 +1,39 @@
+"""Drive-loop throughput: records simulated per second, legacy vs fast.
+
+Not a paper figure — this benchmark tracks the simulator's own speed,
+which bounds every sweep above it. ``legacy`` regenerates the merged
+trace and walks per-record tuples through the compatibility path;
+``fast`` uses the cached record arrays and the batched drive loop. The
+two paths must agree bit-for-bit on every statistic; only wall-clock
+may differ.
+"""
+
+from repro.harness.perfbench import measure_drive_throughput
+from repro.harness.runner import ExperimentSetup
+
+
+def test_perf_drive_throughput(benchmark, report):
+    setup = ExperimentSetup(num_cores=4, accesses_per_core=15_000)
+
+    def measure():
+        legacy = measure_drive_throughput(
+            scheme="bimodal", mix="Q1", setup=setup, mode="legacy", repeats=2
+        )
+        fast = measure_drive_throughput(
+            scheme="bimodal", mix="Q1", setup=setup, mode="fast", repeats=2
+        )
+        return legacy, fast
+
+    legacy, fast = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report(
+        [legacy.row(), fast.row()],
+        title="Drive-loop throughput (records/sec)",
+    )
+    # Identical simulations: the fast path is an optimization, not a model
+    # change. Throughput assertions stay loose — wall-clock on shared CI
+    # machines is noisy — the hard ratio target is checked offline via
+    # scripts/bench_perf.sh history.
+    assert fast.stats == legacy.stats
+    assert fast.records == legacy.records
+    assert fast.records_per_second > 0
+    assert legacy.records_per_second > 0

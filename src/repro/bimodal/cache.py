@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from repro.common.addressing import AddressMap
 from repro.common.config import DRAMCacheGeometry
 from repro.common.stats import Counter, Histogram, RateStat
+from repro.dram.bank import RowOutcome
 from repro.dram.controller import MemoryController
 from repro.dramcache.base import DRAMCacheAccess, DRAMCacheBase
 from repro.bimodal.dueling import SetDuelingController
@@ -132,6 +133,14 @@ class BiModalCache(DRAMCacheBase):
         if not cfg.enable_bimodal:
             self.global_ctrl.force_state(0)  # pinned (X, 0): fixed 512 B
         self._rng = random.Random(cfg.seed)
+        # Access-path constants, hoisted out of the per-access hot loop.
+        self._locator_latency = (
+            self.locator.latency_cycles if self.locator is not None else 0
+        )
+        self._parallel_tags = cfg.parallel_tag_data and not cfg.colocated_metadata
+        self._blocks_per_granule = max(1, 4096 // cfg.big_block_size)
+        self._observe_leader = getattr(self.global_ctrl, "observe_leader", None)
+        self._leader_rank = getattr(self.global_ctrl, "leader_rank", None)
         # --- instrumentation -------------------------------------------
         self.metadata_rbh = RateStat()  # tag-read row-buffer hits (Fig 9b)
         self.small_access = RateStat()  # hit = access served by small block
@@ -148,9 +157,7 @@ class BiModalCache(DRAMCacheBase):
     # ------------------------------------------------------------------
     @property
     def locator_latency(self) -> int:
-        if self.locator is None:
-            return 0
-        return self.locator.latency_cycles
+        return self._locator_latency
 
     def _get_set(self, set_index: int) -> BiModalSet:
         entry = self._sets.get(set_index)
@@ -169,8 +176,7 @@ class BiModalCache(DRAMCacheBase):
         paper's P-bits-of-tag+set indexing relies on.
         """
         block_number = (tag << self.addr_map.set_index_bits) | set_index
-        blocks_per_granule = max(1, 4096 // self.config.big_block_size)
-        return block_number // blocks_per_granule
+        return block_number // self._blocks_per_granule
 
     def _target_rank(self, set_index: int) -> int:
         """The (X, Y) rank this set should drift toward.
@@ -179,7 +185,7 @@ class BiModalCache(DRAMCacheBase):
         state; followers (and all sets under the demand controller) use
         the cache-wide elected/adapted rank.
         """
-        leader = getattr(self.global_ctrl, "leader_rank", None)
+        leader = self._leader_rank
         if leader is not None:
             pinned = leader(set_index)
             if pinned is not None:
@@ -197,7 +203,7 @@ class BiModalCache(DRAMCacheBase):
         access = self.dram.access_direct(
             channel, bank, row, now, bursts=self.layout.metadata_bursts
         )
-        self.metadata_rbh.record(access.outcome.value == "hit")
+        self.metadata_rbh.record(access.outcome is RowOutcome.HIT)
         return access.data_end + _TAG_COMPARE_CYCLES
 
     def _touch_metadata(self, set_index: int, now: int) -> None:
@@ -302,7 +308,7 @@ class BiModalCache(DRAMCacheBase):
         tag = am.tag(address)
         sub = am.sub_block(address)
         entry = self._get_set(set_index)
-        t_after_locator = now + self.locator_latency
+        t_after_locator = now + self._locator_latency
 
         # -- 1. way locator ------------------------------------------------
         if self.locator is not None:
@@ -323,7 +329,7 @@ class BiModalCache(DRAMCacheBase):
         # -- 2. metadata read (+ concurrent data-row activation) ----------
         tags_known = self._read_metadata(set_index, t_after_locator)
         data_channel, data_bank, data_row = self.layout.data_location(set_index)
-        if self.config.parallel_tag_data and not self.config.colocated_metadata:
+        if self._parallel_tags:
             self.dram.activate_direct(
                 data_channel, data_bank, data_row, t_after_locator
             )
@@ -336,7 +342,7 @@ class BiModalCache(DRAMCacheBase):
             self.small_access.record(not is_big)
             if self.locator is not None:
                 self.locator.insert(set_index, tag, sub, is_big=is_big, way=way)
-            if self.config.parallel_tag_data and not self.config.colocated_metadata:
+            if self._parallel_tags:
                 data = self.dram.column_direct(data_channel, data_bank, tags_known)
             else:
                 data = self._data_access(set_index, tags_known)
@@ -383,7 +389,7 @@ class BiModalCache(DRAMCacheBase):
         return DRAMCacheAccess(hit=False, start=now, complete=fetch_end)
 
     def _observe_outcome(self, set_index: int, *, miss: bool) -> None:
-        observe = getattr(self.global_ctrl, "observe_leader", None)
+        observe = self._observe_leader
         if observe is not None:
             observe(set_index, miss=miss)
 

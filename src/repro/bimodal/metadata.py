@@ -16,6 +16,7 @@ co-located with data (the ablation mode reproducing Figure 9b).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 __all__ = ["MetadataLayout"]
 
@@ -38,32 +39,45 @@ class MetadataLayout:
             raise ValueError("metadata per set is at least one burst")
 
     # ------------------------------------------------------------------
-    @property
+    @cached_property
     def data_banks_per_channel(self) -> int:
         """Bank 0 of every channel is reserved for metadata."""
         return self.banks_per_channel if self.colocated else self.banks_per_channel - 1
 
-    @property
+    @cached_property
     def sets_per_metadata_page(self) -> int:
         return self.page_size // self.meta_bytes_per_set
 
-    @property
+    @cached_property
     def metadata_bursts(self) -> int:
         """DRAM bursts to read one set's full tag array (paper: 2 or 3)."""
         return (self.meta_bytes_per_set + 63) // 64
 
+    @cached_property
+    def _data_locations(self) -> dict[int, tuple[int, int, int]]:
+        return {}
+
+    @cached_property
+    def _metadata_locations(self) -> dict[int, tuple[int, int, int]]:
+        return {}
+
     # ------------------------------------------------------------------
     def data_location(self, set_index: int) -> tuple[int, int, int]:
         """(channel, bank, row) of a set's 2 KB data page."""
+        cached = self._data_locations.get(set_index)
+        if cached is not None:
+            return cached
         channel = set_index % self.channels
         ordinal = set_index // self.channels
         if self.colocated:
             bank = ordinal % self.banks_per_channel
             row = ordinal // self.banks_per_channel
-            return channel, bank, row
-        bank = 1 + ordinal % self.data_banks_per_channel
-        row = ordinal // self.data_banks_per_channel
-        return channel, bank, row
+        else:
+            bank = 1 + ordinal % self.data_banks_per_channel
+            row = ordinal // self.data_banks_per_channel
+        location = (channel, bank, row)
+        self._data_locations[set_index] = location
+        return location
 
     def metadata_location(self, set_index: int) -> tuple[int, int, int]:
         """(channel, bank, row) of a set's metadata.
@@ -74,8 +88,12 @@ class MetadataLayout:
         """
         if self.colocated:
             return self.data_location(set_index)
+        cached = self._metadata_locations.get(set_index)
+        if cached is not None:
+            return cached
         data_channel = set_index % self.channels
         meta_channel = (data_channel + 1) % self.channels
         ordinal = set_index // self.channels
-        row = ordinal // self.sets_per_metadata_page
-        return meta_channel, 0, row
+        location = (meta_channel, 0, ordinal // self.sets_per_metadata_page)
+        self._metadata_locations[set_index] = location
+        return location

@@ -61,23 +61,16 @@ class WayLocator:
         self.lookups = RateStat()
         self.insertions = 0
         self.invalidations = 0
-
-    # ------------------------------------------------------------------
-    @property
-    def storage_bytes(self) -> float:
-        """Total SRAM footprint (Table III formula)."""
-        return way_locator_storage_bytes(
-            self.address_bits,
-            self.set_index_bits,
-            self.offset_bits,
-            self.index_bits,
-            self.max_ways,
+        # Geometry-derived constants, computed once (the access path reads
+        # latency_cycles on every lookup).
+        #: Total SRAM footprint (Table III formula).
+        self.storage_bytes: float = way_locator_storage_bytes(
+            address_bits, set_index_bits, offset_bits, index_bits, max_ways
         )
-
-    @property
-    def latency_cycles(self) -> int:
-        """Lookup latency from the CACTI staircase (Table III: 1-2 cy)."""
-        return sram_latency_cycles(max(1, int(self.storage_bytes)))
+        #: Lookup latency from the CACTI staircase (Table III: 1-2 cy).
+        self.latency_cycles: int = sram_latency_cycles(
+            max(1, int(self.storage_bytes))
+        )
 
     @property
     def num_entries(self) -> int:

@@ -18,6 +18,7 @@ frame that indexes it.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 SUB_BLOCK_SIZE = 64
 SUB_BLOCK_BITS = 6
@@ -95,33 +96,44 @@ class AddressMap:
         if self.cache_size < self.set_size:
             raise ValueError("cache_size must be >= set_size")
 
-    @property
+    # Derived fields are pure functions of the frozen configuration;
+    # cached_property keeps the per-access address-split methods free of
+    # repeated log2 computation.
+    @cached_property
     def num_sets(self) -> int:
         return self.cache_size // self.set_size
 
-    @property
+    @cached_property
     def set_index_bits(self) -> int:
         return log2_int(self.num_sets)
 
-    @property
+    @cached_property
     def offset_bits(self) -> int:
         return log2_int(self.block_size)
 
-    @property
+    @cached_property
     def tag_bits(self) -> int:
         """Tag width for big blocks (paper: A - M - 9 bits)."""
         return self.address_bits - self.set_index_bits - self.offset_bits
 
-    @property
+    @cached_property
     def small_extra_bits(self) -> int:
         """Extra offset bits stored for small-block tags (paper: 3)."""
         return self.offset_bits - SUB_BLOCK_BITS
 
+    @cached_property
+    def _set_mask(self) -> int:
+        return self.num_sets - 1
+
+    @cached_property
+    def _tag_shift(self) -> int:
+        return self.offset_bits + self.set_index_bits
+
     def set_index(self, address: int) -> int:
-        return (address >> self.offset_bits) & (self.num_sets - 1)
+        return (address >> self.offset_bits) & self._set_mask
 
     def tag(self, address: int) -> int:
-        return address >> (self.offset_bits + self.set_index_bits)
+        return address >> self._tag_shift
 
     def block_address(self, address: int) -> int:
         """Address aligned to the big-block granularity."""

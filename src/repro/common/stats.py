@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 __all__ = ["Counter", "RunningMean", "Histogram", "RateStat", "StatGroup"]
 
 
-@dataclass
+@dataclass(slots=True)
 class Counter:
     """A named monotonic event counter."""
 
@@ -27,7 +27,7 @@ class Counter:
         self.value = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class RunningMean:
     """Streaming mean/min/max without storing samples."""
 
@@ -61,7 +61,7 @@ class RunningMean:
         self.maximum = float("-inf")
 
 
-@dataclass
+@dataclass(slots=True)
 class Histogram:
     """Integer-bucket histogram (e.g. utilization levels 1..8, MRU ranks)."""
 
@@ -95,7 +95,7 @@ class Histogram:
         self.buckets.clear()
 
 
-@dataclass
+@dataclass(slots=True)
 class RateStat:
     """Hits/total rate with explicit miss accounting."""
 

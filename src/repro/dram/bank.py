@@ -32,7 +32,12 @@ class RowOutcome(Enum):
     CONFLICT = "conflict"
 
 
-@dataclass(frozen=True)
+_HIT = RowOutcome.HIT
+_CLOSED = RowOutcome.CLOSED
+_CONFLICT = RowOutcome.CONFLICT
+
+
+@dataclass(slots=True)
 class BankAccess:
     """Timing of one column access as resolved by a bank.
 
@@ -63,6 +68,11 @@ class Bank:
         self.activations = 0
         self.precharges = 0
         self.refreshes = 0
+        # Timing constants flattened onto the instance for the access path.
+        self._trcd = timings.trcd
+        self._trp_trcd = timings.trp + timings.trcd
+        self._cl = timings.cl
+        self._tccd = timings.tccd
 
     @property
     def open_row(self) -> int | None:
@@ -83,6 +93,10 @@ class Bank:
         t = max(now, self._ready_at)
         if t < self._next_refresh:
             return t
+        return self._refresh_stall(t)
+
+    def _refresh_stall(self, t: int) -> int:
+        """Slow path of :meth:`_apply_refresh`: ``t`` has crossed tREFI."""
         elapsed = t - self._next_refresh
         completed = elapsed // self._timings.trefi
         self.refreshes += int(completed)
@@ -124,25 +138,29 @@ class Bank:
         streams sustain full bus bandwidth while each individual access
         still observes the complete CL (and ACT/PRE) latency.
         """
-        t = self._apply_refresh(now)
-        timings = self._timings
-        if self._open_row == row:
-            outcome = RowOutcome.HIT
+        t = now if now > self._ready_at else self._ready_at
+        if t >= self._next_refresh:
+            t = self._refresh_stall(t)
+        open_row = self._open_row
+        row_buffer = self.row_buffer
+        if open_row == row:
+            outcome = _HIT
             cas_issue = t
-        elif self._open_row is None:
-            outcome = RowOutcome.CLOSED
+            row_buffer.hits += 1
+        elif open_row is None:
+            outcome = _CLOSED
             self.activations += 1
-            cas_issue = t + timings.trcd
+            cas_issue = t + self._trcd
+            row_buffer.misses += 1
         else:
-            outcome = RowOutcome.CONFLICT
+            outcome = _CONFLICT
             self.precharges += 1
             self.activations += 1
-            cas_issue = t + timings.trp + timings.trcd
-        data_ready = cas_issue + timings.cl
+            cas_issue = t + self._trp_trcd
+            row_buffer.misses += 1
         self._open_row = row
-        self._ready_at = cas_issue + timings.tccd
-        self.row_buffer.record(outcome is RowOutcome.HIT)
-        return BankAccess(outcome=outcome, issue_time=t, data_ready=data_ready)
+        self._ready_at = cas_issue + self._tccd
+        return BankAccess(outcome, t, cas_issue + self._cl)
 
     def column_access(self, now: int) -> int:
         """Extra column access to the already-open row (multi-burst reads).

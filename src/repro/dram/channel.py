@@ -16,7 +16,7 @@ from repro.dram.bank import Bank, RowOutcome
 __all__ = ["ChannelAccess", "Channel"]
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class ChannelAccess:
     """Completed access: request time -> last data beat on the bus."""
 
@@ -57,6 +57,7 @@ class Channel:
         if num_banks < 1:
             raise ValueError("num_banks must be >= 1")
         self._timings = timings
+        self._burst_cycles = timings.burst_cycles
         self.banks = [
             Bank(timings, refresh_offset=(i * refresh_stagger)) for i in range(num_banks)
         ]
@@ -102,14 +103,17 @@ class Channel:
         if bursts < 1:
             raise ValueError("bursts must be >= 1")
         result = self.banks[bank].access(row, now)
-        start, end = self._transfer(result.data_ready, bursts, transfer_cycles)
-        return ChannelAccess(
-            outcome=result.outcome,
-            request_time=now,
-            data_start=start,
-            data_end=end,
-            bursts=bursts,
+        cas_done = result.data_ready
+        start = cas_done if cas_done > self._bus_free_at else self._bus_free_at
+        cycles = (
+            transfer_cycles
+            if transfer_cycles is not None
+            else bursts * self._burst_cycles
         )
+        end = start + cycles
+        self._bus_free_at = end
+        self.bus_busy_cycles += cycles
+        return ChannelAccess(result.outcome, now, start, end, bursts)
 
     def activate(self, bank: int, row: int, now: int) -> int:
         """Open a row without transferring data (anticipatory activation)."""

@@ -21,7 +21,7 @@ from repro.dram.channel import Channel, ChannelAccess, build_channels
 __all__ = ["DRAMLocation", "DRAMDevice"]
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class DRAMLocation:
     """Decoded placement of an address."""
 
@@ -48,6 +48,9 @@ class DRAMDevice:
         self._column_bits = log2_int(geometry.page_size // 64)
         self._channel_bits = log2_int(_ceil_pow2(geometry.channels))
         self._bank_bits = log2_int(_ceil_pow2(geometry.banks_per_channel))
+        self._column_mask = (1 << self._column_bits) - 1
+        self._channel_mask = (1 << self._channel_bits) - 1
+        self._bank_mask = (1 << self._bank_bits) - 1
         self.reads = 0
         self.writes = 0
         self.bytes_transferred = 0
@@ -69,6 +72,20 @@ class DRAMDevice:
         bank %= self.geometry.banks_per_channel
         return DRAMLocation(channel=channel, bank=bank, row=row, column=column)
 
+    def _decode_cbr(self, address: int) -> tuple[int, int, int]:
+        """(channel, bank, row) only — the timed access path never needs
+        the column, so skip building a DRAMLocation for it."""
+        bits = address >> SUB_BLOCK_BITS
+        bits >>= self._column_bits
+        channel = bits & self._channel_mask
+        bits >>= self._channel_bits
+        bank = bits & self._bank_mask
+        return (
+            channel % self.geometry.channels,
+            bank % self.geometry.banks_per_channel,
+            bits >> self._bank_bits,
+        )
+
     # ------------------------------------------------------------------
     # timed accesses
     # ------------------------------------------------------------------
@@ -78,17 +95,17 @@ class DRAMDevice:
         Multi-burst reads stay within one row for any transfer that does
         not cross a page boundary (the paper's big blocks never do).
         """
-        loc = self.decode(address)
+        channel, bank, row = self._decode_cbr(address)
         self.reads += 1
         self.bytes_transferred += bursts * 64
-        return self.channels[loc.channel].access(loc.bank, loc.row, now, bursts=bursts)
+        return self.channels[channel].access(bank, row, now, bursts=bursts)
 
     def write(self, address: int, now: int, *, bursts: int = 1) -> ChannelAccess:
         """Write; same row-buffer management as reads in this model."""
-        loc = self.decode(address)
+        channel, bank, row = self._decode_cbr(address)
         self.writes += 1
         self.bytes_transferred += bursts * 64
-        return self.channels[loc.channel].access(loc.bank, loc.row, now, bursts=bursts)
+        return self.channels[channel].access(bank, row, now, bursts=bursts)
 
     def access_direct(
         self,

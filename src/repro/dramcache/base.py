@@ -23,7 +23,7 @@ from repro.dram.device import DRAMDevice
 __all__ = ["DRAMCacheAccess", "DRAMCacheBase"]
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class DRAMCacheAccess:
     """Outcome of one LLSC-miss access to the DRAM cache."""
 
@@ -85,15 +85,28 @@ class DRAMCacheBase(ABC):
         comparison; writes are posted (they occupy resources but their
         completion does not stall the core).
         """
-        self._drain_posted(now)
+        if self._pending:
+            self._drain_posted(now)
         result = self._access(address, now, is_write)
-        self.hit_stat.record(result.hit)
+        hit = result.hit
+        hit_stat = self.hit_stat
+        if hit:
+            hit_stat.hits += 1
+        else:
+            hit_stat.misses += 1
         if not is_write:
-            self.read_latency.add(result.latency)
-            if result.hit:
-                self.hit_latency.add(result.latency)
+            latency = result.complete - result.start
+            mean = self.read_latency
+            mean.count += 1
+            mean.total += latency
+            if latency < mean.minimum:
+                mean.minimum = latency
+            if latency > mean.maximum:
+                mean.maximum = latency
+            if hit:
+                self.hit_latency.add(latency)
             else:
-                self.miss_latency.add(result.latency)
+                self.miss_latency.add(latency)
         return result
 
     @abstractmethod

@@ -1,14 +1,14 @@
-"""Bandwidth and row-buffer experiments: Figures 9(a), 9(b), 9(c), 10."""
+"""Bandwidth and row-buffer experiments: Figures 9(a), 9(b), 9(c), 10.
+
+Every (scheme/config, mix) run is an independent cell dispatched via
+:func:`repro.harness.parallel.run_grid`; results are assembled back in
+grid order, so parallel and serial invocations produce identical rows.
+"""
 
 from __future__ import annotations
 
-from repro.harness.runner import (
-    ExperimentSetup,
-    build_cache,
-    drive_cache,
-    run_scheme_on_mix,
-    scaled_locator_bits,
-)
+from repro.harness.parallel import GridCell, drive_cell, run_grid
+from repro.harness.runner import ExperimentSetup, scaled_locator_bits
 from repro.bimodal.cache import BiModalConfig
 from repro.workloads.mixes import mixes_for_cores
 
@@ -24,6 +24,7 @@ def fig9a_wasted_bandwidth(
     *,
     setup: ExperimentSetup | None = None,
     mix_names: list[str] | None = None,
+    jobs: int | None = None,
 ) -> list[dict]:
     """Figure 9(a): wasted off-chip bytes, fixed-512B vs Bi-Modal.
 
@@ -34,14 +35,17 @@ def fig9a_wasted_bandwidth(
     """
     setup = setup or ExperimentSetup(num_cores=8)
     names = mix_names or list(mixes_for_cores(setup.num_cores))
+    schemes = ("fixed512", "bimodal")
+    cells = [
+        GridCell(scheme=scheme, mix=name, setup=setup, warmup_fraction=0.5)
+        for name in names
+        for scheme in schemes
+    ]
+    stats = run_grid(drive_cell, cells, jobs=jobs)
     rows = []
-    for name in names:
-        fixed = run_scheme_on_mix(
-            "fixed512", name, setup=setup, warmup_fraction=0.5
-        ).stats
-        bimodal = run_scheme_on_mix(
-            "bimodal", name, setup=setup, warmup_fraction=0.5
-        ).stats
+    for i, name in enumerate(names):
+        fixed = stats[2 * i]
+        bimodal = stats[2 * i + 1]
         fixed_waste = fixed["offchip_wasted_bytes"]
         bi_waste = bimodal["offchip_wasted_bytes"]
         saving = (fixed_waste - bi_waste) / fixed_waste if fixed_waste else 0.0
@@ -73,6 +77,7 @@ def fig9b_metadata_rbh(
     *,
     setup: ExperimentSetup | None = None,
     mix_names: list[str] | None = None,
+    jobs: int | None = None,
 ) -> list[dict]:
     """Figure 9(b): metadata row-buffer hit rate, separate vs co-located.
 
@@ -91,10 +96,10 @@ def fig9b_metadata_rbh(
     setup = setup or ExperimentSetup()
     names = mix_names or list(mixes_for_cores(setup.num_cores))
     k = scaled_locator_bits(scale=setup.scale)
-    rows = []
+    layouts = (("separate", False), ("colocated", True))
+    cells = []
     for name in names:
-        results = {}
-        for label, colocated in (("separate", False), ("colocated", True)):
+        for _, colocated in layouts:
             cfg = BiModalConfig(
                 locator_index_bits=k,
                 predictor_index_bits=10,
@@ -103,10 +108,16 @@ def fig9b_metadata_rbh(
                 colocated_metadata=colocated,
                 parallel_tag_data=not colocated,
             )
-            result = run_scheme_on_mix(
-                "bimodal", name, setup=setup, bimodal_config=cfg
+            cells.append(
+                GridCell(scheme="bimodal", mix=name, setup=setup, bimodal_config=cfg)
             )
-            results[label] = result.stats["metadata_rbh"]
+    stats = run_grid(drive_cell, cells, jobs=jobs)
+    rows = []
+    for i, name in enumerate(names):
+        results = {
+            label: stats[2 * i + j]["metadata_rbh"]
+            for j, (label, _) in enumerate(layouts)
+        }
         gain = (
             (results["separate"] - results["colocated"]) / results["colocated"]
             if results["colocated"]
@@ -133,6 +144,7 @@ def fig9c_way_locator_hit_rate(
     setup: ExperimentSetup | None = None,
     mix_names: list[str] | None = None,
     k_values: tuple[int, ...] | None = None,
+    jobs: int | None = None,
 ) -> list[dict]:
     """Figure 9(c): way locator hit rate vs table size K.
 
@@ -143,9 +155,8 @@ def fig9c_way_locator_hit_rate(
     setup = setup or ExperimentSetup()
     names = mix_names or list(mixes_for_cores(setup.num_cores))
     paper_ks = k_values or (10, 12, 14, 16)
-    rows = []
+    cells = []
     for name in names:
-        row: dict = {"mix": name}
         for paper_k in paper_ks:
             k = scaled_locator_bits(paper_k, setup.scale)
             cfg = BiModalConfig(
@@ -154,10 +165,17 @@ def fig9c_way_locator_hit_rate(
                 tracker_sample_every=2,
                 adaptation_interval=2_000,
             )
-            result = run_scheme_on_mix(
-                "bimodal", name, setup=setup, bimodal_config=cfg
+            cells.append(
+                GridCell(scheme="bimodal", mix=name, setup=setup, bimodal_config=cfg)
             )
-            row[f"K{paper_k}"] = result.stats["way_locator_hit_rate"]
+    stats = run_grid(drive_cell, cells, jobs=jobs)
+    rows = []
+    for i, name in enumerate(names):
+        row: dict = {"mix": name}
+        for j, paper_k in enumerate(paper_ks):
+            row[f"K{paper_k}"] = stats[i * len(paper_ks) + j][
+                "way_locator_hit_rate"
+            ]
         rows.append(row)
     if rows:
         avg: dict = {"mix": "mean"}
@@ -172,6 +190,7 @@ def fig10_small_block_fraction(
     *,
     setup: ExperimentSetup | None = None,
     mix_names: list[str] | None = None,
+    jobs: int | None = None,
 ) -> list[dict]:
     """Figure 10: fraction of accesses served by small blocks.
 
@@ -180,14 +199,13 @@ def fig10_small_block_fraction(
     """
     setup = setup or ExperimentSetup()
     names = mix_names or list(mixes_for_cores(setup.num_cores))
-    rows = []
-    for name in names:
-        stats = run_scheme_on_mix("bimodal", name, setup=setup).stats
-        rows.append(
-            {
-                "mix": name,
-                "small_fraction": stats["small_access_fraction"],
-                "global_state": str(stats["global_state"]),
-            }
-        )
-    return rows
+    cells = [GridCell(scheme="bimodal", mix=name, setup=setup) for name in names]
+    stats = run_grid(drive_cell, cells, jobs=jobs)
+    return [
+        {
+            "mix": name,
+            "small_fraction": cell_stats["small_access_fraction"],
+            "global_state": str(cell_stats["global_state"]),
+        }
+        for name, cell_stats in zip(names, stats)
+    ]

@@ -2,12 +2,18 @@
 
 These reproduce the paper's Section II motivation studies with the
 trace-driven methodology: functional cache simulations over the merged
-LLSC-miss streams.
+LLSC-miss streams. Each mix is one parallelizable cell; the merged
+record arrays come from the trace cache, so a mix's stream is generated
+once and shared by every block size / figure instead of being re-derived
+per sweep point.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.common.stats import Histogram
+from repro.harness.parallel import run_grid
 from repro.harness.runner import ExperimentSetup, build_cache, drive_cache
 from repro.sram.cache import SetAssociativeCache
 from repro.workloads.mixes import mixes_for_cores
@@ -21,12 +27,38 @@ __all__ = [
 BLOCK_SIZES = (64, 128, 256, 512, 1024, 2048, 4096)
 
 
+@dataclass(frozen=True)
+class _Fig1Cell:
+    mix: str
+    setup: ExperimentSetup
+    block_sizes: tuple[int, ...]
+    associativity: int
+
+
+def _fig1_row(cell: _Fig1Cell) -> dict:
+    capacity = cell.setup.system.dram_cache.capacity
+    records = cell.setup.trace_records(cell.mix)
+    addresses = records.addresses.tolist()
+    is_writes = records.is_write.tolist()
+    row: dict = {"mix": cell.mix}
+    for block_size in cell.block_sizes:
+        cache = SetAssociativeCache(
+            capacity, cell.associativity, block_size, policy="lru"
+        )
+        access = cache.access
+        for address, is_write in zip(addresses, is_writes):
+            access(address, is_write=is_write)
+        row[f"{block_size}B"] = cache.accesses.miss_rate
+    return row
+
+
 def fig1_miss_rate_vs_block_size(
     *,
     setup: ExperimentSetup | None = None,
     mix_names: list[str] | None = None,
     block_sizes: tuple[int, ...] = BLOCK_SIZES,
     associativity: int = 8,
+    jobs: int | None = None,
 ) -> list[dict]:
     """Figure 1: LLSC miss rate falls as DRAM cache block size grows.
 
@@ -35,19 +67,17 @@ def fig1_miss_rate_vs_block_size(
     each doubling for most workloads.
     """
     setup = setup or ExperimentSetup()
-    capacity = setup.system.dram_cache.capacity
     names = mix_names or list(mixes_for_cores(setup.num_cores))
-    rows = []
-    for name in names:
-        row: dict = {"mix": name}
-        for block_size in block_sizes:
-            cache = SetAssociativeCache(
-                capacity, associativity, block_size, policy="lru"
-            )
-            for record in setup.trace(name):
-                cache.access(record.address, is_write=record.is_write)
-            row[f"{block_size}B"] = cache.accesses.miss_rate
-        rows.append(row)
+    cells = [
+        _Fig1Cell(
+            mix=name,
+            setup=setup,
+            block_sizes=tuple(block_sizes),
+            associativity=associativity,
+        )
+        for name in names
+    ]
+    rows = run_grid(_fig1_row, cells, jobs=jobs)
     if rows:
         avg = {"mix": "mean"}
         for block_size in block_sizes:
@@ -57,10 +87,38 @@ def fig1_miss_rate_vs_block_size(
     return rows
 
 
+@dataclass(frozen=True)
+class _Fig2Cell:
+    mix: str
+    setup: ExperimentSetup
+
+
+def _fig2_row(cell: _Fig2Cell) -> dict:
+    setup = cell.setup
+    cache = build_cache("fixed512", setup.system, scale=setup.scale)
+    drive_cache(
+        cache,
+        setup.trace_records(cell.mix),
+        streams=setup.num_cores,
+    )
+    hist = Histogram()
+    hist.buckets.update(cache.utilization_hist.buckets)
+    for entry in cache._sets.values():
+        for block in entry.big_ways:
+            if block is not None and block.utilization:
+                hist.add(block.utilization)
+    row: dict = {"mix": cell.mix}
+    for level in range(1, 9):
+        row[f"u{level}"] = hist.fraction(level)
+    row["full_frac"] = hist.fraction(8)
+    return row
+
+
 def fig2_block_utilization(
     *,
     setup: ExperimentSetup | None = None,
     mix_names: list[str] | None = None,
+    jobs: int | None = None,
 ) -> list[dict]:
     """Figure 2: distribution of 64B sub-block utilization in 512B blocks.
 
@@ -71,27 +129,35 @@ def fig2_block_utilization(
     """
     setup = setup or ExperimentSetup()
     names = mix_names or list(mixes_for_cores(setup.num_cores))
-    rows = []
-    for name in names:
-        cache = build_cache("fixed512", setup.system, scale=setup.scale)
-        trace = setup.trace(name)
-        drive_cache(
-            cache,
-            ((r.address, r.is_write, r.icount) for r in trace),
-            streams=setup.num_cores,
-        )
-        hist = Histogram()
-        hist.buckets.update(cache.utilization_hist.buckets)
-        for entry in cache._sets.values():
-            for block in entry.big_ways:
-                if block is not None and block.utilization:
-                    hist.add(block.utilization)
-        row: dict = {"mix": name}
-        for level in range(1, 9):
-            row[f"u{level}"] = hist.fraction(level)
-        row["full_frac"] = hist.fraction(8)
-        rows.append(row)
-    return rows
+    cells = [_Fig2Cell(mix=name, setup=setup) for name in names]
+    return run_grid(_fig2_row, cells, jobs=jobs)
+
+
+@dataclass(frozen=True)
+class _Fig5Cell:
+    mix: str
+    setup: ExperimentSetup
+    associativity: int
+    block_size: int
+
+
+def _fig5_row(cell: _Fig5Cell) -> dict:
+    capacity = cell.setup.system.dram_cache.capacity
+    cache = SetAssociativeCache(
+        capacity, cell.associativity, cell.block_size, policy="lru", track_mru=True
+    )
+    records = cell.setup.trace_records(cell.mix)
+    access = cache.access
+    for address, is_write in zip(
+        records.addresses.tolist(), records.is_write.tolist()
+    ):
+        access(address, is_write=is_write)
+    hist = cache.mru_hits
+    row: dict = {"mix": cell.mix}
+    for rank in range(cell.associativity):
+        row[f"mru{rank}"] = hist.fraction(rank)
+    row["top2"] = hist.cumulative_fraction(1)
+    return row
 
 
 def fig5_mru_hits(
@@ -100,6 +166,7 @@ def fig5_mru_hits(
     mix_names: list[str] | None = None,
     associativity: int = 8,
     block_size: int = 512,
+    jobs: int | None = None,
 ) -> list[dict]:
     """Figure 5: fraction of cache hits by MRU stack position (8-way).
 
@@ -108,20 +175,13 @@ def fig5_mru_hits(
     """
     setup = setup or ExperimentSetup(num_cores=8)
     names = mix_names or list(mixes_for_cores(setup.num_cores))
-    capacity = setup.system.dram_cache.capacity
-    rows = []
-    for name in names:
-        cache = SetAssociativeCache(
-            capacity, associativity, block_size, policy="lru", track_mru=True
+    cells = [
+        _Fig5Cell(
+            mix=name, setup=setup, associativity=associativity, block_size=block_size
         )
-        for record in setup.trace(name):
-            cache.access(record.address, is_write=record.is_write)
-        hist = cache.mru_hits
-        row: dict = {"mix": name}
-        for rank in range(associativity):
-            row[f"mru{rank}"] = hist.fraction(rank)
-        row["top2"] = hist.cumulative_fraction(1)
-        rows.append(row)
+        for name in names
+    ]
+    rows = run_grid(_fig5_row, cells, jobs=jobs)
     if rows:
         avg: dict = {"mix": "mean"}
         keys = [k for k in rows[0] if k != "mix"]

@@ -9,7 +9,8 @@ from __future__ import annotations
 
 from repro.common.config import DRAMTimingConfig
 from repro.common.tables import TAG_STORE_LATENCY
-from repro.harness.runner import ExperimentSetup, run_scheme_on_mix
+from repro.harness.parallel import GridCell, drive_cell, run_grid
+from repro.harness.runner import ExperimentSetup
 from repro.workloads.mixes import mixes_for_cores
 
 __all__ = ["fig3_latency_breakdown", "fig8c_access_latency", "LATENCY_SCHEMES"]
@@ -116,6 +117,7 @@ def fig8c_access_latency(
     setup: ExperimentSetup | None = None,
     mix_names: list[str] | None = None,
     schemes: tuple[str, ...] = LATENCY_SCHEMES,
+    jobs: int | None = None,
 ) -> list[dict]:
     """Figure 8(c): average LLSC miss penalty per scheme.
 
@@ -125,12 +127,17 @@ def fig8c_access_latency(
     """
     setup = setup or ExperimentSetup()
     names = mix_names or list(mixes_for_cores(setup.num_cores))
+    cells = [
+        GridCell(scheme=scheme, mix=name, setup=setup)
+        for name in names
+        for scheme in schemes
+    ]
+    stats = run_grid(drive_cell, cells, jobs=jobs)
     rows = []
-    for name in names:
+    for i, name in enumerate(names):
         row: dict = {"mix": name}
-        for scheme in schemes:
-            result = run_scheme_on_mix(scheme, name, setup=setup)
-            row[scheme] = result.stats["avg_read_latency"]
+        for j, scheme in enumerate(schemes):
+            row[scheme] = stats[i * len(schemes) + j]["avg_read_latency"]
         rows.append(row)
     if rows:
         avg: dict = {"mix": "mean"}

@@ -4,12 +4,17 @@ ANTT measurements follow the paper's protocol exactly: every program in
 the mix runs multiprogrammed, then standalone under the *same* cache
 scheme, and ANTT is the mean slowdown. Improvement is reported as the
 relative ANTT reduction of Bi-Modal over the AlloyCache baseline.
+
+Each (scheme, mix) measurement is an independent cell dispatched through
+:func:`repro.harness.parallel.run_grid`, so figure-level grids fan out
+over ``REPRO_JOBS`` workers with results identical to a serial run.
 """
 
 from __future__ import annotations
 
 from repro.cores.metrics import improvement_percent
 from repro.cores.multiprog import MultiProgramRunner
+from repro.harness.parallel import AnttCell, GridCell, antt_cell, drive_cell, run_grid
 from repro.harness.runner import ExperimentSetup, build_cache
 from repro.workloads.mixes import mixes_for_cores
 
@@ -44,12 +49,24 @@ def measure_antt(
     return runner.run_antt()
 
 
+def _fig_antt_cell(scheme: str, mix: str, setup: ExperimentSetup) -> AnttCell:
+    """Cell equivalent of :func:`measure_antt` (same protocol knobs)."""
+    return AnttCell(
+        scheme=scheme,
+        mix=mix,
+        setup=setup,
+        warmup_fraction=0.5,
+        intensity_scale=setup.intensity_scale,
+    )
+
+
 def fig7_antt(
     *,
     num_cores: int = 4,
     mix_names: list[str] | None = None,
     setup: ExperimentSetup | None = None,
     schemes: tuple[str, str] = ("alloy", "bimodal"),
+    jobs: int | None = None,
 ) -> list[dict]:
     """Figure 7: ANTT improvement of Bi-Modal over AlloyCache.
 
@@ -58,10 +75,14 @@ def fig7_antt(
     setup = setup or ExperimentSetup(num_cores=num_cores)
     names = mix_names or list(mixes_for_cores(setup.num_cores))
     baseline_name, improved_name = schemes
+    cells = [
+        _fig_antt_cell(scheme, name, setup) for name in names for scheme in schemes
+    ]
+    antts = run_grid(antt_cell, cells, jobs=jobs)
     rows = []
-    for name in names:
-        base_antt, _ = measure_antt(baseline_name, name, setup=setup)
-        new_antt, _ = measure_antt(improved_name, name, setup=setup)
+    for i, name in enumerate(names):
+        base_antt = antts[2 * i]
+        new_antt = antts[2 * i + 1]
         rows.append(
             {
                 "mix": name,
@@ -87,6 +108,7 @@ def fig8a_component_analysis(
     *,
     mix_names: list[str] | None = None,
     setup: ExperimentSetup | None = None,
+    jobs: int | None = None,
 ) -> list[dict]:
     """Figure 8(a): Bi-Modal-Only and Way-Locator-Only vs the full design.
 
@@ -96,12 +118,16 @@ def fig8a_component_analysis(
     setup = setup or ExperimentSetup(num_cores=8)
     names = mix_names or list(mixes_for_cores(setup.num_cores))
     schemes = ("alloy", "bimodal-only", "wayloc-only", "bimodal")
+    cells = [
+        _fig_antt_cell(scheme, name, setup) for name in names for scheme in schemes
+    ]
+    antts = run_grid(antt_cell, cells, jobs=jobs)
     rows = []
-    for name in names:
-        antts = {s: measure_antt(s, name, setup=setup)[0] for s in schemes}
+    for i, name in enumerate(names):
+        per_mix = dict(zip(schemes, antts[i * len(schemes) : (i + 1) * len(schemes)]))
         row = {"mix": name}
         for s in schemes[1:]:
-            row[f"{s}_pct"] = improvement_percent(antts["alloy"], antts[s])
+            row[f"{s}_pct"] = improvement_percent(per_mix["alloy"], per_mix[s])
         rows.append(row)
     if rows:
         avg = {"mix": "mean"}
@@ -116,23 +142,27 @@ def fig8b_hit_rate(
     *,
     mix_names: list[str] | None = None,
     setup: ExperimentSetup | None = None,
+    jobs: int | None = None,
 ) -> list[dict]:
     """Figure 8(b): DRAM cache hit rates of Alloy, fixed-512B and Bi-Modal.
 
     The paper reports average hit-rate gains over AlloyCache of 29%
     (fixed 512 B) and 38% (Bi-Modal, via better space utilization).
     """
-    from repro.harness.runner import run_scheme_on_mix
-
     setup = setup or ExperimentSetup()
     names = mix_names or list(mixes_for_cores(setup.num_cores))
+    schemes = ("alloy", "fixed512", "bimodal")
+    cells = [
+        GridCell(scheme=scheme, mix=name, setup=setup)
+        for name in names
+        for scheme in schemes
+    ]
+    stats = run_grid(drive_cell, cells, jobs=jobs)
     rows = []
-    for name in names:
+    for i, name in enumerate(names):
         row: dict = {"mix": name}
-        for scheme in ("alloy", "fixed512", "bimodal"):
-            row[scheme] = run_scheme_on_mix(scheme, name, setup=setup).stats[
-                "hit_rate"
-            ]
+        for j, scheme in enumerate(schemes):
+            row[scheme] = stats[i * len(schemes) + j]["hit_rate"]
         row["fixed512_gain_pct"] = improvement_percent(
             1 - row["alloy"], 1 - row["fixed512"]
         )

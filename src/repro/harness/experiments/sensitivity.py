@@ -12,13 +12,14 @@ from dataclasses import replace
 
 from repro.bimodal.cache import BiModalConfig
 from repro.cores.metrics import improvement_percent
-from repro.cores.multiprog import MultiProgramRunner
-from repro.harness.runner import (
-    ExperimentSetup,
-    build_cache,
-    run_scheme_on_mix,
-    scaled_locator_bits,
+from repro.harness.parallel import (
+    AnttCell,
+    GridCell,
+    antt_cell,
+    drive_cell,
+    run_grid,
 )
+from repro.harness.runner import ExperimentSetup, scaled_locator_bits
 from repro.workloads.mixes import mixes_for_cores
 
 __all__ = [
@@ -38,36 +39,22 @@ def _antt_for(
     cache_mb: int | None = None,
     bimodal_config: BiModalConfig | None = None,
 ) -> float:
-    mix = mixes_for_cores(setup.num_cores)[mix_name]
-    system = setup.system
-    if cache_mb is not None:
-        system = system.scaled_cache(cache_mb << 20)
-    total = setup.accesses_per_core * setup.num_cores
-
-    def factory():
-        return build_cache(
-            scheme,
-            system,
-            scale=setup.scale,
+    return antt_cell(
+        AnttCell(
+            scheme=scheme,
+            mix=mix_name,
+            setup=setup,
+            cache_mb=cache_mb,
             bimodal_config=bimodal_config,
-            adaptation_interval=max(1_000, total // 150),
         )
-
-    runner = MultiProgramRunner(
-        mix,
-        factory,
-        accesses_per_core=setup.accesses_per_core,
-        seed=setup.seed,
-        footprint_scale=setup.footprint_scale,
     )
-    antt, _ = runner.run_antt()
-    return antt
 
 
 def fig12_sensitivity(
     *,
     setup: ExperimentSetup | None = None,
     mix_names: list[str] | None = None,
+    jobs: int | None = None,
 ) -> list[dict]:
     """Figure 12: gains hold across cache size, block size, associativity.
 
@@ -107,15 +94,30 @@ def fig12_sensitivity(
             replace(base_cfg, set_size=4096),
         ),
     ]
-    rows = []
-    for label, cache_mb, cfg in variants:
-        gains = []
+    cells = []
+    for _, cache_mb, cfg in variants:
         for name in names:
-            base = _antt_for("alloy", name, setup=setup, cache_mb=cache_mb)
-            bi = _antt_for(
-                "bimodal", name, setup=setup, cache_mb=cache_mb, bimodal_config=cfg
+            cells.append(
+                AnttCell(scheme="alloy", mix=name, setup=setup, cache_mb=cache_mb)
             )
-            gains.append(improvement_percent(base, bi))
+            cells.append(
+                AnttCell(
+                    scheme="bimodal",
+                    mix=name,
+                    setup=setup,
+                    cache_mb=cache_mb,
+                    bimodal_config=cfg,
+                )
+            )
+    antts = run_grid(antt_cell, cells, jobs=jobs)
+    rows = []
+    per_variant = 2 * len(names)
+    for v, (label, cache_mb, _) in enumerate(variants):
+        chunk = antts[v * per_variant : (v + 1) * per_variant]
+        gains = [
+            improvement_percent(chunk[2 * i], chunk[2 * i + 1])
+            for i in range(len(names))
+        ]
         rows.append(
             {
                 "config": label,
@@ -129,12 +131,16 @@ def fig12_sensitivity(
 # ----------------------------------------------------------------------
 # Ablations beyond the paper (DESIGN.md section 5)
 # ----------------------------------------------------------------------
+def _bimodal_cell(
+    mix_name: str, setup: ExperimentSetup, cfg: BiModalConfig
+) -> GridCell:
+    return GridCell(scheme="bimodal", mix=mix_name, setup=setup, bimodal_config=cfg)
+
+
 def _bimodal_stats(
     mix_name: str, setup: ExperimentSetup, cfg: BiModalConfig
 ) -> dict:
-    return run_scheme_on_mix(
-        "bimodal", mix_name, setup=setup, bimodal_config=cfg
-    ).stats
+    return drive_cell(_bimodal_cell(mix_name, setup, cfg))
 
 
 def _base_config(setup: ExperimentSetup) -> BiModalConfig:
@@ -151,23 +157,27 @@ def ablation_threshold(
     setup: ExperimentSetup | None = None,
     mix_name: str = "Q7",
     thresholds: tuple[int, ...] = (2, 3, 5, 7, 8),
+    jobs: int | None = None,
 ) -> list[dict]:
     """Utilization threshold T sweep (paper fixes T=5, suggests stricter
     T trades bandwidth for hit rate)."""
     setup = setup or ExperimentSetup()
-    rows = []
-    for t in thresholds:
-        cfg = replace(_base_config(setup), utilization_threshold=t)
-        stats = _bimodal_stats(mix_name, setup, cfg)
-        rows.append(
-            {
-                "T": t,
-                "hit_rate": stats["hit_rate"],
-                "offchip_mb": stats["offchip_fetched_bytes"] / (1 << 20),
-                "small_fraction": stats["small_access_fraction"],
-            }
+    cells = [
+        _bimodal_cell(
+            mix_name, setup, replace(_base_config(setup), utilization_threshold=t)
         )
-    return rows
+        for t in thresholds
+    ]
+    results = run_grid(drive_cell, cells, jobs=jobs)
+    return [
+        {
+            "T": t,
+            "hit_rate": stats["hit_rate"],
+            "offchip_mb": stats["offchip_fetched_bytes"] / (1 << 20),
+            "small_fraction": stats["small_access_fraction"],
+        }
+        for t, stats in zip(thresholds, results)
+    ]
 
 
 def ablation_weight(
@@ -175,22 +185,26 @@ def ablation_weight(
     setup: ExperimentSetup | None = None,
     mix_name: str = "Q7",
     weights: tuple[float, ...] = (0.25, 0.5, 0.75, 1.0, 1.5),
+    jobs: int | None = None,
 ) -> list[dict]:
     """Adaptation weight W sweep (paper fixes W=0.75)."""
     setup = setup or ExperimentSetup()
-    rows = []
-    for w in weights:
-        cfg = replace(_base_config(setup), adaptation_weight=w)
-        stats = _bimodal_stats(mix_name, setup, cfg)
-        rows.append(
-            {
-                "W": w,
-                "hit_rate": stats["hit_rate"],
-                "small_fraction": stats["small_access_fraction"],
-                "global_state": str(stats["global_state"]),
-            }
+    cells = [
+        _bimodal_cell(
+            mix_name, setup, replace(_base_config(setup), adaptation_weight=w)
         )
-    return rows
+        for w in weights
+    ]
+    results = run_grid(drive_cell, cells, jobs=jobs)
+    return [
+        {
+            "W": w,
+            "hit_rate": stats["hit_rate"],
+            "small_fraction": stats["small_access_fraction"],
+            "global_state": str(stats["global_state"]),
+        }
+        for w, stats in zip(weights, results)
+    ]
 
 
 def ablation_sampling(
@@ -198,38 +212,52 @@ def ablation_sampling(
     setup: ExperimentSetup | None = None,
     mix_name: str = "Q7",
     rates: tuple[int, ...] = (1, 2, 8, 32),
+    jobs: int | None = None,
 ) -> list[dict]:
     """Tracker set-sampling sweep (paper uses ~4% of sets)."""
     setup = setup or ExperimentSetup()
-    rows = []
-    for every in rates:
-        cfg = replace(_base_config(setup), tracker_sample_every=every)
-        stats = _bimodal_stats(mix_name, setup, cfg)
-        rows.append(
-            {
-                "sample_every": every,
-                "hit_rate": stats["hit_rate"],
-                "predictor_accuracy": stats["predictor_accuracy"],
-                "small_fraction": stats["small_access_fraction"],
-            }
+    cells = [
+        _bimodal_cell(
+            mix_name, setup, replace(_base_config(setup), tracker_sample_every=every)
         )
-    return rows
+        for every in rates
+    ]
+    results = run_grid(drive_cell, cells, jobs=jobs)
+    return [
+        {
+            "sample_every": every,
+            "hit_rate": stats["hit_rate"],
+            "predictor_accuracy": stats["predictor_accuracy"],
+            "small_fraction": stats["small_access_fraction"],
+        }
+        for every, stats in zip(rates, results)
+    ]
 
 
 def ablation_parallel_tag(
     *,
     setup: ExperimentSetup | None = None,
     mix_names: list[str] | None = None,
+    jobs: int | None = None,
 ) -> list[dict]:
     """Parallel vs serial tag+data issue on way locator misses."""
     setup = setup or ExperimentSetup()
     names = mix_names or ["Q2", "Q7"]
+    modes = (("parallel", True), ("serial", False))
+    cells = [
+        _bimodal_cell(
+            name, setup, replace(_base_config(setup), parallel_tag_data=parallel)
+        )
+        for name in names
+        for _, parallel in modes
+    ]
+    results = run_grid(drive_cell, cells, jobs=jobs)
     rows = []
-    for name in names:
-        res = {}
-        for label, parallel in (("parallel", True), ("serial", False)):
-            cfg = replace(_base_config(setup), parallel_tag_data=parallel)
-            res[label] = _bimodal_stats(name, setup, cfg)["avg_read_latency"]
+    for i, name in enumerate(names):
+        res = {
+            label: results[2 * i + j]["avg_read_latency"]
+            for j, (label, _) in enumerate(modes)
+        }
         rows.append(
             {
                 "mix": name,

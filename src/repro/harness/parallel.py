@@ -1,0 +1,171 @@
+"""Parallel experiment engine: fan (scheme, mix, setup) cells over processes.
+
+Every figure in the harness is a grid of independent simulation cells —
+one cache instance driven by one trace under one configuration. This
+module gives them a single fan-out point: describe each cell as a small
+picklable dataclass, hand the list to :func:`run_grid` with a worker
+function, and get results back **in submission order**, bit-identical to
+a serial run (each cell builds its own cache and trace from the cell's
+parameters, so parallelism cannot perturb any RNG or timing state).
+
+Worker processes return plain floats/dicts, never simulator objects:
+caches hold posted-operation lambdas that do not pickle, and shipping a
+few numbers keeps IPC negligible next to simulation time.
+
+Job-count resolution: an explicit ``jobs`` argument wins, then the
+``REPRO_JOBS`` environment variable, else serial. ``0`` or ``"auto"``
+means one worker per CPU. ``jobs=1`` (the default everywhere) runs the
+cells inline with no pool, and any failure to *create* the pool (e.g. a
+sandbox forbidding fork) silently falls back to the serial path.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Iterable
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import TypeVar
+
+from repro.bimodal.cache import BiModalConfig
+from repro.cores.multiprog import MultiProgramRunner
+from repro.harness.runner import ExperimentSetup, build_cache, run_scheme_on_mix
+from repro.workloads.mixes import mixes_for_cores
+
+__all__ = [
+    "resolve_jobs",
+    "run_grid",
+    "GridCell",
+    "AnttCell",
+    "drive_cell",
+    "antt_cell",
+]
+
+_Cell = TypeVar("_Cell")
+_Result = TypeVar("_Result")
+
+
+def resolve_jobs(jobs: int | str | None = None) -> int:
+    """Effective worker count: explicit argument > ``REPRO_JOBS`` > 1."""
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        if not env:
+            return 1
+        jobs = env
+    if isinstance(jobs, str):
+        if jobs.lower() == "auto":
+            jobs = 0
+        else:
+            try:
+                jobs = int(jobs)
+            except ValueError:
+                return 1
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return max(1, jobs)
+
+
+def run_grid(
+    func: Callable[[_Cell], _Result],
+    cells: Iterable[_Cell],
+    *,
+    jobs: int | str | None = None,
+) -> list[_Result]:
+    """Apply ``func`` to every cell, optionally across processes.
+
+    Results come back in the order the cells were given regardless of
+    completion order. With ``jobs`` resolving to 1 (the default when
+    ``REPRO_JOBS`` is unset) or fewer than two cells, no pool is created
+    at all. Pool-level failures (fork refused, workers killed) degrade
+    to the serial path; exceptions raised *by the worker function*
+    propagate unchanged in both modes.
+    """
+    cell_list = list(cells)
+    workers = resolve_jobs(jobs)
+    if workers <= 1 or len(cell_list) <= 1:
+        return [func(cell) for cell in cell_list]
+    try:
+        with ProcessPoolExecutor(max_workers=min(workers, len(cell_list))) as pool:
+            return list(pool.map(func, cell_list))
+    except (OSError, PermissionError, BrokenProcessPool):
+        return [func(cell) for cell in cell_list]
+
+
+# ----------------------------------------------------------------------
+# standard cells
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GridCell:
+    """One trace-driven run: scheme x mix under a setup (drive protocol)."""
+
+    scheme: str
+    mix: str
+    setup: ExperimentSetup
+    bimodal_config: BiModalConfig | None = None
+    window: int = 16
+    warmup_fraction: float = 0.5
+
+
+def drive_cell(cell: GridCell) -> dict:
+    """Worker: run one cell, return its stats snapshot (picklable)."""
+    result = run_scheme_on_mix(
+        cell.scheme,
+        cell.mix,
+        setup=cell.setup,
+        bimodal_config=cell.bimodal_config,
+        window=cell.window,
+        warmup_fraction=cell.warmup_fraction,
+    )
+    return dict(result.stats)
+
+
+@dataclass(frozen=True)
+class AnttCell:
+    """One ANTT measurement: multiprogrammed plus per-program standalone.
+
+    Defaults mirror :class:`~repro.cores.multiprog.MultiProgramRunner`
+    (``warmup_fraction=0.3``, ``intensity_scale=1.0``); the Figure 7/8
+    protocol passes 0.5 and the setup's intensity explicitly.
+    """
+
+    scheme: str
+    mix: str
+    setup: ExperimentSetup
+    accesses_per_core: int | None = None
+    cache_mb: int | None = None
+    bimodal_config: BiModalConfig | None = None
+    warmup_fraction: float = 0.3
+    intensity_scale: float = 1.0
+
+
+def antt_cell(cell: AnttCell) -> float:
+    """Worker: ANTT of one scheme on one mix (the paper's metric)."""
+    setup = cell.setup
+    mix = mixes_for_cores(setup.num_cores)[cell.mix]
+    system = setup.system
+    if cell.cache_mb is not None:
+        system = system.scaled_cache(cell.cache_mb << 20)
+    per_core = cell.accesses_per_core or setup.accesses_per_core
+    total = per_core * setup.num_cores
+
+    def factory():
+        return build_cache(
+            cell.scheme,
+            system,
+            scale=setup.scale,
+            bimodal_config=cell.bimodal_config,
+            adaptation_interval=max(1_000, total // 150),
+        )
+
+    runner = MultiProgramRunner(
+        mix,
+        factory,
+        accesses_per_core=per_core,
+        seed=setup.seed,
+        footprint_scale=setup.footprint_scale,
+        intensity_scale=cell.intensity_scale,
+        warmup_fraction=cell.warmup_fraction,
+    )
+    antt, _ = runner.run_antt()
+    return antt

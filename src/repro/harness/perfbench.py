@@ -1,0 +1,212 @@
+"""Drive-loop throughput measurement and the BENCH_perf.json record.
+
+The simulator's capacity for paper-scale sweeps is set by one number:
+merged-trace records simulated per second. This module measures it two
+ways on the standard 4-core bimodal drive —
+
+* ``legacy`` — the pre-batching protocol: regenerate the merged trace
+  and feed :func:`drive_cache` one ``(address, is_write, icount)`` tuple
+  at a time (the compatibility path kept in the runner), and
+* ``fast`` — the current protocol: cached record arrays through the
+  batched drive loop,
+
+and appends timestamped measurements to ``BENCH_perf.json`` so the
+throughput history rides alongside the figure results. Both modes
+produce bit-identical statistics (asserted on every measurement);
+wall-clock is the only difference.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.harness.runner import ExperimentSetup, build_cache, drive_cache
+
+__all__ = [
+    "ThroughputResult",
+    "measure_drive_throughput",
+    "append_bench_record",
+    "main",
+]
+
+BENCH_FILE = "BENCH_perf.json"
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """Best-of-N throughput of one drive mode."""
+
+    mode: str
+    scheme: str
+    mix: str
+    records: int
+    best_seconds: float
+    records_per_second: float
+    repeats: int
+    stats: dict
+
+    def row(self) -> dict:
+        return {
+            "mode": self.mode,
+            "scheme": self.scheme,
+            "mix": self.mix,
+            "records": self.records,
+            "best_seconds": round(self.best_seconds, 4),
+            "records_per_second": round(self.records_per_second, 1),
+            "repeats": self.repeats,
+        }
+
+
+def _run_once(
+    scheme: str, mix: str, setup: ExperimentSetup, mode: str
+) -> tuple[float, dict]:
+    """One timed drive; returns (seconds, stats snapshot).
+
+    The timed region covers the full experiment cell — cache build,
+    trace acquisition and the drive — because that is the unit the
+    figure grids repeat. ``legacy`` regenerates the trace and walks
+    per-record tuples; ``fast`` takes the cached batched path.
+    """
+    total = setup.accesses_per_core * setup.num_cores
+    warmup = total // 2
+    start = time.perf_counter()
+    cache = build_cache(scheme, setup.system, scale=setup.scale)
+    if mode == "legacy":
+        trace = setup.trace(mix)
+        records = ((r.address, r.is_write, r.icount) for r in trace)
+    elif mode == "fast":
+        records = setup.trace_records(mix)
+    else:
+        raise ValueError(f"unknown mode {mode!r} (use 'legacy' or 'fast')")
+    result = drive_cache(
+        cache, records, window=16, streams=setup.num_cores, warmup=warmup
+    )
+    elapsed = time.perf_counter() - start
+    if result.accesses != total:
+        raise RuntimeError(
+            f"drive consumed {result.accesses} records, expected {total}"
+        )
+    return elapsed, result.stats
+
+
+def measure_drive_throughput(
+    *,
+    scheme: str = "bimodal",
+    mix: str = "Q1",
+    setup: ExperimentSetup | None = None,
+    mode: str = "fast",
+    repeats: int = 3,
+) -> ThroughputResult:
+    """Best-of-``repeats`` records/sec for one (scheme, mix, mode) cell."""
+    setup = setup or ExperimentSetup(num_cores=4, accesses_per_core=15_000)
+    total = setup.accesses_per_core * setup.num_cores
+    best = float("inf")
+    stats: dict = {}
+    for _ in range(max(1, repeats)):
+        elapsed, stats = _run_once(scheme, mix, setup, mode)
+        if elapsed < best:
+            best = elapsed
+    return ThroughputResult(
+        mode=mode,
+        scheme=scheme,
+        mix=mix,
+        records=total,
+        best_seconds=best,
+        records_per_second=total / best if best else 0.0,
+        repeats=max(1, repeats),
+        stats=dict(stats),
+    )
+
+
+def append_bench_record(results: list[ThroughputResult], path: str | Path) -> dict:
+    """Append one timestamped measurement entry to ``BENCH_perf.json``.
+
+    The file holds a JSON list of entries (newest last); a missing or
+    corrupt file starts a fresh history. Returns the entry written.
+    """
+    path = Path(path)
+    history: list = []
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+            if isinstance(loaded, list):
+                history = loaded
+        except (OSError, ValueError):
+            history = []
+    entry = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "measurements": [r.row() for r in results],
+    }
+    fast = next((r for r in results if r.mode == "fast"), None)
+    legacy = next((r for r in results if r.mode == "legacy"), None)
+    if fast and legacy and legacy.records_per_second:
+        entry["fast_over_legacy"] = round(
+            fast.records_per_second / legacy.records_per_second, 3
+        )
+    history.append(entry)
+    path.write_text(json.dumps(history, indent=2) + "\n")
+    return entry
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Measure drive-loop throughput (records simulated/sec)."
+    )
+    parser.add_argument("--scheme", default="bimodal")
+    parser.add_argument("--mix", default="Q1")
+    parser.add_argument("--cores", type=int, default=4)
+    parser.add_argument("--accesses-per-core", type=int, default=15_000)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--modes",
+        default="legacy,fast",
+        help="comma-separated subset of {legacy,fast}",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help=f"append the entry to this JSON history (e.g. {BENCH_FILE})",
+    )
+    args = parser.parse_args(argv)
+
+    setup = ExperimentSetup(
+        num_cores=args.cores, accesses_per_core=args.accesses_per_core
+    )
+    results = []
+    reference: dict | None = None
+    for mode in [m.strip() for m in args.modes.split(",") if m.strip()]:
+        result = measure_drive_throughput(
+            scheme=args.scheme,
+            mix=args.mix,
+            setup=setup,
+            mode=mode,
+            repeats=args.repeats,
+        )
+        if reference is None:
+            reference = result.stats
+        elif result.stats != reference:
+            raise SystemExit(f"mode {mode!r} changed simulation statistics")
+        results.append(result)
+        print(
+            f"{result.mode:>6}: {result.records_per_second:10.0f} records/sec"
+            f"  ({result.records} records, best of {result.repeats})"
+        )
+    if len(results) == 2 and results[0].records_per_second:
+        print(
+            f"ratio : {results[1].records_per_second / results[0].records_per_second:10.2f}x"
+        )
+    if args.output:
+        append_bench_record(results, args.output)
+        print(f"appended entry to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,8 +21,10 @@ from repro.dramcache.atcache import ATCache
 from repro.dramcache.base import DRAMCacheBase
 from repro.dramcache.footprint import FootprintCache
 from repro.dramcache.lohhill import LohHillCache
+from repro.workloads.generator import TraceChunk
 from repro.workloads.mixes import WorkloadMix, get_mix
 from repro.workloads.trace import MultiProgramTrace
+from repro.workloads.trace_cache import materialized_trace
 
 __all__ = [
     "SCALE",
@@ -84,6 +86,20 @@ class ExperimentSetup:
         if isinstance(mix, str):
             mix = get_mix(mix)
         return MultiProgramTrace(
+            mix,
+            accesses_per_core=self.accesses_per_core,
+            seed=self.seed,
+            footprint_scale=self.footprint_scale,
+            intensity_scale=self.intensity_scale,
+        )
+
+    def trace_records(self, mix: WorkloadMix | str) -> TraceChunk:
+        """Merged record arrays for ``mix``, via the trace cache.
+
+        Byte-identical to ``self.trace(mix)``'s record stream; repeated
+        cells and re-runs skip generation entirely.
+        """
+        return materialized_trace(
             mix,
             accesses_per_core=self.accesses_per_core,
             seed=self.seed,
@@ -167,6 +183,117 @@ class DriveResult:
     stats: dict = field(default_factory=dict)
 
 
+class _DriveState:
+    """Mutable closed-loop issue state threaded through record batches."""
+
+    __slots__ = ("now", "end", "count", "issued", "inflight")
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.end = 0
+        self.count = 0
+        self.issued = 0
+        # Bounded in-flight completion times. Only the minimum is ever
+        # consumed, and only when the window is full — a plain list with
+        # a C-level min()/index() scan over <= ``window`` entries beats
+        # the heap's per-record sift for the small windows used here.
+        self.inflight: list[int] = []
+
+
+def _drive_batch(
+    cache: DRAMCacheBase,
+    addresses: list,
+    is_writes: list,
+    icounts: list,
+    state: _DriveState,
+    *,
+    window: int,
+    min_gap: int,
+    pace: float,
+    stall_scale: float,
+) -> None:
+    """Issue one batch of records; the hot loop of every drive.
+
+    Arithmetic and ordering are identical to the original per-record
+    generator loop: the same ``now`` pacing, the same earliest-completion
+    window stall (``min`` of the in-flight list equals the heap's pop),
+    and the same int truncation on the access timestamp. Attribute
+    lookups are hoisted out of the loop; the records arrive as plain
+    Python lists (one C-level ``ndarray.tolist`` per chunk) rather than
+    per-record tuples.
+    """
+    access = cache.access
+    inflight = state.inflight
+    now = state.now
+    end = state.end
+    depth = len(inflight)
+    for address, is_write, icount in zip(addresses, is_writes, icounts):
+        gap = icount * pace
+        now += gap if gap > min_gap else min_gap
+        if depth >= window:
+            earliest = min(inflight)
+            if earliest > now:
+                now = float(earliest)
+            result = access(address, int(now), is_write=is_write)
+            inflight[inflight.index(earliest)] = result.complete
+        else:
+            result = access(address, int(now), is_write=is_write)
+            inflight.append(result.complete)
+            depth += 1
+        complete = result.complete
+        if not is_write:
+            now += (complete - result.start) * stall_scale
+        if complete > end:
+            end = complete
+    state.now = now
+    state.end = end
+    state.count += len(addresses)
+    state.issued += len(addresses)
+
+
+def _drive_fast(
+    cache: DRAMCacheBase,
+    chunks,
+    *,
+    window: int,
+    min_gap: int,
+    cycles_per_instruction: float,
+    streams: int,
+    mlp: float,
+    warmup: int,
+) -> DriveResult:
+    """Drive :class:`TraceChunk` batches through the cache (fast path)."""
+    pace = cycles_per_instruction / max(1, streams)
+    stall_scale = 1.0 / (mlp * max(1, streams))
+    state = _DriveState()
+    kwargs = dict(
+        window=window, min_gap=min_gap, pace=pace, stall_scale=stall_scale
+    )
+    for chunk in chunks:
+        addresses = chunk.addresses.tolist()
+        is_writes = chunk.is_write.tolist()
+        icounts = chunk.icount.tolist()
+        # The warm-up boundary semantics match the original loop: stats
+        # reset immediately *before* the ``warmup``-th record is issued.
+        if warmup and state.issued < warmup <= state.issued + len(addresses):
+            split = warmup - state.issued - 1
+            _drive_batch(
+                cache, addresses[:split], is_writes[:split], icounts[:split],
+                state, **kwargs,
+            )
+            cache.reset_stats()
+            addresses = addresses[split:]
+            is_writes = is_writes[split:]
+            icounts = icounts[split:]
+        _drive_batch(cache, addresses, is_writes, icounts, state, **kwargs)
+    return DriveResult(
+        cache=cache,
+        accesses=state.count,
+        end_time=state.end,
+        stats=cache.stats_snapshot(),
+    )
+
+
 def drive_cache(
     cache: DRAMCacheBase,
     records,
@@ -179,6 +306,12 @@ def drive_cache(
     warmup: int = 0,
 ) -> DriveResult:
     """Feed (address, is_write, icount) records with bounded outstanding.
+
+    ``records`` may be a :class:`~repro.workloads.generator.TraceChunk`,
+    an iterable of chunks, a :class:`~repro.workloads.trace.MultiProgramTrace`
+    (both take the batched fast path), or any iterable of per-record
+    tuples (compatibility path). All forms produce identical results for
+    the same record stream.
 
     ``warmup`` > 0 drops all statistics gathered during the first that
     many records (cache contents and predictor training are kept).
@@ -199,6 +332,19 @@ def drive_cache(
     every scheme would drown in queueing that the paper's closed-loop
     GEM5 cores never produce.
     """
+    kwargs = dict(
+        window=window,
+        min_gap=min_gap,
+        cycles_per_instruction=cycles_per_instruction,
+        streams=streams,
+        mlp=mlp,
+        warmup=warmup,
+    )
+    if isinstance(records, TraceChunk):
+        return _drive_fast(cache, (records,), **kwargs)
+    if isinstance(records, MultiProgramTrace):
+        return _drive_fast(cache, records.merged_chunks(), **kwargs)
+
     inflight: list[int] = []
     now = 0.0
     count = 0
@@ -249,10 +395,7 @@ def run_scheme_on_mix(
         scale=setup.scale,
         adaptation_interval=max(1_000, total // 150),
     )
-    trace = setup.trace(mix_name)
-    records = (
-        (rec.address, rec.is_write, rec.icount) for rec in trace
-    )
+    records = setup.trace_records(mix_name)
     return drive_cache(
         cache,
         records,

@@ -15,6 +15,8 @@ import heapq
 from dataclasses import dataclass
 from collections.abc import Iterator
 
+import numpy as np
+
 from repro.workloads.generator import ProgramTrace, TraceChunk
 from repro.workloads.mixes import WorkloadMix
 
@@ -81,6 +83,7 @@ class MultiProgramTrace:
         scaled = scaled.with_intensity_scale(intensity_scale)
         self.mix = scaled
         self.accesses_per_core = accesses_per_core
+        self.seed = seed
         self.traces = [
             ProgramTrace(
                 profile,
@@ -108,6 +111,62 @@ class MultiProgramTrace:
             nxt = stream.next_record()
             if nxt is not None:
                 heapq.heappush(heap, (stream.instr_time, core, nxt))
+
+    def materialize(self) -> TraceChunk:
+        """The full merged stream as one :class:`TraceChunk`.
+
+        Produces exactly the record sequence :meth:`__iter__` yields, but
+        vectorized: per-core streams are generated in bulk and merged with
+        one stable lexsort on (instruction time, core) — the same key the
+        record-at-a-time heap orders by. Because each core's instruction
+        clock is strictly increasing, the k-way heap merge and the global
+        sort are equivalent, record for record.
+
+        Fresh :class:`ProgramTrace` instances are built from the stored
+        (mix, seed) so materialization does not consume the generator
+        state behind :meth:`__iter__`.
+        """
+        times_parts: list[np.ndarray] = []
+        cores_parts: list[np.ndarray] = []
+        chunks: list[TraceChunk] = []
+        for core, profile in enumerate(self.mix.programs):
+            trace = ProgramTrace(
+                profile,
+                seed=self.seed + core,
+                base_address=core * CORE_ADDRESS_STRIDE,
+            )
+            parts = list(trace.chunks(self.accesses_per_core))
+            chunk = TraceChunk(
+                addresses=np.concatenate([p.addresses for p in parts]),
+                is_write=np.concatenate([p.is_write for p in parts]),
+                icount=np.concatenate([p.icount for p in parts]),
+            )
+            # Instruction time *through* each record, matching the heap
+            # key (_CoreStream.instr_time is advanced before the push).
+            times_parts.append(np.cumsum(chunk.icount, dtype=np.int64))
+            cores_parts.append(np.full(len(chunk), core, dtype=np.int32))
+            chunks.append(chunk)
+        times = np.concatenate(times_parts)
+        cores = np.concatenate(cores_parts)
+        # lexsort is stable and sorts by the last key first: primary
+        # instruction time, ties broken by core index — the heap's order.
+        order = np.lexsort((cores, times))
+        return TraceChunk(
+            addresses=np.concatenate([c.addresses for c in chunks])[order],
+            is_write=np.concatenate([c.is_write for c in chunks])[order],
+            icount=np.concatenate([c.icount for c in chunks])[order],
+        )
+
+    def merged_chunks(self, *, chunk_size: int = 1 << 16) -> Iterator[TraceChunk]:
+        """Chunked view of the merged stream (bounded peak memory)."""
+        merged = self.materialize()
+        for start in range(0, len(merged), chunk_size):
+            stop = start + chunk_size
+            yield TraceChunk(
+                addresses=merged.addresses[start:stop],
+                is_write=merged.is_write[start:stop],
+                icount=merged.icount[start:stop],
+            )
 
     @property
     def total_accesses(self) -> int:

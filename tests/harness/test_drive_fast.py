@@ -1,0 +1,91 @@
+"""Batched drive fast path: bit-identical to the per-record loop."""
+
+import pytest
+
+from repro.harness.perfbench import measure_drive_throughput
+from repro.harness.runner import ExperimentSetup, build_cache, drive_cache
+from repro.workloads.generator import TraceChunk
+
+SETUP = ExperimentSetup(num_cores=4, accesses_per_core=2_000)
+TOTAL = SETUP.num_cores * SETUP.accesses_per_core
+
+
+def _legacy_records(mix):
+    trace = SETUP.trace(mix)
+    return ((r.address, r.is_write, r.icount) for r in trace)
+
+
+@pytest.mark.parametrize("scheme", ["bimodal", "alloy", "fixed512"])
+def test_fast_path_identical_to_legacy(scheme):
+    legacy_cache = build_cache(scheme, SETUP.system)
+    legacy = drive_cache(
+        legacy_cache, _legacy_records("Q1"), window=16, streams=4, warmup=TOTAL // 2
+    )
+    fast_cache = build_cache(scheme, SETUP.system)
+    fast = drive_cache(
+        fast_cache,
+        SETUP.trace_records("Q1"),
+        window=16,
+        streams=4,
+        warmup=TOTAL // 2,
+    )
+    assert fast.stats == legacy.stats
+    assert fast.end_time == legacy.end_time
+    assert fast.accesses == legacy.accesses == TOTAL
+
+
+def test_fast_path_accepts_multiprogram_trace():
+    """A MultiProgramTrace object routes through the batched path."""
+    trace = SETUP.trace("Q2")
+    via_trace = drive_cache(
+        build_cache("bimodal", SETUP.system), trace, window=16, streams=4
+    )
+    via_chunk = drive_cache(
+        build_cache("bimodal", SETUP.system),
+        SETUP.trace_records("Q2"),
+        window=16,
+        streams=4,
+    )
+    assert via_trace.stats == via_chunk.stats
+
+
+def test_warmup_boundary_matches_legacy():
+    """reset_stats must fire at the same record index in both paths."""
+    for warmup in (1, 7, TOTAL // 3, TOTAL - 1):
+        legacy = drive_cache(
+            build_cache("bimodal", SETUP.system),
+            _legacy_records("Q1"),
+            window=16,
+            streams=4,
+            warmup=warmup,
+        )
+        fast = drive_cache(
+            build_cache("bimodal", SETUP.system),
+            SETUP.trace_records("Q1"),
+            window=16,
+            streams=4,
+            warmup=warmup,
+        )
+        assert fast.stats == legacy.stats, f"warmup={warmup}"
+
+
+def test_merged_chunks_cover_trace():
+    trace = SETUP.trace("Q1")
+    chunks = list(trace.merged_chunks(chunk_size=1_000))
+    assert all(isinstance(c, TraceChunk) for c in chunks)
+    assert sum(len(c) for c in chunks) == TOTAL
+    merged = trace.materialize()
+    flat = [a for c in chunks for a in c.addresses.tolist()]
+    assert flat == merged.addresses.tolist()
+
+
+def test_perfbench_smoke():
+    """Throughput measurement runs and both modes agree (no timing asserts:
+    wall-clock ratios are checked offline, not in tier-1)."""
+    setup = ExperimentSetup(num_cores=4, accesses_per_core=1_000)
+    legacy = measure_drive_throughput(setup=setup, mode="legacy", repeats=1)
+    fast = measure_drive_throughput(setup=setup, mode="fast", repeats=1)
+    assert legacy.records == fast.records == 4_000
+    assert legacy.stats == fast.stats
+    assert legacy.records_per_second > 0
+    assert fast.records_per_second > 0

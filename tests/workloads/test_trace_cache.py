@@ -1,0 +1,116 @@
+"""Trace materialization cache: identity, memoization and disk layer."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import trace_cache
+from repro.workloads.trace import MultiProgramTrace
+from repro.workloads.mixes import get_mix
+
+MIX = "Q1"
+ACCESSES = 800
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Each test gets an empty memory layer and a private disk directory."""
+    monkeypatch.setenv("REPRO_TRACE_CACHE_DIR", str(tmp_path / "traces"))
+    monkeypatch.delenv("REPRO_TRACE_CACHE", raising=False)
+    trace_cache.clear_memory_cache()
+    yield
+    trace_cache.clear_memory_cache()
+
+
+def _materialize_direct():
+    return MultiProgramTrace(
+        get_mix(MIX), accesses_per_core=ACCESSES, seed=1
+    ).materialize()
+
+
+def test_materialize_matches_record_iteration():
+    """The vectorized merge equals the per-record heap merge, in order."""
+    trace = MultiProgramTrace(get_mix(MIX), accesses_per_core=ACCESSES, seed=1)
+    merged = trace.materialize()
+    records = list(trace)
+    assert len(merged) == len(records)
+    assert merged.addresses.tolist() == [r.address for r in records]
+    assert merged.is_write.tolist() == [r.is_write for r in records]
+    assert merged.icount.tolist() == [r.icount for r in records]
+
+
+def test_cached_arrays_byte_identical_to_generation():
+    chunk = trace_cache.materialized_trace(MIX, accesses_per_core=ACCESSES)
+    direct = _materialize_direct()
+    assert chunk.addresses.tobytes() == direct.addresses.tobytes()
+    assert chunk.is_write.tobytes() == direct.is_write.tobytes()
+    assert chunk.icount.tobytes() == direct.icount.tobytes()
+
+
+def test_memory_hit_returns_identical_arrays():
+    before = trace_cache.cache_stats()
+    first = trace_cache.materialized_trace(MIX, accesses_per_core=ACCESSES)
+    second = trace_cache.materialized_trace(MIX, accesses_per_core=ACCESSES)
+    after = trace_cache.cache_stats()
+    assert after["misses"] == before["misses"] + 1
+    assert after["memory_hits"] == before["memory_hits"] + 1
+    # Same underlying buffers — the hit shares, it does not regenerate.
+    assert second.addresses is first.addresses
+    assert second.addresses.tobytes() == first.addresses.tobytes()
+
+
+def test_cached_arrays_are_read_only():
+    chunk = trace_cache.materialized_trace(MIX, accesses_per_core=ACCESSES)
+    with pytest.raises(ValueError):
+        chunk.addresses[0] = 0
+
+
+def test_disk_round_trip_byte_identical(tmp_path):
+    first = trace_cache.materialized_trace(MIX, accesses_per_core=ACCESSES)
+    trace_cache.clear_memory_cache()  # force the next lookup to the disk layer
+    before = trace_cache.cache_stats()
+    second = trace_cache.materialized_trace(MIX, accesses_per_core=ACCESSES)
+    after = trace_cache.cache_stats()
+    assert after["disk_hits"] == before["disk_hits"] + 1
+    assert after["misses"] == before["misses"]
+    assert second.addresses.tobytes() == first.addresses.tobytes()
+    assert second.is_write.tobytes() == first.is_write.tobytes()
+    assert second.icount.tobytes() == first.icount.tobytes()
+
+
+def test_disk_layer_disabled_by_env(monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_CACHE", "0")
+    trace_cache.materialized_trace(MIX, accesses_per_core=ACCESSES)
+    trace_cache.clear_memory_cache()
+    before = trace_cache.cache_stats()
+    trace_cache.materialized_trace(MIX, accesses_per_core=ACCESSES)
+    after = trace_cache.cache_stats()
+    assert after["misses"] == before["misses"] + 1
+    assert after["disk_hits"] == before["disk_hits"]
+
+
+def test_key_distinguishes_every_parameter():
+    base = dict(accesses_per_core=ACCESSES, seed=1)
+    key = trace_cache.trace_key(MIX, **base)
+    assert key != trace_cache.trace_key(MIX, accesses_per_core=ACCESSES + 1, seed=1)
+    assert key != trace_cache.trace_key(MIX, accesses_per_core=ACCESSES, seed=2)
+    assert key != trace_cache.trace_key(MIX, **base, footprint_scale=2.0)
+    assert key != trace_cache.trace_key(MIX, **base, intensity_scale=0.5)
+    assert key != trace_cache.trace_key("Q2", **base)
+    # Deterministic: same parameters, same key (it is the on-disk stem).
+    assert key == trace_cache.trace_key(MIX, **base)
+
+
+def test_corrupt_disk_entry_regenerates(tmp_path):
+    trace_cache.materialized_trace(MIX, accesses_per_core=ACCESSES)
+    directory = trace_cache.disk_cache_dir()
+    key = trace_cache.trace_key(MIX, accesses_per_core=ACCESSES, seed=1)
+    path = f"{directory}/{key}.npz"
+    with open(path, "wb") as fh:
+        fh.write(b"not an npz")
+    trace_cache.clear_memory_cache()
+    before = trace_cache.cache_stats()
+    chunk = trace_cache.materialized_trace(MIX, accesses_per_core=ACCESSES)
+    after = trace_cache.cache_stats()
+    assert after["misses"] == before["misses"] + 1
+    direct = _materialize_direct()
+    assert chunk.addresses.tobytes() == direct.addresses.tobytes()
