@@ -1,11 +1,12 @@
-"""Drive-loop throughput: records simulated per second, legacy vs fast.
+"""Drive-loop throughput: records simulated per second, by protocol.
 
 Not a paper figure — this benchmark tracks the simulator's own speed,
 which bounds every sweep above it. ``legacy`` regenerates the merged
 trace and walks per-record tuples through the compatibility path;
-``fast`` uses the cached record arrays and the batched drive loop. The
-two paths must agree bit-for-bit on every statistic; only wall-clock
-may differ.
+``fast`` uses the cached record arrays and the batched drive loop;
+``traced`` is the fast path with the observability tracer enabled
+(events discarded), tracking instrumentation overhead. All paths must
+agree bit-for-bit on every statistic; only wall-clock may differ.
 """
 
 from repro.harness.perfbench import measure_drive_throughput
@@ -16,24 +17,26 @@ def test_perf_drive_throughput(benchmark, report):
     setup = ExperimentSetup(num_cores=4, accesses_per_core=15_000)
 
     def measure():
-        legacy = measure_drive_throughput(
-            scheme="bimodal", mix="Q1", setup=setup, mode="legacy", repeats=2
+        return tuple(
+            measure_drive_throughput(
+                scheme="bimodal", mix="Q1", setup=setup, mode=mode, repeats=2
+            )
+            for mode in ("legacy", "fast", "traced")
         )
-        fast = measure_drive_throughput(
-            scheme="bimodal", mix="Q1", setup=setup, mode="fast", repeats=2
-        )
-        return legacy, fast
 
-    legacy, fast = benchmark.pedantic(measure, rounds=1, iterations=1)
+    legacy, fast, traced = benchmark.pedantic(measure, rounds=1, iterations=1)
     report(
-        [legacy.row(), fast.row()],
+        [legacy.row(), fast.row(), traced.row()],
         title="Drive-loop throughput (records/sec)",
     )
-    # Identical simulations: the fast path is an optimization, not a model
-    # change. Throughput assertions stay loose — wall-clock on shared CI
-    # machines is noisy — the hard ratio target is checked offline via
-    # scripts/bench_perf.sh history.
+    # Identical simulations: the fast path is an optimization and the
+    # tracer taps are pull-based, not model changes. Throughput
+    # assertions stay loose — wall-clock on shared CI machines is noisy
+    # — the hard ratio targets are checked offline via
+    # scripts/bench_perf.sh history (fast_over_legacy, traced_over_fast).
     assert fast.stats == legacy.stats
-    assert fast.records == legacy.records
-    assert fast.records_per_second > 0
+    assert traced.stats == legacy.stats
+    assert fast.records == legacy.records == traced.records
     assert legacy.records_per_second > 0
+    assert fast.records_per_second > 0
+    assert traced.records_per_second > 0

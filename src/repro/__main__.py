@@ -1,17 +1,31 @@
-"""Command-line front-end: regenerate any paper table/figure.
+"""Command-line front-end: subcommands over the experiment engine.
 
 Examples::
 
+    python -m repro run fig1 --mixes Q2 Q7 --accesses 20000
+    python -m repro run fig7 --jobs auto --trace-out fig7.jsonl
+    python -m repro run table3 --export out/table3.json
     python -m repro list
-    python -m repro fig1 --mixes Q2 Q7 --accesses 20000
-    python -m repro fig8c
-    python -m repro table3
-    python -m repro fig7 --cores 4 --mixes Q2 Q7
+    python -m repro list-schemes
+    python -m repro bench --repeats 5
+
+The pre-subcommand invocation (``python -m repro fig1 ...``) keeps
+working with a deprecation note; it forwards to ``repro run``.
+
+Shared flags (``run`` and ``bench``):
+
+* ``--jobs N|auto`` — fan grid cells over worker processes
+  (sets ``REPRO_JOBS`` for every layer below);
+* ``--seed N`` — workload generation seed;
+* ``--trace-out FILE`` — write the observability JSONL trace there and
+  stream per-cell progress to stderr (see docs/observability.md). A
+  run manifest lands next to every trace/export file.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import repro.harness.experiments as experiments
@@ -48,48 +62,129 @@ _EXPERIMENTS: dict[str, tuple[str, bool, int, str]] = {
     ),
 }
 
+_SUBCOMMANDS = ("run", "list", "list-schemes", "bench")
+
+
+def _shared_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        default=None,
+        metavar="N",
+        help="worker processes for grid cells (a number or 'auto'; "
+        "sets REPRO_JOBS)",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="write observability JSONL events to FILE (enables per-cell "
+        "progress on stderr; a .manifest.json lands next to it)",
+    )
+
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate tables/figures of the Bi-Modal DRAM Cache paper.",
     )
-    parser.add_argument(
-        "experiment",
-        help="experiment id (see `python -m repro list`)",
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one experiment (figure/table id)")
+    run.add_argument(
+        "experiment", help="experiment id (see `python -m repro list`)"
     )
-    parser.add_argument("--mixes", nargs="*", default=None, help="mix subset")
-    parser.add_argument("--cores", type=int, default=None, help="4, 8 or 16")
-    parser.add_argument(
+    run.add_argument("--mixes", nargs="*", default=None, help="mix subset")
+    run.add_argument("--cores", type=int, default=None, help="4, 8 or 16")
+    run.add_argument(
         "--accesses", type=int, default=20_000, help="accesses per core"
     )
-    parser.add_argument("--scale", type=int, default=16, help="capacity scale")
-    parser.add_argument("--seed", type=int, default=1)
-    parser.add_argument(
+    run.add_argument("--scale", type=int, default=16, help="capacity scale")
+    run.add_argument(
         "--export", default=None, help="write rows to this .json or .csv path"
     )
-    parser.add_argument(
+    run.add_argument(
         "--chart",
         default=None,
         metavar="COLUMN",
         help="also render a bar chart of this numeric column",
     )
+    _shared_flags(run)
+
+    sub.add_parser("list", help="list experiment ids")
+    sub.add_parser("list-schemes", help="list registered DRAM cache schemes")
+
+    bench = sub.add_parser(
+        "bench", help="measure drive-loop throughput (records/sec)"
+    )
+    bench.add_argument("--scheme", default="bimodal")
+    bench.add_argument("--mix", default="Q1")
+    bench.add_argument("--cores", type=int, default=4)
+    bench.add_argument("--accesses-per-core", type=int, default=15_000)
+    bench.add_argument("--repeats", type=int, default=3)
+    bench.add_argument(
+        "--modes",
+        default="legacy,fast,traced",
+        help="comma-separated subset of {legacy,fast,traced}",
+    )
+    bench.add_argument(
+        "--output", default=None, help="append the entry to this JSON history"
+    )
+    _shared_flags(bench)
+
     return parser
 
 
-def main(argv: list[str] | None = None) -> int:
-    argv = list(sys.argv[1:] if argv is None else argv)
-    if argv[:1] == ["list"]:
-        for name, (_, _, cores, desc) in _EXPERIMENTS.items():
-            print(f"  {name:14s} ({cores}-core default)  {desc}")
-        return 0
-    args = _build_parser().parse_args(argv)
+def _apply_shared_flags(args: argparse.Namespace) -> None:
+    """Propagate --jobs / --trace-out to the layers below."""
+    if args.jobs is not None:
+        os.environ["REPRO_JOBS"] = str(args.jobs)
+    if args.trace_out:
+        from repro.obs import configure
+
+        configure(args.trace_out, propagate_env=True)
+
+
+def _cmd_list() -> int:
+    for name, (_, _, cores, desc) in _EXPERIMENTS.items():
+        print(f"  {name:14s} ({cores}-core default)  {desc}")
+    return 0
+
+
+def _cmd_list_schemes() -> int:
+    from repro.harness.schemes import scheme_descriptions
+
+    for name, description in scheme_descriptions().items():
+        print(f"  {name:14s} {description}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.harness import perfbench
+
+    _apply_shared_flags(args)
+    forwarded = [
+        "--scheme", args.scheme,
+        "--mix", args.mix,
+        "--cores", str(args.cores),
+        "--accesses-per-core", str(args.accesses_per_core),
+        "--repeats", str(args.repeats),
+        "--modes", args.modes,
+    ]
+    if args.output:
+        forwarded += ["--output", args.output]
+    return perfbench.main(forwarded)
+
+
+def _cmd_run(args: argparse.Namespace, argv: list[str]) -> int:
     if args.experiment not in _EXPERIMENTS:
         print(f"unknown experiment {args.experiment!r}; try `python -m repro list`")
         return 2
+    _apply_shared_flags(args)
     attr, needs_setup, default_cores, desc = _EXPERIMENTS[args.experiment]
     fn = getattr(experiments, attr)
     kwargs: dict = {}
+    setup = None
     if needs_setup:
         setup = ExperimentSetup(
             num_cores=args.cores or default_cores,
@@ -100,7 +195,14 @@ def main(argv: list[str] | None = None) -> int:
         kwargs["setup"] = setup
         if args.mixes and "mix_name" not in fn.__code__.co_varnames:
             kwargs["mix_names"] = args.mixes
-    rows = fn(**kwargs)
+
+    from repro.obs import get_tracer
+
+    tracer = get_tracer()
+    with tracer.span("run", experiment=args.experiment) as span:
+        rows = fn(**kwargs)
+        if tracer.enabled:
+            span["rows"] = len(rows)
     print_table(rows, title=f"{args.experiment}: {desc}")
     if args.chart and rows:
         from repro.harness.figures import bar_chart
@@ -116,7 +218,47 @@ def main(argv: list[str] | None = None) -> int:
         else:
             export_json(rows, args.export, experiment=args.experiment)
         print(f"\nwrote {args.export}")
+    _write_manifests(args, argv, setup)
     return 0
+
+
+def _write_manifests(
+    args: argparse.Namespace, argv: list[str], setup: ExperimentSetup | None
+) -> None:
+    """One manifest beside every artifact this invocation produced."""
+    outputs = [p for p in (args.export, args.trace_out) if p]
+    if not outputs:
+        return
+    from repro.obs import RunManifest
+
+    manifest = RunManifest.collect(
+        args.experiment,
+        config=setup,
+        seed=args.seed,
+        argv=argv,
+    )
+    for output in outputs:
+        manifest.write_next_to(output)
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] not in _SUBCOMMANDS and not argv[0].startswith("-"):
+        # Legacy invocation: `python -m repro fig1 ...`.
+        print(
+            f"note: `python -m repro {argv[0]}` is deprecated; "
+            f"use `python -m repro run {argv[0]}`",
+            file=sys.stderr,
+        )
+        argv = ["run", *argv]
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "list-schemes":
+        return _cmd_list_schemes()
+    if args.command == "bench":
+        return _cmd_bench(args)
+    return _cmd_run(args, argv)
 
 
 if __name__ == "__main__":

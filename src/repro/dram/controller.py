@@ -94,3 +94,11 @@ class MemoryController:
         self.read_latency.reset()
         self.reads = 0
         self.writes = 0
+
+    def report_metrics(self, registry, *, prefix: str = "offchip") -> None:
+        """Pull-based observability tap (span boundaries, not hot path)."""
+        registry.add(f"{prefix}.reads", self.reads)
+        registry.add(f"{prefix}.writes", self.writes)
+        registry.add(f"{prefix}.bytes", self.bytes_transferred)
+        registry.gauge(f"{prefix}.rbh", self.row_buffer_hit_rate())
+        registry.gauge(f"{prefix}.avg_read_latency", self.read_latency.mean)

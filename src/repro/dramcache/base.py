@@ -224,3 +224,16 @@ class DRAMCacheBase(ABC):
             "wasted_fraction": self.wasted_fraction(),
             "stack_rbh": self.dram.row_buffer_hit_rate(),
         }
+
+    def report_metrics(self, registry, *, prefix: str = "cache") -> None:
+        """Copy finished counters into an observability registry.
+
+        Pull-based tap: called at drive/span boundaries, never from the
+        access hot path, so observability cannot perturb simulation
+        results. Subclass snapshot extras flow through automatically.
+        """
+        registry.update(self.stats_snapshot(), prefix=prefix)
+        registry.gauge(f"{prefix}.scheme", self.name)
+        registry.add(f"{prefix}.hits_total", self.hit_stat.hits)
+        registry.add(f"{prefix}.misses_total", self.hit_stat.misses)
+        self.offchip.report_metrics(registry, prefix=f"{prefix}.offchip")

@@ -72,6 +72,18 @@ class EnergyBreakdown:
             + self.sram
         )
 
+    def to_dict(self) -> dict[str, float]:
+        """Flat-key export (shared stats protocol; see harness.export)."""
+        return {
+            "offchip_activate_nj": self.offchip_activate,
+            "offchip_transfer_nj": self.offchip_transfer,
+            "stacked_activate_nj": self.stacked_activate,
+            "stacked_transfer_nj": self.stacked_transfer,
+            "sram_nj": self.sram,
+            "offchip_total_nj": self.offchip_total,
+            "total_nj": self.total,
+        }
+
 
 class EnergyModel:
     """Computes an :class:`EnergyBreakdown` from simulator counters."""

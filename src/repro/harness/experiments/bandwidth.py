@@ -8,6 +8,7 @@ grid order, so parallel and serial invocations produce identical rows.
 from __future__ import annotations
 
 from repro.harness.parallel import GridCell, drive_cell, run_grid
+from repro.harness.reporting import append_mean_row
 from repro.harness.runner import ExperimentSetup, scaled_locator_bits
 from repro.bimodal.cache import BiModalConfig
 from repro.workloads.mixes import mixes_for_cores
@@ -131,12 +132,7 @@ def fig9b_metadata_rbh(
                 "gain_pct": 100.0 * gain,
             }
         )
-    if rows:
-        avg = {"mix": "mean"}
-        for key in ("colocated_rbh", "separate_rbh", "gain_pct"):
-            avg[key] = sum(r[key] for r in rows) / len(rows)
-        rows.append(avg)
-    return rows
+    return append_mean_row(rows)
 
 
 def fig9c_way_locator_hit_rate(
@@ -177,13 +173,7 @@ def fig9c_way_locator_hit_rate(
                 "way_locator_hit_rate"
             ]
         rows.append(row)
-    if rows:
-        avg: dict = {"mix": "mean"}
-        for paper_k in paper_ks:
-            key = f"K{paper_k}"
-            avg[key] = sum(r[key] for r in rows) / len(rows)
-        rows.append(avg)
-    return rows
+    return append_mean_row(rows)
 
 
 def fig10_small_block_fraction(

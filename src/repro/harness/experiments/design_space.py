@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from repro.common.stats import Histogram
 from repro.harness.parallel import run_grid
+from repro.harness.reporting import append_mean_row
 from repro.harness.runner import ExperimentSetup, build_cache, drive_cache
 from repro.sram.cache import SetAssociativeCache
 from repro.workloads.mixes import mixes_for_cores
@@ -78,13 +79,7 @@ def fig1_miss_rate_vs_block_size(
         for name in names
     ]
     rows = run_grid(_fig1_row, cells, jobs=jobs)
-    if rows:
-        avg = {"mix": "mean"}
-        for block_size in block_sizes:
-            key = f"{block_size}B"
-            avg[key] = sum(r[key] for r in rows) / len(rows)
-        rows.append(avg)
-    return rows
+    return append_mean_row(rows)
 
 
 @dataclass(frozen=True)
@@ -182,10 +177,4 @@ def fig5_mru_hits(
         for name in names
     ]
     rows = run_grid(_fig5_row, cells, jobs=jobs)
-    if rows:
-        avg: dict = {"mix": "mean"}
-        keys = [k for k in rows[0] if k != "mix"]
-        for key in keys:
-            avg[key] = sum(r[key] for r in rows) / len(rows)
-        rows.append(avg)
-    return rows
+    return append_mean_row(rows)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.energy.model import EnergyModel
+from repro.harness.reporting import append_mean_row
 from repro.harness.runner import ExperimentSetup, run_scheme_on_mix
 from repro.workloads.mixes import mixes_for_cores
 
@@ -44,10 +45,4 @@ def fig11_energy(
                 "total_saving_pct": model.savings_percent(e_base, e_bi),
             }
         )
-    if rows:
-        avg = {"mix": "mean"}
-        for key in rows[0]:
-            if key != "mix":
-                avg[key] = sum(r[key] for r in rows) / len(rows)
-        rows.append(avg)
-    return rows
+    return append_mean_row(rows)

@@ -15,6 +15,7 @@ from __future__ import annotations
 from repro.cores.metrics import improvement_percent
 from repro.cores.multiprog import MultiProgramRunner
 from repro.harness.parallel import AnttCell, GridCell, antt_cell, drive_cell, run_grid
+from repro.harness.reporting import append_mean_row
 from repro.harness.runner import ExperimentSetup, build_cache
 from repro.workloads.mixes import mixes_for_cores
 
@@ -91,17 +92,7 @@ def fig7_antt(
                 "improvement_pct": improvement_percent(base_antt, new_antt),
             }
         )
-    if rows:
-        rows.append(
-            {
-                "mix": "mean",
-                baseline_name: sum(r[baseline_name] for r in rows) / len(rows),
-                improved_name: sum(r[improved_name] for r in rows) / len(rows),
-                "improvement_pct": sum(r["improvement_pct"] for r in rows)
-                / len(rows),
-            }
-        )
-    return rows
+    return append_mean_row(rows)
 
 
 def fig8a_component_analysis(
@@ -129,13 +120,7 @@ def fig8a_component_analysis(
         for s in schemes[1:]:
             row[f"{s}_pct"] = improvement_percent(per_mix["alloy"], per_mix[s])
         rows.append(row)
-    if rows:
-        avg = {"mix": "mean"}
-        for key in rows[0]:
-            if key != "mix":
-                avg[key] = sum(r[key] for r in rows) / len(rows)
-        rows.append(avg)
-    return rows
+    return append_mean_row(rows)
 
 
 def fig8b_hit_rate(
@@ -170,10 +155,4 @@ def fig8b_hit_rate(
             1 - row["alloy"], 1 - row["bimodal"]
         )
         rows.append(row)
-    if rows:
-        avg: dict = {"mix": "mean"}
-        for key in rows[0]:
-            if key != "mix":
-                avg[key] = sum(r[key] for r in rows) / len(rows)
-        rows.append(avg)
-    return rows
+    return append_mean_row(rows)

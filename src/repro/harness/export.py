@@ -3,6 +3,13 @@
 Experiments return lists of flat dictionaries; these helpers persist
 them with a small metadata header (experiment id, setup parameters,
 package version) so result files are self-describing.
+
+Result objects across the harness (``DriveResult``, ``SystemStats``,
+``EnergyBreakdown``, ``RunManifest``) share one export protocol: a
+``to_dict()`` returning flat (or dot-nested) JSON-friendly keys.
+:func:`flatten_stats` is the one consumer-side entry point — it accepts
+any such object *or* a plain mapping and yields a flat dict the
+exporters, the tracer and the metrics registry all agree on.
 """
 
 from __future__ import annotations
@@ -12,13 +19,37 @@ import json
 from pathlib import Path
 from collections.abc import Mapping, Sequence
 
-__all__ = ["export_json", "export_csv", "load_json"]
+__all__ = ["export_json", "export_csv", "flatten_stats", "load_json"]
 
 
 def _normalize(value):
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
     return str(value)
+
+
+def flatten_stats(stats, *, prefix: str = "") -> dict[str, object]:
+    """Flatten a stats object or mapping to dotted JSON-friendly keys.
+
+    ``stats`` may implement the export protocol (``to_dict()``) or be a
+    mapping; nested mappings flatten recursively. Non-scalar leaves are
+    stringified.
+    """
+    if hasattr(stats, "to_dict"):
+        stats = stats.to_dict()
+    if not isinstance(stats, Mapping):
+        raise TypeError(
+            f"cannot flatten {type(stats).__name__}: expected a mapping or "
+            "an object with to_dict()"
+        )
+    out: dict[str, object] = {}
+    for key, value in stats.items():
+        full = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, Mapping):
+            out.update(flatten_stats(value, prefix=full))
+        else:
+            out[full] = _normalize(value)
+    return out
 
 
 def export_json(

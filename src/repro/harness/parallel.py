@@ -22,6 +22,8 @@ sandbox forbidding fork) silently falls back to the serial path.
 from __future__ import annotations
 
 import os
+import sys
+import time
 from collections.abc import Callable, Iterable
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -31,6 +33,7 @@ from typing import TypeVar
 from repro.bimodal.cache import BiModalConfig
 from repro.cores.multiprog import MultiProgramRunner
 from repro.harness.runner import ExperimentSetup, build_cache, run_scheme_on_mix
+from repro.obs import get_metrics, get_tracer, profile_call, profile_dir
 from repro.workloads.mixes import mixes_for_cores
 
 __all__ = [
@@ -80,16 +83,103 @@ def run_grid(
     at all. Pool-level failures (fork refused, workers killed) degrade
     to the serial path; exceptions raised *by the worker function*
     propagate unchanged in both modes.
+
+    Observability: with tracing on (``REPRO_TRACE`` / ``--trace-out``)
+    the grid streams one progress line per finished cell to stderr and
+    emits ``grid``/``grid.cell`` events carrying per-cell wall time;
+    with ``REPRO_PROFILE=<dir>`` each cell additionally runs under
+    ``cProfile`` and dumps ``cell_<i>.prof``. Both paths wrap the
+    worker *around* the cell function, so cell results are identical to
+    the uninstrumented run.
     """
     cell_list = list(cells)
     workers = resolve_jobs(jobs)
-    if workers <= 1 or len(cell_list) <= 1:
-        return [func(cell) for cell in cell_list]
-    try:
-        with ProcessPoolExecutor(max_workers=min(workers, len(cell_list))) as pool:
-            return list(pool.map(func, cell_list))
-    except (OSError, PermissionError, BrokenProcessPool):
-        return [func(cell) for cell in cell_list]
+    tracer = get_tracer()
+    prof = profile_dir()
+    if not tracer.enabled and prof is None:
+        if workers <= 1 or len(cell_list) <= 1:
+            return [func(cell) for cell in cell_list]
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(cell_list))
+            ) as pool:
+                return list(pool.map(func, cell_list))
+        except (OSError, PermissionError, BrokenProcessPool):
+            return [func(cell) for cell in cell_list]
+    return _run_grid_instrumented(func, cell_list, workers, tracer, prof)
+
+
+@dataclass(frozen=True)
+class _InstrumentedCell:
+    """Picklable wrapper timing (and optionally profiling) one cell."""
+
+    func: Callable
+    profile_to: str | None
+
+    def __call__(self, pair):
+        index, cell = pair
+        start = time.perf_counter()
+        if self.profile_to is not None:
+            result = profile_call(
+                self.func, cell, label=f"cell_{index:04d}",
+                out_dir=self.profile_to,
+            )
+        else:
+            result = self.func(cell)
+        return result, time.perf_counter() - start
+
+
+def _cell_attrs(cell) -> dict:
+    """Scheme/mix labels for progress lines, when the cell carries them."""
+    attrs = {}
+    for key in ("scheme", "mix"):
+        value = getattr(cell, key, None)
+        if isinstance(value, str):
+            attrs[key] = value
+    return attrs
+
+
+def _run_grid_instrumented(
+    func: Callable, cell_list: list, workers: int, tracer, prof
+) -> list:
+    """run_grid with per-cell timing, progress and optional profiling."""
+    wrapped = _InstrumentedCell(func, str(prof) if prof is not None else None)
+    pairs = list(enumerate(cell_list))
+    total = len(pairs)
+    results: list = []
+    registry = get_metrics()
+
+    def consume(timed_results: Iterable) -> None:
+        for index, (result, wall) in enumerate(timed_results):
+            attrs = _cell_attrs(cell_list[index])
+            tracer.point(
+                "grid.cell",
+                index=index,
+                total=total,
+                wall_s=round(wall, 6),
+                **attrs,
+            )
+            registry.add("grid.cells")
+            registry.observe("grid.cell_wall_s", wall)
+            if tracer.enabled:
+                label = " ".join(f"{k}={v}" for k, v in attrs.items())
+                print(
+                    f"[repro] cell {index + 1}/{total} {wall:7.2f}s {label}".rstrip(),
+                    file=sys.stderr,
+                )
+            results.append(result)
+
+    with tracer.span("grid", cells=total, workers=min(workers, max(total, 1))):
+        if workers <= 1 or total <= 1:
+            consume(map(wrapped, pairs))
+        else:
+            try:
+                with ProcessPoolExecutor(max_workers=min(workers, total)) as pool:
+                    consume(pool.map(wrapped, pairs))
+            except (OSError, PermissionError, BrokenProcessPool):
+                results.clear()
+                consume(map(wrapped, pairs))
+    return results
 
 
 # ----------------------------------------------------------------------

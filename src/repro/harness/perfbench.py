@@ -1,17 +1,19 @@
 """Drive-loop throughput measurement and the BENCH_perf.json record.
 
 The simulator's capacity for paper-scale sweeps is set by one number:
-merged-trace records simulated per second. This module measures it two
-ways on the standard 4-core bimodal drive —
+merged-trace records simulated per second. This module measures it on
+the standard 4-core bimodal drive in three modes —
 
 * ``legacy`` — the pre-batching protocol: regenerate the merged trace
   and feed :func:`drive_cache` one ``(address, is_write, icount)`` tuple
-  at a time (the compatibility path kept in the runner), and
+  at a time (the compatibility path kept in the runner),
 * ``fast`` — the current protocol: cached record arrays through the
-  batched drive loop,
+  batched drive loop, and
+* ``traced`` — the fast protocol with the observability tracer enabled
+  (events discarded), so tracer overhead is tracked across PRs,
 
 and appends timestamped measurements to ``BENCH_perf.json`` so the
-throughput history rides alongside the figure results. Both modes
+throughput history rides alongside the figure results. All modes
 produce bit-identical statistics (asserted on every measurement);
 wall-clock is the only difference.
 """
@@ -20,12 +22,14 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import time
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.harness.runner import ExperimentSetup, build_cache, drive_cache
+from repro.obs import Tracer, install
 
 __all__ = [
     "ThroughputResult",
@@ -74,19 +78,34 @@ def _run_once(
     """
     total = setup.accesses_per_core * setup.num_cores
     warmup = total // 2
-    start = time.perf_counter()
-    cache = build_cache(scheme, setup.system, scale=setup.scale)
-    if mode == "legacy":
-        trace = setup.trace(mix)
-        records = ((r.address, r.is_write, r.icount) for r in trace)
-    elif mode == "fast":
-        records = setup.trace_records(mix)
-    else:
-        raise ValueError(f"unknown mode {mode!r} (use 'legacy' or 'fast')")
-    result = drive_cache(
-        cache, records, window=16, streams=setup.num_cores, warmup=warmup
-    )
-    elapsed = time.perf_counter() - start
+    sink = None
+    previous = None
+    if mode == "traced":
+        # Tracer enabled, events discarded: measures instrumentation
+        # overhead only, not disk throughput.
+        sink = open(os.devnull, "w")
+        previous = install(Tracer(enabled=True, stream=sink))
+    try:
+        start = time.perf_counter()
+        cache = build_cache(scheme, setup.system, scale=setup.scale)
+        if mode == "legacy":
+            trace = setup.trace(mix)
+            records = ((r.address, r.is_write, r.icount) for r in trace)
+        elif mode in ("fast", "traced"):
+            records = setup.trace_records(mix)
+        else:
+            raise ValueError(
+                f"unknown mode {mode!r} (use 'legacy', 'fast' or 'traced')"
+            )
+        result = drive_cache(
+            cache, records, window=16, streams=setup.num_cores, warmup=warmup
+        )
+        elapsed = time.perf_counter() - start
+    finally:
+        if previous is not None:
+            install(previous)
+        if sink is not None:
+            sink.close()
     if result.accesses != total:
         raise RuntimeError(
             f"drive consumed {result.accesses} records, expected {total}"
@@ -146,9 +165,15 @@ def append_bench_record(results: list[ThroughputResult], path: str | Path) -> di
     }
     fast = next((r for r in results if r.mode == "fast"), None)
     legacy = next((r for r in results if r.mode == "legacy"), None)
+    traced = next((r for r in results if r.mode == "traced"), None)
     if fast and legacy and legacy.records_per_second:
         entry["fast_over_legacy"] = round(
             fast.records_per_second / legacy.records_per_second, 3
+        )
+    if fast and traced and fast.records_per_second:
+        # Observability overhead: 1.0 means tracer-on costs nothing.
+        entry["traced_over_fast"] = round(
+            traced.records_per_second / fast.records_per_second, 3
         )
     history.append(entry)
     path.write_text(json.dumps(history, indent=2) + "\n")
@@ -166,8 +191,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
         "--modes",
-        default="legacy,fast",
-        help="comma-separated subset of {legacy,fast}",
+        default="legacy,fast,traced",
+        help="comma-separated subset of {legacy,fast,traced}",
     )
     parser.add_argument(
         "--output",
@@ -198,10 +223,10 @@ def main(argv: list[str] | None = None) -> int:
             f"{result.mode:>6}: {result.records_per_second:10.0f} records/sec"
             f"  ({result.records} records, best of {result.repeats})"
         )
-    if len(results) == 2 and results[0].records_per_second:
-        print(
-            f"ratio : {results[1].records_per_second / results[0].records_per_second:10.2f}x"
-        )
+    if len(results) >= 2 and results[0].records_per_second:
+        for later in results[1:]:
+            ratio = later.records_per_second / results[0].records_per_second
+            print(f"{later.mode}/{results[0].mode}: {ratio:10.2f}x")
     if args.output:
         append_bench_record(results, args.output)
         print(f"appended entry to {args.output}")

@@ -9,7 +9,54 @@ from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
 
-__all__ = ["format_table", "format_percent", "print_table"]
+__all__ = [
+    "append_mean_row",
+    "format_table",
+    "format_percent",
+    "mean_row",
+    "print_table",
+]
+
+
+def mean_row(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    label_key: str = "mix",
+    label: str = "mean",
+) -> dict:
+    """Average every numeric column of ``rows`` into one summary row.
+
+    Non-numeric columns (other than ``label_key``) are dropped; the
+    figure experiments all close with this row, matching the per-figure
+    averages the paper reports.
+    """
+    summary: dict = {label_key: label}
+    if not rows:
+        return summary
+    for key in rows[0]:
+        if key == label_key:
+            continue
+        values = [
+            row[key]
+            for row in rows
+            if isinstance(row.get(key), (int, float))
+            and not isinstance(row.get(key), bool)
+        ]
+        if values:
+            summary[key] = sum(values) / len(values)
+    return summary
+
+
+def append_mean_row(
+    rows: list,
+    *,
+    label_key: str = "mix",
+    label: str = "mean",
+) -> list:
+    """Append :func:`mean_row` to non-empty ``rows``; returns ``rows``."""
+    if rows:
+        rows.append(mean_row(rows, label_key=label_key, label=label))
+    return rows
 
 
 def format_percent(value: float, *, digits: int = 1) -> str:

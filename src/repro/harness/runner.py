@@ -11,16 +11,14 @@ realistic without simulating the cores.
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass, field
 
-from repro.bimodal.cache import BiModalCache, BiModalConfig
+from repro.bimodal.cache import BiModalConfig
 from repro.common.config import SystemConfig, system_config
 from repro.dram.controller import MemoryController
-from repro.dramcache.alloy import AlloyCache
-from repro.dramcache.atcache import ATCache
 from repro.dramcache.base import DRAMCacheBase
-from repro.dramcache.footprint import FootprintCache
-from repro.dramcache.lohhill import LohHillCache
+from repro.obs import SectionTimer, get_metrics, get_tracer
 from repro.workloads.generator import TraceChunk
 from repro.workloads.mixes import WorkloadMix, get_mix
 from repro.workloads.trace import MultiProgramTrace
@@ -123,54 +121,26 @@ def build_cache(
 ) -> DRAMCacheBase:
     """Construct a DRAM cache organization by name.
 
-    Schemes: ``alloy`` | ``lohhill`` | ``atcache`` | ``footprint`` |
-    ``bimodal`` | ``wayloc-only`` | ``bimodal-only`` | ``fixed512``.
+    Resolution goes through :mod:`repro.harness.schemes`; see
+    ``available_schemes()`` there (or ``repro list-schemes``) for the
+    registered names. Unknown names raise
+    :class:`~repro.harness.schemes.UnknownSchemeError` (a
+    ``ValueError``) listing the valid ones.
     """
+    from repro.harness.schemes import SchemeBuildContext, build_scheme
+
     if offchip is None:
         offchip = build_offchip(system)
-    geo = system.dram_cache
-    if scheme == "alloy":
-        return AlloyCache(geo, offchip)
-    if scheme == "lohhill":
-        return LohHillCache(geo, offchip)
-    if scheme == "atcache":
-        return ATCache(geo, offchip)
-    if scheme == "footprint":
-        return FootprintCache(geo, offchip)
-
-    k = scaled_locator_bits(scale=scale)
-    # Scale the SRAM learning structures so *training density per table
-    # entry* matches the paper's full-size setup. The paper trains the
-    # 64K-entry predictor with ~4% set sampling over hundreds of millions
-    # of accesses (~50 updates/entry); scaled runs are thousands of times
-    # shorter, so the table shrinks (P=12) and sampling densifies (every
-    # set) to reach the same saturation of the 2-bit counters.
-    # Full-scale (scale=1) runs keep the paper's exact parameters.
-    p = 12 if scale > 1 else 16
-    sample_every = 1 if scale > 1 else 25
-    base = bimodal_config or BiModalConfig(
-        locator_index_bits=k,
-        predictor_index_bits=p,
-        tracker_sample_every=sample_every,
-        adaptation_interval=adaptation_interval,
+    return build_scheme(
+        scheme,
+        SchemeBuildContext(
+            system=system,
+            offchip=offchip,
+            bimodal_config=bimodal_config,
+            scale=scale,
+            adaptation_interval=adaptation_interval,
+        ),
     )
-    if scheme == "bimodal":
-        cfg = base
-    elif scheme == "wayloc-only":
-        cfg = _replace(base, enable_bimodal=False)
-    elif scheme == "bimodal-only":
-        cfg = _replace(base, enable_way_locator=False)
-    elif scheme == "fixed512":
-        cfg = _replace(base, enable_bimodal=False, enable_way_locator=False)
-    else:
-        raise ValueError(f"unknown scheme {scheme!r}")
-    return BiModalCache(geo, offchip, cfg)
-
-
-def _replace(cfg: BiModalConfig, **kwargs) -> BiModalConfig:
-    from dataclasses import replace
-
-    return replace(cfg, **kwargs)
 
 
 @dataclass
@@ -181,6 +151,17 @@ class DriveResult:
     accesses: int
     end_time: int
     stats: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """Flat-key export (shared stats protocol; see harness.export).
+
+        Drive-level totals use ``records``/``end_time`` so they cannot
+        collide with the cache snapshot's ``accesses`` (which counts
+        only the measured, post-warmup region).
+        """
+        out: dict = {"records": self.accesses, "end_time": self.end_time}
+        out.update(self.stats)
+        return out
 
 
 class _DriveState:
@@ -340,6 +321,26 @@ def drive_cache(
         mlp=mlp,
         warmup=warmup,
     )
+    # Observability tap: one guard per *drive* (tens of thousands of
+    # records), never per record — the disabled path is the exact
+    # pre-instrumentation code, so results and throughput are untouched.
+    tracer = get_tracer()
+    if tracer.enabled:
+        start = time.perf_counter()
+        result = _dispatch_drive(cache, records, kwargs)
+        _tap_drive(tracer, cache, result, time.perf_counter() - start)
+        return result
+    return _dispatch_drive(cache, records, kwargs)
+
+
+def _dispatch_drive(cache: DRAMCacheBase, records, kwargs: dict) -> DriveResult:
+    """Route records to the batched fast path or the tuple loop."""
+    window = kwargs["window"]
+    min_gap = kwargs["min_gap"]
+    cycles_per_instruction = kwargs["cycles_per_instruction"]
+    streams = kwargs["streams"]
+    mlp = kwargs["mlp"]
+    warmup = kwargs["warmup"]
     if isinstance(records, TraceChunk):
         return _drive_fast(cache, (records,), **kwargs)
     if isinstance(records, MultiProgramTrace):
@@ -375,6 +376,33 @@ def drive_cache(
     )
 
 
+def _tap_drive(tracer, cache: DRAMCacheBase, result: DriveResult, wall: float) -> None:
+    """Report one finished drive to the tracer and metrics registry.
+
+    Pull-based: copies counters the simulation already maintains, so
+    enabling tracing cannot perturb results (asserted by the
+    byte-identity tests and the perfbench ``traced`` mode).
+    """
+    per_sec = result.accesses / wall if wall > 0 else 0.0
+    tracer.emit(
+        "point",
+        "drive",
+        scheme=getattr(cache, "name", "?"),
+        records=result.accesses,
+        wall_s=round(wall, 6),
+        records_per_sec=round(per_sec, 1),
+        end_time=result.end_time,
+        hit_rate=result.stats.get("hit_rate"),
+        stack_rbh=result.stats.get("stack_rbh"),
+    )
+    registry = get_metrics()
+    registry.add("drive.count")
+    registry.add("drive.records", result.accesses)
+    registry.observe("drive.wall_s", wall)
+    registry.observe("drive.records_per_sec", per_sec)
+    cache.report_metrics(registry)
+
+
 def run_scheme_on_mix(
     scheme: str,
     mix_name: str,
@@ -388,18 +416,32 @@ def run_scheme_on_mix(
     setup = setup or ExperimentSetup()
     system = setup.system
     total = setup.accesses_per_core * setup.num_cores
-    cache = build_cache(
-        scheme,
-        system,
-        bimodal_config=bimodal_config,
-        scale=setup.scale,
-        adaptation_interval=max(1_000, total // 150),
-    )
-    records = setup.trace_records(mix_name)
-    return drive_cache(
-        cache,
-        records,
-        window=window,
-        streams=setup.num_cores,
-        warmup=int(total * warmup_fraction),
-    )
+    tracer = get_tracer()
+    with tracer.span(
+        "cell", scheme=scheme, mix=mix_name, cores=setup.num_cores,
+        seed=setup.seed,
+    ) as span:
+        timer = SectionTimer()
+        with timer.section("build"):
+            cache = build_cache(
+                scheme,
+                system,
+                bimodal_config=bimodal_config,
+                scale=setup.scale,
+                adaptation_interval=max(1_000, total // 150),
+            )
+        with timer.section("trace"):
+            records = setup.trace_records(mix_name)
+        with timer.section("drive"):
+            result = drive_cache(
+                cache,
+                records,
+                window=window,
+                streams=setup.num_cores,
+                warmup=int(total * warmup_fraction),
+            )
+        if tracer.enabled:
+            span.update(timer.as_attrs())
+            span["records"] = result.accesses
+            span["hit_rate"] = result.stats.get("hit_rate")
+    return result

@@ -47,6 +47,25 @@ class SystemStats:
     def total_cycles(self) -> float:
         return max(self.per_core_cycles) if self.per_core_cycles else 0.0
 
+    def to_dict(self) -> dict:
+        """Flat-key export (shared stats protocol; see harness.export).
+
+        DRAM cache counters nest under ``dram_cache.`` so system- and
+        cache-level vocabularies stay distinct in one flat namespace.
+        """
+        out: dict = {
+            "num_cores": len(self.per_core_cycles),
+            "total_cycles": self.total_cycles,
+            "instructions": sum(self.per_core_instructions),
+            "l1_hit_rate": self.l1_hit_rate,
+            "llsc_hit_rate": self.llsc_hit_rate,
+            "llsc_miss_count": self.llsc_miss_count,
+            "mshr_merges": self.mshr_merges,
+        }
+        for key, value in self.dram_cache_stats.items():
+            out[f"dram_cache.{key}"] = value
+        return out
+
 
 class System:
     """One CMP: cores, SRAM hierarchy, a DRAM cache and off-chip memory.
@@ -173,16 +192,32 @@ def run_system_antt(
     ``cache_factory`` builds a fresh DRAM cache (with its own off-chip
     controller) per run, exactly like the trace-driven ANTT protocol.
     """
-    system = System(config, cache_factory(), seed=seed)
-    mp = system.run(mix, accesses_per_core=accesses_per_core)
+    from repro.obs import get_metrics, get_tracer
+
+    tracer = get_tracer()
+    with tracer.span(
+        "system.multiprog", cores=mix.num_cores, seed=seed
+    ) as span:
+        system = System(config, cache_factory(), seed=seed)
+        mp = system.run(mix, accesses_per_core=accesses_per_core)
+        if tracer.enabled:
+            span["llsc_miss_count"] = mp.llsc_miss_count
+            span["total_cycles"] = mp.total_cycles
     standalone = []
     for i in range(mix.num_cores):
-        solo = System(_single_core_config(config), cache_factory(), seed=seed)
-        # Same per-program seed and address base as the shared run: the
-        # solo system replays program i of the mix in isolation.
-        solo._drive(mix, [i], accesses_per_core)
-        standalone.append(solo.cores[0].cycles)
-    return antt(mp.per_core_cycles, standalone), mp
+        with tracer.span("system.standalone", program=i, seed=seed):
+            solo = System(_single_core_config(config), cache_factory(), seed=seed)
+            # Same per-program seed and address base as the shared run:
+            # the solo system replays program i of the mix in isolation.
+            solo._drive(mix, [i], accesses_per_core)
+            standalone.append(solo.cores[0].cycles)
+    value = antt(mp.per_core_cycles, standalone)
+    if tracer.enabled:
+        tracer.point("system.antt", antt=value, cores=mix.num_cores)
+        registry = get_metrics()
+        registry.observe("system.antt", value)
+        registry.update(mp.to_dict(), prefix="system")
+    return value, mp
 
 
 def _single_core_config(config: SystemConfig) -> SystemConfig:

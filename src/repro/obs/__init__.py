@@ -1,0 +1,49 @@
+"""repro.obs — observability for the experiment engine.
+
+Zero-cost-when-disabled instrumentation shared by every layer of the
+harness:
+
+* :mod:`repro.obs.tracer` — structured JSONL span/point events
+  (``REPRO_TRACE`` / ``--trace-out``);
+* :mod:`repro.obs.metrics` — a process-wide registry of named
+  counters/gauges/distributions that layers report into at span
+  boundaries (pull-based taps, never per record);
+* :mod:`repro.obs.profile` — ``perf_counter`` section timers and an
+  opt-in per-cell ``cProfile`` wrapper (``REPRO_PROFILE``);
+* :mod:`repro.obs.manifest` — run manifests written next to every
+  experiment artifact (config hash, seed, git rev, env knobs).
+
+See ``docs/observability.md`` for knobs, the event schema and example
+``jq`` queries.
+"""
+
+from repro.obs.manifest import RunManifest, config_hash, git_revision, write_manifest
+from repro.obs.metrics import MetricsRegistry, get_metrics, set_metrics
+from repro.obs.profile import SectionTimer, profile_call, profile_dir
+from repro.obs.tracer import (
+    Tracer,
+    configure,
+    configure_from_env,
+    get_tracer,
+    install,
+    trace_enabled,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "RunManifest",
+    "SectionTimer",
+    "Tracer",
+    "config_hash",
+    "configure",
+    "configure_from_env",
+    "get_metrics",
+    "get_tracer",
+    "git_revision",
+    "install",
+    "profile_call",
+    "profile_dir",
+    "set_metrics",
+    "trace_enabled",
+    "write_manifest",
+]

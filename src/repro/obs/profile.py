@@ -1,0 +1,90 @@
+"""Lightweight profiling hooks: phase timers and per-cell cProfile.
+
+Two levels of depth, both opt-in:
+
+* :class:`SectionTimer` — named ``perf_counter`` sections inside a unit
+  of work (build / trace / drive of one cell). Costs two clock reads
+  per section, so callers may leave it on whenever tracing is on.
+* :func:`profile_call` / ``REPRO_PROFILE=<dir>`` — full ``cProfile`` of
+  one callable, dumped as a ``.prof`` file for ``snakeviz``/``pstats``.
+  Heavy (2-4x slowdown); meant for one-off "why is this cell slow"
+  sessions, never for measurement runs.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import os
+import re
+import time
+from pathlib import Path
+
+__all__ = ["SectionTimer", "profile_call", "profile_dir"]
+
+_ENV_VAR = "REPRO_PROFILE"
+
+
+class SectionTimer:
+    """Accumulates named wall-time sections within one unit of work.
+
+    Usage::
+
+        timer = SectionTimer()
+        with timer.section("build"):
+            ...
+        timer.as_attrs()  # {"build_s": 0.12, ...}
+    """
+
+    def __init__(self) -> None:
+        self.sections: dict[str, float] = {}
+
+    def section(self, name: str) -> "_Section":
+        return _Section(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        self.sections[name] = self.sections.get(name, 0.0) + seconds
+
+    def as_attrs(self, *, digits: int = 6) -> dict[str, float]:
+        """Sections as flat span attributes (``<name>_s`` keys)."""
+        return {f"{k}_s": round(v, digits) for k, v in self.sections.items()}
+
+
+class _Section:
+    __slots__ = ("_timer", "_name", "_start")
+
+    def __init__(self, timer: SectionTimer, name: str) -> None:
+        self._timer = timer
+        self._name = name
+
+    def __enter__(self) -> "_Section":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._timer.add(self._name, time.perf_counter() - self._start)
+
+
+def profile_dir() -> Path | None:
+    """Directory for ``.prof`` dumps, from ``REPRO_PROFILE`` (or None)."""
+    value = os.environ.get(_ENV_VAR, "").strip()
+    if not value or value == "0":
+        return None
+    return Path(value)
+
+
+def profile_call(func, /, *args, label: str = "call", out_dir=None, **kwargs):
+    """Run ``func(*args, **kwargs)`` under cProfile, dump, return result.
+
+    The dump lands at ``<out_dir>/<label>.prof`` (``out_dir`` defaults
+    to ``REPRO_PROFILE``; with neither set the call runs unprofiled).
+    """
+    directory = Path(out_dir) if out_dir is not None else profile_dir()
+    if directory is None:
+        return func(*args, **kwargs)
+    directory.mkdir(parents=True, exist_ok=True)
+    safe = re.sub(r"[^A-Za-z0-9._-]+", "_", label) or "call"
+    profiler = cProfile.Profile()
+    try:
+        return profiler.runcall(func, *args, **kwargs)
+    finally:
+        profiler.dump_stats(str(directory / f"{safe}.prof"))

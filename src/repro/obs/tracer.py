@@ -1,0 +1,220 @@
+"""Structured JSONL tracing with a zero-cost disabled path.
+
+The tracer answers "where did the wall-clock go" for every level of the
+harness: runs, grid cells, drive loops and full-system phases emit span
+events carrying wall time and throughput, and any layer can attach
+counter snapshots to them. Output is one JSON object per line so traces
+compose with ``jq``/pandas without a reader library.
+
+Event schema (all events share ``ts``/``ev``/``name``)::
+
+    {"ts": 12.345, "ev": "begin", "name": "cell", "id": 3, ...attrs}
+    {"ts": 13.456, "ev": "end",   "name": "cell", "id": 3,
+     "wall_s": 1.111, ...attrs}
+    {"ts": 14.0,   "ev": "point", "name": "grid.progress", ...attrs}
+
+``ts`` is seconds since the tracer was configured (monotonic,
+``perf_counter`` based); ``id`` pairs a span's begin/end lines when
+spans from several processes interleave in one file.
+
+Enablement — all paths resolve through :func:`configure`:
+
+* ``REPRO_TRACE`` unset, empty or ``0``: tracing disabled. The global
+  tracer is a singleton whose ``enabled`` attribute is ``False``;
+  instrumented code guards its taps with one attribute check per
+  *drive/cell* (never per record), so the disabled cost is zero.
+* ``REPRO_TRACE=1``: enabled, events go to stderr.
+* ``REPRO_TRACE=/path/file.jsonl`` (or ``--trace-out``): enabled,
+  events append to the file. Each process re-opens the file after a
+  fork and writes whole lines in append mode, so worker events from
+  :func:`repro.harness.parallel.run_grid` interleave without tearing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from contextlib import contextmanager
+from typing import IO
+
+__all__ = [
+    "Tracer",
+    "configure",
+    "configure_from_env",
+    "get_tracer",
+    "install",
+    "trace_enabled",
+]
+
+_ENV_VAR = "REPRO_TRACE"
+
+
+def _json_safe(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return str(value)
+
+
+class Tracer:
+    """Emits structured JSONL events; inert unless ``enabled``.
+
+    A disabled tracer is safe to call — every method returns
+    immediately — but instrumented code should prefer guarding whole
+    taps behind ``tracer.enabled`` so attribute packing never runs.
+    """
+
+    def __init__(
+        self,
+        *,
+        enabled: bool = False,
+        path: str | None = None,
+        stream: IO[str] | None = None,
+    ) -> None:
+        self.enabled = enabled
+        self.path = path
+        self._stream = stream
+        self._pid = os.getpid()
+        self._epoch = time.perf_counter()
+        self._next_span = 0
+        self.events_emitted = 0
+
+    # ------------------------------------------------------------------
+    def _sink(self) -> IO[str]:
+        if self.path is not None:
+            if self._stream is None or self._pid != os.getpid():
+                # Fresh handle per process: forked workers must not share
+                # a file offset with the parent.
+                self._stream = open(self.path, "a", buffering=1)
+                self._pid = os.getpid()
+            return self._stream
+        return self._stream if self._stream is not None else sys.stderr
+
+    def emit(self, ev: str, name: str, **attrs) -> None:
+        """Write one event line. No-op when disabled."""
+        if not self.enabled:
+            return
+        record = {"ts": round(time.perf_counter() - self._epoch, 6), "ev": ev,
+                  "name": name}
+        record.update({k: _json_safe(v) for k, v in attrs.items()})
+        try:
+            self._sink().write(json.dumps(record) + "\n")
+        except (OSError, ValueError):
+            return
+        self.events_emitted += 1
+
+    def point(self, name: str, **attrs) -> None:
+        """A single instant event (progress line, annotation)."""
+        self.emit("point", name, **attrs)
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        """Begin/end pair around a block, carrying wall time.
+
+        Yields a mutable dict; keys added inside the block land on the
+        ``end`` event (e.g. ``records_per_sec``, counter snapshots).
+        """
+        if not self.enabled:
+            yield {}
+            return
+        span_id = self._next_span = self._next_span + 1
+        self.emit("begin", name, id=span_id, **attrs)
+        extra: dict = {}
+        start = time.perf_counter()
+        try:
+            yield extra
+        finally:
+            wall = time.perf_counter() - start
+            self.emit(
+                "end", name, id=span_id, wall_s=round(wall, 6), **attrs, **extra
+            )
+
+    def close(self) -> None:
+        if self.path is not None and self._stream is not None:
+            try:
+                self._stream.close()
+            except OSError:
+                pass
+            self._stream = None
+
+
+# ----------------------------------------------------------------------
+# global tracer
+# ----------------------------------------------------------------------
+_DISABLED = Tracer(enabled=False)
+_tracer: Tracer = _DISABLED
+_env_checked = False
+
+
+def configure(
+    target: str | IO[str] | None,
+    *,
+    propagate_env: bool = False,
+) -> Tracer:
+    """Install the global tracer.
+
+    ``target`` may be ``None``/``"0"``/``""`` (disable), ``"1"``/
+    ``"stderr"`` (stderr), a file path, or an open text stream (tests).
+    With ``propagate_env`` the equivalent ``REPRO_TRACE`` value is
+    exported so worker processes spawned later trace to the same file.
+    """
+    global _tracer, _env_checked
+    _env_checked = True
+    old = _tracer
+    if old is not _DISABLED:
+        old.close()
+    if target is None or target in ("", "0"):
+        _tracer = _DISABLED
+        if propagate_env:
+            os.environ.pop(_ENV_VAR, None)
+        return _tracer
+    if hasattr(target, "write"):
+        _tracer = Tracer(enabled=True, stream=target)
+        return _tracer
+    if target in ("1", "stderr"):
+        _tracer = Tracer(enabled=True)
+        if propagate_env:
+            os.environ[_ENV_VAR] = "1"
+        return _tracer
+    _tracer = Tracer(enabled=True, path=str(target))
+    if propagate_env:
+        os.environ[_ENV_VAR] = str(target)
+    return _tracer
+
+
+def configure_from_env() -> Tracer:
+    """Apply ``REPRO_TRACE`` once (idempotent until reconfigured)."""
+    global _env_checked
+    if not _env_checked:
+        configure(os.environ.get(_ENV_VAR) or None)
+    return _tracer
+
+
+def install(tracer: Tracer) -> Tracer:
+    """Swap in ``tracer`` as the global; returns the previous one.
+
+    For scoped instrumentation (overhead benchmarks, tests) where the
+    caller restores the original afterwards — unlike :func:`configure`
+    it never touches the environment or closes the old tracer.
+    """
+    global _tracer, _env_checked
+    _env_checked = True
+    previous = _tracer
+    _tracer = tracer
+    return previous
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer (env-configured on first use)."""
+    if not _env_checked:
+        configure_from_env()
+    return _tracer
+
+
+def trace_enabled() -> bool:
+    return get_tracer().enabled

@@ -1,0 +1,106 @@
+"""Scheme registry: round-trips, errors, runner delegation."""
+
+import pytest
+
+from repro.dramcache.base import DRAMCacheBase
+from repro.harness.runner import ExperimentSetup, build_cache, drive_cache
+from repro.harness.schemes import (
+    SchemeBuildContext,
+    UnknownSchemeError,
+    available_schemes,
+    build_scheme,
+    get_scheme,
+    register_scheme,
+    scheme_descriptions,
+)
+from repro.harness import schemes as schemes_mod
+
+SETUP = ExperimentSetup(num_cores=4, accesses_per_core=600)
+
+EXPECTED = {
+    "alloy",
+    "lohhill",
+    "atcache",
+    "footprint",
+    "bimodal",
+    "wayloc-only",
+    "bimodal-only",
+    "fixed512",
+}
+
+
+def _context() -> SchemeBuildContext:
+    from repro.harness.runner import build_offchip
+
+    system = SETUP.system
+    return SchemeBuildContext(
+        system=system, offchip=build_offchip(system), scale=SETUP.scale
+    )
+
+
+class TestRegistry:
+    def test_all_paper_schemes_registered(self):
+        assert EXPECTED <= set(available_schemes())
+
+    def test_every_scheme_builds_and_drives(self):
+        for name in available_schemes():
+            cache = build_scheme(name, _context())
+            assert isinstance(cache, DRAMCacheBase), name
+            result = drive_cache(cache, SETUP.trace_records("Q1"), streams=4)
+            assert result.accesses == 2400, name
+
+    def test_descriptions_cover_all_schemes(self):
+        descriptions = scheme_descriptions()
+        assert set(descriptions) == set(available_schemes())
+        assert all(descriptions[name] for name in EXPECTED)
+
+    def test_unknown_scheme_lists_valid_names(self):
+        with pytest.raises(UnknownSchemeError) as excinfo:
+            get_scheme("magic")
+        message = str(excinfo.value)
+        assert "magic" in message
+        for name in EXPECTED:
+            assert name in message
+
+    def test_unknown_scheme_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            build_scheme("nope", _context())
+
+    def test_duplicate_registration_requires_overwrite(self):
+        spec = get_scheme("alloy")
+        with pytest.raises(ValueError):
+            register_scheme("alloy", spec.builder)
+        register_scheme("alloy", spec.builder, overwrite=True,
+                        description=spec.description)
+        assert get_scheme("alloy").builder is spec.builder
+
+    def test_registering_new_scheme_round_trips(self):
+        name = "test-alias-alloy"
+        alloy = get_scheme("alloy")
+        register_scheme(name, alloy.builder, description="test alias")
+        try:
+            cache = build_cache(name, SETUP.system, scale=SETUP.scale)
+            assert cache.name == "alloy"
+        finally:
+            schemes_mod._REGISTRY.pop(name)
+
+
+class TestRunnerDelegation:
+    def test_build_cache_resolves_through_registry(self):
+        for name in sorted(EXPECTED):
+            cache = build_cache(name, SETUP.system, scale=SETUP.scale)
+            assert isinstance(cache, DRAMCacheBase), name
+
+    def test_build_cache_unknown_raises_helpful_error(self):
+        with pytest.raises(ValueError, match="available schemes"):
+            build_cache("magic", SETUP.system)
+
+    def test_bimodal_variants_differ_in_flags(self):
+        full = build_cache("bimodal", SETUP.system, scale=SETUP.scale)
+        wayloc = build_cache("wayloc-only", SETUP.system, scale=SETUP.scale)
+        fixed = build_cache("fixed512", SETUP.system, scale=SETUP.scale)
+        assert full.config.enable_bimodal and full.config.enable_way_locator
+        assert not wayloc.config.enable_bimodal
+        assert wayloc.config.enable_way_locator
+        assert not fixed.config.enable_bimodal
+        assert not fixed.config.enable_way_locator

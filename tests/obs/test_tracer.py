@@ -1,0 +1,137 @@
+"""Tracer: event well-formedness, disabled-mode cost, span pairing."""
+
+import io
+import json
+import time
+
+import pytest
+
+from repro.obs import tracer as tracer_mod
+from repro.obs.tracer import Tracer, configure, get_tracer, install, trace_enabled
+
+
+@pytest.fixture(autouse=True)
+def _restore_tracer():
+    previous = get_tracer()
+    yield
+    install(previous)
+
+
+def _events(buffer: io.StringIO) -> list[dict]:
+    return [json.loads(line) for line in buffer.getvalue().splitlines()]
+
+
+class TestEvents:
+    def test_events_are_one_json_object_per_line(self):
+        buffer = io.StringIO()
+        t = Tracer(enabled=True, stream=buffer)
+        t.point("alpha", value=1)
+        t.emit("begin", "beta", id=7)
+        events = _events(buffer)
+        assert [e["ev"] for e in events] == ["point", "begin"]
+        assert events[0]["name"] == "alpha" and events[0]["value"] == 1
+        assert all("ts" in e for e in events)
+
+    def test_span_emits_paired_begin_end_with_wall_time(self):
+        buffer = io.StringIO()
+        t = Tracer(enabled=True, stream=buffer)
+        with t.span("cell", scheme="bimodal") as extra:
+            extra["records"] = 123
+        begin, end = _events(buffer)
+        assert begin["ev"] == "begin" and end["ev"] == "end"
+        assert begin["id"] == end["id"]
+        assert begin["scheme"] == end["scheme"] == "bimodal"
+        assert end["records"] == 123
+        assert end["wall_s"] >= 0
+        assert end["ts"] >= begin["ts"]
+
+    def test_span_end_emitted_on_exception(self):
+        buffer = io.StringIO()
+        t = Tracer(enabled=True, stream=buffer)
+        with pytest.raises(RuntimeError):
+            with t.span("cell"):
+                raise RuntimeError("boom")
+        events = _events(buffer)
+        assert [e["ev"] for e in events] == ["begin", "end"]
+
+    def test_non_json_values_are_stringified(self):
+        buffer = io.StringIO()
+        t = Tracer(enabled=True, stream=buffer)
+        t.point("p", obj=object(), nested={"k": (1, 2)})
+        (event,) = _events(buffer)
+        assert isinstance(event["obj"], str)
+        assert event["nested"]["k"] == [1, 2]
+
+    def test_file_sink_appends_jsonl(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        t = Tracer(enabled=True, path=str(path))
+        t.point("one")
+        t.point("two")
+        t.close()
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [e["name"] for e in events] == ["one", "two"]
+
+
+class TestDisabled:
+    def test_disabled_tracer_emits_nothing(self):
+        buffer = io.StringIO()
+        t = Tracer(enabled=False, stream=buffer)
+        t.point("alpha")
+        with t.span("cell") as extra:
+            extra["x"] = 1
+        assert buffer.getvalue() == ""
+        assert t.events_emitted == 0
+
+    def test_disabled_calls_are_cheap(self):
+        # Not a precision benchmark — just a guard against the disabled
+        # path ever growing serialization or I/O work.
+        t = Tracer(enabled=False)
+        start = time.perf_counter()
+        for _ in range(10_000):
+            t.point("alpha", value=1)
+        assert time.perf_counter() - start < 0.5
+
+    def test_env_unset_means_disabled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        configure(None)
+        assert not trace_enabled()
+
+    def test_env_zero_means_disabled(self):
+        configure("0")
+        assert not trace_enabled()
+
+
+class TestConfigure:
+    def test_configure_path_enables_and_propagates_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        path = tmp_path / "t.jsonl"
+        t = configure(str(path), propagate_env=True)
+        assert t.enabled and trace_enabled()
+        import os
+
+        assert os.environ["REPRO_TRACE"] == str(path)
+        t.point("hello")
+        t.close()
+        assert "hello" in path.read_text()
+
+    def test_configure_stream(self):
+        buffer = io.StringIO()
+        t = configure(buffer)
+        assert t.enabled
+        t.point("x")
+        assert "x" in buffer.getvalue()
+
+    def test_install_swaps_and_returns_previous(self):
+        buffer = io.StringIO()
+        replacement = Tracer(enabled=True, stream=buffer)
+        previous = install(replacement)
+        try:
+            assert get_tracer() is replacement
+        finally:
+            install(previous)
+        assert get_tracer() is previous
+
+    def test_global_disabled_singleton_is_shared(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        configure(None)
+        assert get_tracer() is tracer_mod._DISABLED

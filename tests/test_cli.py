@@ -34,3 +34,71 @@ def test_dynamic_experiment_with_mixes(capsys):
     assert main(["fig2", "--mixes", "Q2", "--accesses", "1500"]) == 0
     out = capsys.readouterr().out
     assert "Q2" in out and "u8" in out
+
+
+class TestSubcommands:
+    def test_run_subcommand(self, capsys):
+        assert main(["run", "table1"]) == 0
+        captured = capsys.readouterr()
+        assert "bimodal" in captured.out
+        assert "deprecated" not in captured.err
+
+    def test_legacy_invocation_notes_deprecation(self, capsys):
+        assert main(["table1"]) == 0
+        captured = capsys.readouterr()
+        assert "bimodal" in captured.out
+        assert "deprecated" in captured.err
+        assert "repro run table1" in captured.err
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "figure99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().out
+
+    def test_list_schemes(self, capsys):
+        assert main(["list-schemes"]) == 0
+        out = capsys.readouterr().out
+        for scheme in ("alloy", "lohhill", "atcache", "footprint", "bimodal",
+                       "wayloc-only", "bimodal-only", "fixed512"):
+            assert scheme in out
+
+    def test_bench_subcommand(self, capsys):
+        assert main([
+            "bench", "--accesses-per-core", "600", "--repeats", "1",
+            "--modes", "fast,traced",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fast" in out and "traced" in out
+
+    def test_trace_out_writes_trace_and_manifests(self, tmp_path, monkeypatch):
+        import json
+
+        from repro.obs import get_tracer, install
+
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        previous = get_tracer()
+        trace = tmp_path / "trace.jsonl"
+        export = tmp_path / "rows.json"
+        try:
+            assert main([
+                "run", "fig2", "--mixes", "Q2", "--accesses", "1000",
+                "--trace-out", str(trace), "--export", str(export),
+            ]) == 0
+        finally:
+            install(previous)
+        events = [json.loads(line) for line in trace.read_text().splitlines()]
+        assert any(e["name"] == "run" for e in events)
+        assert any(e["name"] == "drive" for e in events)
+        for artifact in (trace, export):
+            manifest_path = artifact.with_name(artifact.name + ".manifest.json")
+            manifest = json.loads(manifest_path.read_text())
+            assert manifest["experiment"] == "fig2"
+            assert manifest["seed"] == 1
+            assert manifest["config_hash"]
+
+    def test_jobs_flag_sets_env(self, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        import os
+
+        assert main(["run", "table1", "--jobs", "2"]) == 0
+        assert os.environ.pop("REPRO_JOBS") == "2"
+        capsys.readouterr()
