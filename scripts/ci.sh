@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Tier-1 CI: full test suite + an end-to-end fault-tolerance smoke run.
+#
+# The smoke run exercises the robustness contract (docs/robustness.md)
+# against the real CLI: a grid with one injected permanently-failing
+# cell must still export the completed rows, record the failure in the
+# manifest, exit with code 3 — and a subsequent --resume from its
+# checkpoint (without the fault) must finish only the missing cell and
+# produce a CSV byte-identical to an uninterrupted run.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="${PWD}/src${PYTHONPATH:+:${PYTHONPATH}}"
+
+echo "== tier-1 test suite =="
+python -m pytest -x -q
+
+echo "== fault-tolerance smoke =="
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "${SMOKE_DIR}"' EXIT
+export REPRO_TRACE_CACHE_DIR="${SMOKE_DIR}/traces"
+RUN=(python -m repro run fig10 --mixes Q1 Q2 --accesses 1500)
+
+# Uninterrupted baseline.
+"${RUN[@]}" --export "${SMOKE_DIR}/base.csv" >/dev/null
+
+# Same grid with cell 1 failing permanently: exit 3, partial export.
+set +e
+REPRO_FAULT_INJECT='{"1": {"action": "raise"}}' \
+    "${RUN[@]}" --export "${SMOKE_DIR}/part.csv" >/dev/null 2>"${SMOKE_DIR}/part.err"
+status=$?
+set -e
+[ "${status}" -eq 3 ] || { echo "expected exit 3, got ${status}"; exit 1; }
+grep -q "Q1" "${SMOKE_DIR}/part.csv" || { echo "partial export lost Q1 row"; exit 1; }
+! grep -q "Q2" "${SMOKE_DIR}/part.csv" || { echo "failed cell leaked a row"; exit 1; }
+grep -q '"status": "partial"' "${SMOKE_DIR}/part.csv.manifest.json" \
+    || { echo "manifest missing partial status"; exit 1; }
+grep -q '"InjectedFault"' "${SMOKE_DIR}/part.csv.manifest.json" \
+    || { echo "manifest missing failure record"; exit 1; }
+
+# Resume from the partial run's checkpoint: byte-identical to baseline.
+"${RUN[@]}" --export "${SMOKE_DIR}/part.csv" \
+    --resume "${SMOKE_DIR}/part.csv.ckpt.jsonl" >/dev/null
+cmp "${SMOKE_DIR}/base.csv" "${SMOKE_DIR}/part.csv" \
+    || { echo "resumed CSV differs from uninterrupted run"; exit 1; }
+
+echo "ci.sh: all checks passed"

@@ -20,6 +20,14 @@ Shared flags (``run`` and ``bench``):
 * ``--trace-out FILE`` — write the observability JSONL trace there and
   stream per-cell progress to stderr (see docs/observability.md). A
   run manifest lands next to every trace/export file.
+
+Fault tolerance (see docs/robustness.md): ``run`` always collects
+per-cell failures instead of dying on the first one. A grid that ends
+with failures still prints and exports every completed row, lists the
+failed cells on stderr, records them in the manifest and exits with
+code 3 (config/usage errors exit 2, clean runs 0). ``--export`` keeps a
+crash-safe checkpoint beside the artifact; ``--resume <ckpt>`` skips
+cells the checkpoint already holds.
 """
 
 from __future__ import annotations
@@ -29,8 +37,15 @@ import os
 import sys
 
 import repro.harness.experiments as experiments
+from repro.harness import checkpoint as checkpoint_module
+from repro.harness import faults
 from repro.harness.reporting import print_table
 from repro.harness.runner import ExperimentSetup
+
+#: Grid completed but one or more cells permanently failed.
+EXIT_CELL_FAILURES = 3
+#: Bad arguments/configuration (also argparse's own exit code).
+EXIT_USAGE = 2
 
 # name -> (function attr, needs-setup, default core count, description)
 _EXPERIMENTS: dict[str, tuple[str, bool, int, str]] = {
@@ -109,6 +124,20 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="COLUMN",
         help="also render a bar chart of this numeric column",
     )
+    run.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="FILE",
+        help="record completed grid cells to this crash-safe JSONL file "
+        "(defaults to <export>.ckpt.jsonl when --export is given)",
+    )
+    run.add_argument(
+        "--resume",
+        default=None,
+        metavar="CKPT",
+        help="resume from a checkpoint file: cells already recorded there "
+        "are served from it, only the missing ones run",
+    )
     _shared_flags(run)
 
     sub.add_parser("list", help="list experiment ids")
@@ -159,9 +188,53 @@ def _cmd_list_schemes() -> int:
     return 0
 
 
+def _usage_error(message: str) -> int:
+    """One clean line on stderr, never a traceback."""
+    print(f"error: {message}", file=sys.stderr)
+    return EXIT_USAGE
+
+
+def _validate_run_args(args: argparse.Namespace) -> str | None:
+    """Reject bad configuration before any simulation starts."""
+    if args.cores is not None and args.cores not in (4, 8, 16):
+        return f"--cores must be 4, 8 or 16 (got {args.cores})"
+    if args.accesses <= 0:
+        return f"--accesses must be positive (got {args.accesses})"
+    if args.scale < 1:
+        return f"--scale must be >= 1 (got {args.scale})"
+    if args.mixes:
+        from repro.workloads.mixes import mixes_for_cores
+
+        _, _, default_cores, _ = _EXPERIMENTS[args.experiment]
+        known = mixes_for_cores(args.cores or default_cores)
+        unknown = [m for m in args.mixes if m not in known]
+        if unknown:
+            return (
+                f"unknown mix(es) {', '.join(unknown)} for "
+                f"{args.cores or default_cores} cores "
+                f"(known: {', '.join(sorted(known))})"
+            )
+    return None
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.harness import perfbench
+    from repro.harness.schemes import UnknownSchemeError, get_scheme
+    from repro.workloads.mixes import mixes_for_cores
 
+    if args.cores not in (4, 8, 16):
+        return _usage_error(f"--cores must be 4, 8 or 16 (got {args.cores})")
+    try:
+        get_scheme(args.scheme)
+    except UnknownSchemeError:
+        return _usage_error(
+            f"unknown scheme {args.scheme!r}; "
+            "try `python -m repro list-schemes`"
+        )
+    if args.mix not in mixes_for_cores(args.cores):
+        return _usage_error(
+            f"unknown mix {args.mix!r} for {args.cores} cores"
+        )
     _apply_shared_flags(args)
     forwarded = [
         "--scheme", args.scheme,
@@ -176,10 +249,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return perfbench.main(forwarded)
 
 
+def _checkpoint_path(args: argparse.Namespace) -> str | None:
+    """Where this run checkpoints: --resume > --checkpoint > <export>.ckpt."""
+    if args.resume:
+        return args.resume
+    if args.checkpoint:
+        return args.checkpoint
+    if args.export:
+        return checkpoint_module.default_path(args.export)
+    return None
+
+
 def _cmd_run(args: argparse.Namespace, argv: list[str]) -> int:
     if args.experiment not in _EXPERIMENTS:
         print(f"unknown experiment {args.experiment!r}; try `python -m repro list`")
-        return 2
+        return EXIT_USAGE
+    problem = _validate_run_args(args)
+    if problem:
+        return _usage_error(problem)
     _apply_shared_flags(args)
     attr, needs_setup, default_cores, desc = _EXPERIMENTS[args.experiment]
     fn = getattr(experiments, attr)
@@ -196,13 +283,38 @@ def _cmd_run(args: argparse.Namespace, argv: list[str]) -> int:
         if args.mixes and "mix_name" not in fn.__code__.co_varnames:
             kwargs["mix_names"] = args.mixes
 
+    from contextlib import ExitStack
+
+    from repro.harness.schemes import UnknownSchemeError
     from repro.obs import get_tracer
 
+    ckpt_path = _checkpoint_path(args)
     tracer = get_tracer()
-    with tracer.span("run", experiment=args.experiment) as span:
-        rows = fn(**kwargs)
-        if tracer.enabled:
-            span["rows"] = len(rows)
+    try:
+        with ExitStack() as stack:
+            collector = stack.enter_context(faults.collect_failures())
+            ckpt = None
+            if ckpt_path:
+                ckpt = stack.enter_context(
+                    checkpoint_module.attach(
+                        ckpt_path, resume=bool(args.resume)
+                    )
+                )
+            span = stack.enter_context(
+                tracer.span("run", experiment=args.experiment)
+            )
+            rows = fn(**kwargs)
+            if tracer.enabled:
+                span["rows"] = len(rows)
+            if ckpt is not None and args.resume and ckpt.hits:
+                print(
+                    f"[repro] resumed {ckpt.hits} cell(s) from {ckpt_path}",
+                    file=sys.stderr,
+                )
+    except (UnknownSchemeError, ValueError) as exc:
+        # Config-shaped errors (unknown scheme/mix, bad parameter) get a
+        # clean one-liner, not a traceback.
+        return _usage_error(str(exc))
     print_table(rows, title=f"{args.experiment}: {desc}")
     if args.chart and rows:
         from repro.harness.figures import bar_chart
@@ -211,19 +323,45 @@ def _cmd_run(args: argparse.Namespace, argv: list[str]) -> int:
         print()
         print(bar_chart(rows, label=label, value=args.chart))
     if args.export:
-        from repro.harness.export import export_csv, export_json
+        if rows:
+            from repro.harness.export import export_csv, export_json
 
-        if args.export.endswith(".csv"):
-            export_csv(rows, args.export)
+            if args.export.endswith(".csv"):
+                export_csv(rows, args.export)
+            else:
+                export_json(rows, args.export, experiment=args.experiment)
+            print(f"\nwrote {args.export}")
         else:
-            export_json(rows, args.export, experiment=args.experiment)
-        print(f"\nwrote {args.export}")
-    _write_manifests(args, argv, setup)
+            print(
+                f"[repro] no completed rows; skipping export to {args.export}",
+                file=sys.stderr,
+            )
+    _write_manifests(args, argv, setup, collector.as_dicts())
+    if collector:
+        _print_failure_table(collector)
+        return EXIT_CELL_FAILURES
     return 0
 
 
+def _print_failure_table(collector: faults.FailureCollector) -> None:
+    print(
+        f"\n[repro] grid completed with {len(collector)} failed cell(s):",
+        file=sys.stderr,
+    )
+    for failure in collector.failures:
+        print(f"  {failure.describe()}", file=sys.stderr)
+    print(
+        "[repro] completed rows were kept; failures are recorded in the "
+        "run manifest (exit code 3)",
+        file=sys.stderr,
+    )
+
+
 def _write_manifests(
-    args: argparse.Namespace, argv: list[str], setup: ExperimentSetup | None
+    args: argparse.Namespace,
+    argv: list[str],
+    setup: ExperimentSetup | None,
+    failures: list[dict] | None = None,
 ) -> None:
     """One manifest beside every artifact this invocation produced."""
     outputs = [p for p in (args.export, args.trace_out) if p]
@@ -236,6 +374,7 @@ def _write_manifests(
         config=setup,
         seed=args.seed,
         argv=argv,
+        failures=failures,
     )
     for output in outputs:
         manifest.write_next_to(output)

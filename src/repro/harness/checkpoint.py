@@ -1,0 +1,212 @@
+"""Crash-safe JSONL checkpoints: resume a killed grid campaign.
+
+Every completed grid cell is appended — one JSON line, flushed and
+fsync'd — to a checkpoint file beside the export artifact, so a run
+killed at cell N still holds cells 0..N-1 on disk. ``repro run
+--resume <ckpt>`` reattaches the file: cells whose key is already
+present are served from the checkpoint (bit-identical values, since
+results are JSON scalars that round-trip exactly) and only the missing
+ones are recomputed.
+
+Format (schema-versioned)::
+
+    {"schema": 1, "kind": "header", "created": "..."}
+    {"schema": 1, "kind": "cell", "index": 0, "key": "ab12...",
+     "wall_s": 1.25, "result": {...}}
+
+Robustness properties:
+
+* appends are flushed + fsync'd per cell — a ``SIGKILL`` between cells
+  loses nothing, a kill mid-write loses at most the torn last line;
+* the loader skips torn/foreign lines instead of failing, so a
+  checkpoint is never a worse starting point than no checkpoint;
+* cell keys hash the worker function and the cell's full ``repr`` —
+  resuming with a different grid (other schemes, mixes, seeds, or code
+  revision that changed the cell dataclass) simply misses and recomputes.
+
+Results must round-trip bit-identically through JSON so a resumed run's
+rows equal an uninterrupted run's. Floats and ints do (``repr`` round
+trip); JSON arrays are revived as *tuples* on load, matching the
+convention that grid workers return tuples for sequence-valued stats
+(``global_state``) and never lists.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import IO
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "MISSING",
+    "cell_key",
+    "GridCheckpoint",
+    "attach",
+    "active",
+    "default_path",
+]
+
+CHECKPOINT_SCHEMA = 1
+
+# Sentinel distinguishing "no checkpoint entry" from a stored None.
+MISSING = object()
+
+
+def cell_key(func, cell) -> str:
+    """Stable identity of one (worker, cell) pair across processes.
+
+    Cells are frozen dataclasses whose ``repr`` is a pure function of
+    their parameters, so the key survives process restarts but changes
+    whenever any parameter (scheme, mix, seed, config) does.
+    """
+    func_name = f"{getattr(func, '__module__', '?')}.{getattr(func, '__qualname__', '?')}"
+    payload = f"{func_name}|{cell!r}"
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def default_path(export_path: str) -> str:
+    """Where ``repro run --export X`` keeps its checkpoint: ``X.ckpt.jsonl``."""
+    return f"{export_path}.ckpt.jsonl"
+
+
+def _revive(value):
+    """Undo JSON's lossy sequence mapping: arrays come back as tuples."""
+    if isinstance(value, list):
+        return tuple(_revive(v) for v in value)
+    if isinstance(value, dict):
+        return {k: _revive(v) for k, v in value.items()}
+    return value
+
+
+def _jsonable(value):
+    """JSON encoding that tolerates numpy scalars (via ``.item()``)."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    raise TypeError(f"checkpoint result not JSON-serializable: {type(value)!r}")
+
+
+class GridCheckpoint:
+    """One append-only checkpoint file, shared by every grid in a run."""
+
+    def __init__(self, path: str | Path, *, resume: bool = False) -> None:
+        self.path = str(path)
+        self.resume = resume
+        self._results: dict[str, object] = {}
+        self._stream: IO[str] | None = None
+        self.loaded = 0
+        self.skipped_lines = 0
+        self.hits = 0
+        self.appended = 0
+        if resume:
+            self._load()
+        Path(self.path).parent.mkdir(parents=True, exist_ok=True)
+        # Fresh runs truncate (stale cells from an unrelated grid must
+        # not survive); resumed runs keep appending to the same file.
+        self._stream = open(self.path, "a" if resume else "w")
+        if not resume:
+            self._write_line(
+                {
+                    "schema": CHECKPOINT_SCHEMA,
+                    "kind": "header",
+                    "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+                }
+            )
+
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        try:
+            text = Path(self.path).read_text()
+        except OSError:
+            return
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                self.skipped_lines += 1  # torn tail from a mid-write kill
+                continue
+            if (
+                not isinstance(record, dict)
+                or record.get("schema") != CHECKPOINT_SCHEMA
+                or record.get("kind") != "cell"
+                or "key" not in record
+            ):
+                if not (isinstance(record, dict) and record.get("kind") == "header"):
+                    self.skipped_lines += 1
+                continue
+            self._results[record["key"]] = _revive(record.get("result"))
+            self.loaded += 1
+
+    def lookup(self, key: str):
+        """The stored result for ``key``, or :data:`MISSING`."""
+        if key in self._results:
+            self.hits += 1
+            return self._results[key]
+        return MISSING
+
+    def append(self, *, index: int, key: str, result, wall_s: float) -> None:
+        """Durably record one completed cell (flush + fsync per line)."""
+        self._write_line(
+            {
+                "schema": CHECKPOINT_SCHEMA,
+                "kind": "cell",
+                "index": index,
+                "key": key,
+                "wall_s": round(wall_s, 6),
+                "result": result,
+            }
+        )
+        self._results[key] = result
+        self.appended += 1
+
+    def _write_line(self, record: dict) -> None:
+        if self._stream is None:
+            return
+        try:
+            self._stream.write(json.dumps(record, default=_jsonable) + "\n")
+            self._stream.flush()
+            os.fsync(self._stream.fileno())
+        except (OSError, TypeError, ValueError):
+            # A checkpoint must never take the run down with it: an
+            # unserializable result or a full disk just loses resumability
+            # for that cell.
+            pass
+
+    def close(self) -> None:
+        if self._stream is not None:
+            try:
+                self._stream.close()
+            except OSError:
+                pass
+            self._stream = None
+
+
+# ----------------------------------------------------------------------
+# active checkpoint (installed by the CLI around an experiment call)
+# ----------------------------------------------------------------------
+_active: GridCheckpoint | None = None
+
+
+@contextmanager
+def attach(path: str | Path, *, resume: bool = False):
+    """Scope in which every ``run_grid`` checkpoints into ``path``."""
+    global _active
+    previous = _active
+    _active = ckpt = GridCheckpoint(path, resume=resume)
+    try:
+        yield ckpt
+    finally:
+        ckpt.close()
+        _active = previous
+
+
+def active() -> GridCheckpoint | None:
+    return _active

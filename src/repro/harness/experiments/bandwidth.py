@@ -3,11 +3,14 @@
 Every (scheme/config, mix) run is an independent cell dispatched via
 :func:`repro.harness.parallel.run_grid`; results are assembled back in
 grid order, so parallel and serial invocations produce identical rows.
+Row assembly goes through
+:func:`~repro.harness.parallel.complete_groups`, so a permanently
+failed cell under fault collection drops only its own mix's row.
 """
 
 from __future__ import annotations
 
-from repro.harness.parallel import GridCell, drive_cell, run_grid
+from repro.harness.parallel import GridCell, complete_groups, drive_cell, run_grid
 from repro.harness.reporting import append_mean_row
 from repro.harness.runner import ExperimentSetup, scaled_locator_bits
 from repro.bimodal.cache import BiModalConfig
@@ -44,9 +47,7 @@ def fig9a_wasted_bandwidth(
     ]
     stats = run_grid(drive_cell, cells, jobs=jobs)
     rows = []
-    for i, name in enumerate(names):
-        fixed = stats[2 * i]
-        bimodal = stats[2 * i + 1]
+    for name, (fixed, bimodal) in complete_groups(names, stats, 2):
         fixed_waste = fixed["offchip_wasted_bytes"]
         bi_waste = bimodal["offchip_wasted_bytes"]
         saving = (fixed_waste - bi_waste) / fixed_waste if fixed_waste else 0.0
@@ -114,10 +115,10 @@ def fig9b_metadata_rbh(
             )
     stats = run_grid(drive_cell, cells, jobs=jobs)
     rows = []
-    for i, name in enumerate(names):
+    for name, chunk in complete_groups(names, stats, len(layouts)):
         results = {
-            label: stats[2 * i + j]["metadata_rbh"]
-            for j, (label, _) in enumerate(layouts)
+            label: cell_stats["metadata_rbh"]
+            for (label, _), cell_stats in zip(layouts, chunk)
         }
         gain = (
             (results["separate"] - results["colocated"]) / results["colocated"]
@@ -166,12 +167,10 @@ def fig9c_way_locator_hit_rate(
             )
     stats = run_grid(drive_cell, cells, jobs=jobs)
     rows = []
-    for i, name in enumerate(names):
+    for name, chunk in complete_groups(names, stats, len(paper_ks)):
         row: dict = {"mix": name}
-        for j, paper_k in enumerate(paper_ks):
-            row[f"K{paper_k}"] = stats[i * len(paper_ks) + j][
-                "way_locator_hit_rate"
-            ]
+        for paper_k, cell_stats in zip(paper_ks, chunk):
+            row[f"K{paper_k}"] = cell_stats["way_locator_hit_rate"]
         rows.append(row)
     return append_mean_row(rows)
 
@@ -197,5 +196,5 @@ def fig10_small_block_fraction(
             "small_fraction": cell_stats["small_access_fraction"],
             "global_state": str(cell_stats["global_state"]),
         }
-        for name, cell_stats in zip(names, stats)
+        for name, (cell_stats,) in complete_groups(names, stats, 1)
     ]

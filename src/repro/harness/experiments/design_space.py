@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.common.stats import Histogram
-from repro.harness.parallel import run_grid
+from repro.harness.parallel import complete_groups, run_grid
 from repro.harness.reporting import append_mean_row
 from repro.harness.runner import ExperimentSetup, build_cache, drive_cache
 from repro.sram.cache import SetAssociativeCache
@@ -78,7 +78,8 @@ def fig1_miss_rate_vs_block_size(
         )
         for name in names
     ]
-    rows = run_grid(_fig1_row, cells, jobs=jobs)
+    results = run_grid(_fig1_row, cells, jobs=jobs)
+    rows = [row for _, (row,) in complete_groups(names, results, 1)]
     return append_mean_row(rows)
 
 
@@ -125,7 +126,8 @@ def fig2_block_utilization(
     setup = setup or ExperimentSetup()
     names = mix_names or list(mixes_for_cores(setup.num_cores))
     cells = [_Fig2Cell(mix=name, setup=setup) for name in names]
-    return run_grid(_fig2_row, cells, jobs=jobs)
+    results = run_grid(_fig2_row, cells, jobs=jobs)
+    return [row for _, (row,) in complete_groups(names, results, 1)]
 
 
 @dataclass(frozen=True)
@@ -176,5 +178,6 @@ def fig5_mru_hits(
         )
         for name in names
     ]
-    rows = run_grid(_fig5_row, cells, jobs=jobs)
+    results = run_grid(_fig5_row, cells, jobs=jobs)
+    rows = [row for _, (row,) in complete_groups(names, results, 1)]
     return append_mean_row(rows)

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from repro.common.config import DRAMTimingConfig
 from repro.common.tables import TAG_STORE_LATENCY
-from repro.harness.parallel import GridCell, drive_cell, run_grid
+from repro.harness.parallel import GridCell, complete_groups, drive_cell, run_grid
 from repro.harness.runner import ExperimentSetup
 from repro.workloads.mixes import mixes_for_cores
 
@@ -134,10 +134,10 @@ def fig8c_access_latency(
     ]
     stats = run_grid(drive_cell, cells, jobs=jobs)
     rows = []
-    for i, name in enumerate(names):
+    for name, chunk in complete_groups(names, stats, len(schemes)):
         row: dict = {"mix": name}
-        for j, scheme in enumerate(schemes):
-            row[scheme] = stats[i * len(schemes) + j]["avg_read_latency"]
+        for scheme, cell_stats in zip(schemes, chunk):
+            row[scheme] = cell_stats["avg_read_latency"]
         rows.append(row)
     if rows:
         avg: dict = {"mix": "mean"}

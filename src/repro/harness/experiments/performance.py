@@ -8,13 +8,23 @@ relative ANTT reduction of Bi-Modal over the AlloyCache baseline.
 Each (scheme, mix) measurement is an independent cell dispatched through
 :func:`repro.harness.parallel.run_grid`, so figure-level grids fan out
 over ``REPRO_JOBS`` workers with results identical to a serial run.
+Under fault collection a permanently failed cell drops only its mix's
+row (via :func:`~repro.harness.parallel.complete_groups`); the other
+rows still export.
 """
 
 from __future__ import annotations
 
 from repro.cores.metrics import improvement_percent
 from repro.cores.multiprog import MultiProgramRunner
-from repro.harness.parallel import AnttCell, GridCell, antt_cell, drive_cell, run_grid
+from repro.harness.parallel import (
+    AnttCell,
+    GridCell,
+    antt_cell,
+    complete_groups,
+    drive_cell,
+    run_grid,
+)
 from repro.harness.reporting import append_mean_row
 from repro.harness.runner import ExperimentSetup, build_cache
 from repro.workloads.mixes import mixes_for_cores
@@ -81,9 +91,7 @@ def fig7_antt(
     ]
     antts = run_grid(antt_cell, cells, jobs=jobs)
     rows = []
-    for i, name in enumerate(names):
-        base_antt = antts[2 * i]
-        new_antt = antts[2 * i + 1]
+    for name, (base_antt, new_antt) in complete_groups(names, antts, 2):
         rows.append(
             {
                 "mix": name,
@@ -114,8 +122,8 @@ def fig8a_component_analysis(
     ]
     antts = run_grid(antt_cell, cells, jobs=jobs)
     rows = []
-    for i, name in enumerate(names):
-        per_mix = dict(zip(schemes, antts[i * len(schemes) : (i + 1) * len(schemes)]))
+    for name, chunk in complete_groups(names, antts, len(schemes)):
+        per_mix = dict(zip(schemes, chunk))
         row = {"mix": name}
         for s in schemes[1:]:
             row[f"{s}_pct"] = improvement_percent(per_mix["alloy"], per_mix[s])
@@ -144,10 +152,10 @@ def fig8b_hit_rate(
     ]
     stats = run_grid(drive_cell, cells, jobs=jobs)
     rows = []
-    for i, name in enumerate(names):
+    for name, chunk in complete_groups(names, stats, len(schemes)):
         row: dict = {"mix": name}
-        for j, scheme in enumerate(schemes):
-            row[scheme] = stats[i * len(schemes) + j]["hit_rate"]
+        for scheme, cell_stats in zip(schemes, chunk):
+            row[scheme] = cell_stats["hit_rate"]
         row["fixed512_gain_pct"] = improvement_percent(
             1 - row["alloy"], 1 - row["fixed512"]
         )

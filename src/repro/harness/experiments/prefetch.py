@@ -9,8 +9,11 @@ and PREF_BYPASS (prefetch misses do not allocate).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.cores.metrics import improvement_percent
 from repro.cores.multiprog import MultiProgramRunner
+from repro.harness.parallel import complete_groups, run_grid
 from repro.harness.runner import ExperimentSetup, build_cache
 from repro.prefetch.nextn import PREF_BYPASS, PREF_NORMAL, NextNPrefetcher
 from repro.workloads.mixes import mixes_for_cores
@@ -18,25 +21,28 @@ from repro.workloads.mixes import mixes_for_cores
 __all__ = ["table6_prefetch"]
 
 
-def _antt_with_prefetch(
-    scheme: str,
-    mix_name: str,
-    *,
-    setup: ExperimentSetup,
-    degree: int,
-    mode: str,
-) -> float:
-    mix = mixes_for_cores(setup.num_cores)[mix_name]
+@dataclass(frozen=True)
+class _PrefetchCell:
+    scheme: str
+    mix: str
+    setup: ExperimentSetup
+    degree: int
+    mode: str
+
+
+def _prefetch_antt(cell: _PrefetchCell) -> float:
+    setup = cell.setup
+    mix = mixes_for_cores(setup.num_cores)[cell.mix]
     total = setup.accesses_per_core * setup.num_cores
 
     def factory():
         cache = build_cache(
-            scheme,
+            cell.scheme,
             setup.system,
             scale=setup.scale,
             adaptation_interval=max(1_000, total // 150),
         )
-        return NextNPrefetcher(cache, degree=degree, mode=mode)
+        return NextNPrefetcher(cache, degree=cell.degree, mode=cell.mode)
 
     runner = MultiProgramRunner(
         mix,
@@ -49,11 +55,27 @@ def _antt_with_prefetch(
     return antt
 
 
+def _antt_with_prefetch(
+    scheme: str,
+    mix_name: str,
+    *,
+    setup: ExperimentSetup,
+    degree: int,
+    mode: str,
+) -> float:
+    return _prefetch_antt(
+        _PrefetchCell(
+            scheme=scheme, mix=mix_name, setup=setup, degree=degree, mode=mode
+        )
+    )
+
+
 def table6_prefetch(
     *,
     setup: ExperimentSetup | None = None,
     mix_names: list[str] | None = None,
     degrees: tuple[int, ...] = (1, 3),
+    jobs: int | None = None,
 ) -> list[dict]:
     """Table VI: ANTT improvement over the prefetch-enabled baseline.
 
@@ -64,20 +86,27 @@ def table6_prefetch(
     """
     setup = setup or ExperimentSetup()
     names = mix_names or list(mixes_for_cores(setup.num_cores))[:6]
+    variants = (
+        ("alloy", PREF_NORMAL),
+        ("bimodal", PREF_NORMAL),
+        ("bimodal", PREF_BYPASS),
+    )
+    cells = [
+        _PrefetchCell(
+            scheme=scheme, mix=name, setup=setup, degree=degree, mode=mode
+        )
+        for degree in degrees
+        for name in names
+        for scheme, mode in variants
+    ]
+    antts = run_grid(_prefetch_antt, cells, jobs=jobs)
+    per_degree = len(names) * len(variants)
     rows = []
-    for degree in degrees:
+    for degree, chunk in complete_groups(degrees, antts, per_degree):
         normal_gains = []
         bypass_gains = []
-        for name in names:
-            base = _antt_with_prefetch(
-                "alloy", name, setup=setup, degree=degree, mode=PREF_NORMAL
-            )
-            normal = _antt_with_prefetch(
-                "bimodal", name, setup=setup, degree=degree, mode=PREF_NORMAL
-            )
-            bypass = _antt_with_prefetch(
-                "bimodal", name, setup=setup, degree=degree, mode=PREF_BYPASS
-            )
+        for i in range(len(names)):
+            base, normal, bypass = chunk[3 * i : 3 * i + 3]
             normal_gains.append(improvement_percent(base, normal))
             bypass_gains.append(improvement_percent(base, bypass))
         rows.append(

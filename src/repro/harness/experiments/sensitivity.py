@@ -16,6 +16,7 @@ from repro.harness.parallel import (
     AnttCell,
     GridCell,
     antt_cell,
+    complete_groups,
     drive_cell,
     run_grid,
 )
@@ -112,8 +113,9 @@ def fig12_sensitivity(
     antts = run_grid(antt_cell, cells, jobs=jobs)
     rows = []
     per_variant = 2 * len(names)
-    for v, (label, cache_mb, _) in enumerate(variants):
-        chunk = antts[v * per_variant : (v + 1) * per_variant]
+    for (label, cache_mb, _), chunk in complete_groups(
+        variants, antts, per_variant
+    ):
         gains = [
             improvement_percent(chunk[2 * i], chunk[2 * i + 1])
             for i in range(len(names))
@@ -176,7 +178,7 @@ def ablation_threshold(
             "offchip_mb": stats["offchip_fetched_bytes"] / (1 << 20),
             "small_fraction": stats["small_access_fraction"],
         }
-        for t, stats in zip(thresholds, results)
+        for t, (stats,) in complete_groups(thresholds, results, 1)
     ]
 
 
@@ -203,7 +205,7 @@ def ablation_weight(
             "small_fraction": stats["small_access_fraction"],
             "global_state": str(stats["global_state"]),
         }
-        for w, stats in zip(weights, results)
+        for w, (stats,) in complete_groups(weights, results, 1)
     ]
 
 
@@ -230,7 +232,7 @@ def ablation_sampling(
             "predictor_accuracy": stats["predictor_accuracy"],
             "small_fraction": stats["small_access_fraction"],
         }
-        for every, stats in zip(rates, results)
+        for every, (stats,) in complete_groups(rates, results, 1)
     ]
 
 
@@ -253,10 +255,10 @@ def ablation_parallel_tag(
     ]
     results = run_grid(drive_cell, cells, jobs=jobs)
     rows = []
-    for i, name in enumerate(names):
+    for name, chunk in complete_groups(names, results, len(modes)):
         res = {
-            label: results[2 * i + j]["avg_read_latency"]
-            for j, (label, _) in enumerate(modes)
+            label: stats["avg_read_latency"]
+            for (label, _), stats in zip(modes, chunk)
         }
         rows.append(
             {

@@ -16,22 +16,47 @@ Job-count resolution: an explicit ``jobs`` argument wins, then the
 ``REPRO_JOBS`` environment variable, else serial. ``0`` or ``"auto"``
 means one worker per CPU. ``jobs=1`` (the default everywhere) runs the
 cells inline with no pool, and any failure to *create* the pool (e.g. a
-sandbox forbidding fork) silently falls back to the serial path.
+sandbox forbidding fork) falls back to the serial path with a one-line
+warning naming the exception.
+
+Fault tolerance (see :mod:`repro.harness.faults` and
+``docs/robustness.md``): when any of the fault features are active —
+retries/timeouts via ``REPRO_CELL_RETRIES``/``REPRO_CELL_TIMEOUT_S``, a
+failure collector (installed by ``repro run``), an attached checkpoint,
+or a fault-injection plan — cells route through a hardened engine with
+per-cell isolation: a worker exception, a broken pool (worker killed by
+signal/OOM) or a wall-clock timeout fails only that cell, retries with
+deterministic backoff, and is finally recorded as a structured
+:class:`~repro.harness.faults.CellFailure` while every other cell
+completes. Failed cells yield ``None`` in the result list; completed
+cells are appended to the attached checkpoint so a killed campaign
+resumes where it stopped. With no fault feature active the seed fast
+path runs unchanged (worker exceptions propagate, zero overhead).
 """
 
 from __future__ import annotations
 
 import os
+import shutil
 import sys
+import tempfile
 import time
 from collections.abc import Callable, Iterable
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import TypeVar
 
 from repro.bimodal.cache import BiModalConfig
 from repro.cores.multiprog import MultiProgramRunner
+from repro.harness import checkpoint, faults
+from repro.harness.faults import (
+    CellFailure,
+    CellTimeoutError,
+    FaultPolicy,
+    WorkerCrashError,
+)
 from repro.harness.runner import ExperimentSetup, build_cache, run_scheme_on_mix
 from repro.obs import get_metrics, get_tracer, profile_call, profile_dir
 from repro.workloads.mixes import mixes_for_cores
@@ -39,6 +64,7 @@ from repro.workloads.mixes import mixes_for_cores
 __all__ = [
     "resolve_jobs",
     "run_grid",
+    "complete_groups",
     "GridCell",
     "AnttCell",
     "drive_cell",
@@ -47,6 +73,12 @@ __all__ = [
 
 _Cell = TypeVar("_Cell")
 _Result = TypeVar("_Result")
+
+# Directory (env-propagated to workers) where workers drop "started"
+# markers, so a broken pool can be attributed to the cells that were
+# actually in flight rather than to whichever future the parent was
+# awaiting.
+_MARK_DIR_ENV = "REPRO_GRID_MARK_DIR"
 
 
 def resolve_jobs(jobs: int | str | None = None) -> int:
@@ -74,15 +106,18 @@ def run_grid(
     cells: Iterable[_Cell],
     *,
     jobs: int | str | None = None,
-) -> list[_Result]:
+) -> list:
     """Apply ``func`` to every cell, optionally across processes.
 
     Results come back in the order the cells were given regardless of
     completion order. With ``jobs`` resolving to 1 (the default when
     ``REPRO_JOBS`` is unset) or fewer than two cells, no pool is created
     at all. Pool-level failures (fork refused, workers killed) degrade
-    to the serial path; exceptions raised *by the worker function*
-    propagate unchanged in both modes.
+    to the serial path with a warning; exceptions raised *by the worker
+    function* propagate unchanged in both modes — unless a failure
+    collector is active (see the module docstring), in which case the
+    failing cell is isolated, retried per policy, recorded, and returned
+    as ``None``.
 
     Observability: with tracing on (``REPRO_TRACE`` / ``--trace-out``)
     the grid streams one progress line per finished cell to stderr and
@@ -96,7 +131,19 @@ def run_grid(
     workers = resolve_jobs(jobs)
     tracer = get_tracer()
     prof = profile_dir()
-    if not tracer.enabled and prof is None:
+    policy = FaultPolicy.from_env()
+    collector = faults.active_collector()
+    ckpt = checkpoint.active()
+    plan = faults.active_plan()
+    plain = (
+        not tracer.enabled
+        and prof is None
+        and policy.is_default
+        and collector is None
+        and ckpt is None
+        and plan is None
+    )
+    if plain:
         if workers <= 1 or len(cell_list) <= 1:
             return [func(cell) for cell in cell_list]
         try:
@@ -104,21 +151,79 @@ def run_grid(
                 max_workers=min(workers, len(cell_list))
             ) as pool:
                 return list(pool.map(func, cell_list))
-        except (OSError, PermissionError, BrokenProcessPool):
+        except (OSError, PermissionError, BrokenProcessPool) as exc:
+            _warn_pool_fallback(exc, tracer)
             return [func(cell) for cell in cell_list]
-    return _run_grid_instrumented(func, cell_list, workers, tracer, prof)
+    return _run_grid_engine(
+        func,
+        cell_list,
+        workers,
+        tracer=tracer,
+        prof=prof,
+        policy=policy,
+        collector=collector,
+        ckpt=ckpt,
+    )
 
 
+def complete_groups(names: Iterable, results: list, size: int) -> list[tuple]:
+    """``(name, chunk)`` pairs for groups whose ``size`` cells all completed.
+
+    The row-assembly companion of the fault-tolerant grid: with a
+    failure collector active, permanently failed cells come back as
+    ``None`` (workers never legitimately return ``None``), and any row
+    depending on one is dropped here — the grid's failure list carries
+    the diagnosis — so a partial campaign still exports every intact
+    row.
+    """
+    out = []
+    for i, name in enumerate(names):
+        chunk = results[i * size : (i + 1) * size]
+        if len(chunk) == size and not any(r is None for r in chunk):
+            out.append((name, chunk))
+    return out
+
+
+def _warn_pool_fallback(exc: BaseException, tracer) -> None:
+    """A degraded (serial) run must be diagnosable, not silent."""
+    print(
+        f"[repro] worker pool unavailable ({type(exc).__name__}: {exc}); "
+        "running cells serially",
+        file=sys.stderr,
+    )
+    tracer.point(
+        "grid.pool_fallback", exc=type(exc).__name__, message=str(exc)
+    )
+    get_metrics().add("grid.pool_fallbacks")
+
+
+# ----------------------------------------------------------------------
+# hardened engine (instrumentation, retries, timeouts, checkpointing)
+# ----------------------------------------------------------------------
 @dataclass(frozen=True)
-class _InstrumentedCell:
-    """Picklable wrapper timing (and optionally profiling) one cell."""
+class _CellCall:
+    """Picklable wrapper timing (and optionally profiling) one attempt.
+
+    Also the injection point for the deterministic fault harness and the
+    writer of per-cell "started" markers used to attribute pool breaks.
+    """
 
     func: Callable
     profile_to: str | None
 
-    def __call__(self, pair):
-        index, cell = pair
+    def __call__(self, job):
+        index, attempt, cell = job
+        mark_dir = os.environ.get(_MARK_DIR_ENV)
+        if mark_dir:
+            try:
+                with open(os.path.join(mark_dir, f"{index}.started"), "w") as fh:
+                    fh.write(str(attempt))
+            except OSError:
+                pass
         start = time.perf_counter()
+        plan = faults.active_plan()
+        if plan is not None:
+            plan.fire(index, attempt)
         if self.profile_to is not None:
             result = profile_call(
                 self.func, cell, label=f"cell_{index:04d}",
@@ -139,47 +244,322 @@ def _cell_attrs(cell) -> dict:
     return attrs
 
 
-def _run_grid_instrumented(
-    func: Callable, cell_list: list, workers: int, tracer, prof
-) -> list:
-    """run_grid with per-cell timing, progress and optional profiling."""
-    wrapped = _InstrumentedCell(func, str(prof) if prof is not None else None)
-    pairs = list(enumerate(cell_list))
-    total = len(pairs)
-    results: list = []
-    registry = get_metrics()
+class _GridEngine:
+    """State machine for one fault-tolerant grid execution."""
 
-    def consume(timed_results: Iterable) -> None:
-        for index, (result, wall) in enumerate(timed_results):
-            attrs = _cell_attrs(cell_list[index])
-            tracer.point(
-                "grid.cell",
-                index=index,
-                total=total,
-                wall_s=round(wall, 6),
-                **attrs,
+    def __init__(self, func, cell_list, *, tracer, prof, policy, collector, ckpt):
+        self.func = func
+        self.cells = cell_list
+        self.total = len(cell_list)
+        self.tracer = tracer
+        self.policy = policy
+        self.collector = collector
+        self.ckpt = ckpt
+        self.registry = get_metrics()
+        self.call = _CellCall(func, str(prof) if prof is not None else None)
+        self.results: list = [None] * self.total
+        self.done = [False] * self.total
+        # Attempts *charged* against the retry budget (1-based once started).
+        self.attempts = [0] * self.total
+        self.keys = (
+            [checkpoint.cell_key(func, cell) for cell in cell_list]
+            if ckpt is not None
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    def pending_cells(self) -> list[int]:
+        """Indices still to run after serving checkpoint hits."""
+        pending = []
+        for i in range(self.total):
+            if self.ckpt is not None:
+                hit = self.ckpt.lookup(self.keys[i])
+                if hit is not checkpoint.MISSING:
+                    self.results[i] = hit
+                    self.done[i] = True
+                    self._note_success(i, 0.0, cached=True)
+                    continue
+            pending.append(i)
+        return pending
+
+    def succeed(self, index: int, value, wall: float) -> None:
+        self.results[index] = value
+        self.done[index] = True
+        if self.ckpt is not None:
+            self.ckpt.append(
+                index=index, key=self.keys[index], result=value, wall_s=wall
             )
-            registry.add("grid.cells")
-            registry.observe("grid.cell_wall_s", wall)
-            if tracer.enabled:
-                label = " ".join(f"{k}={v}" for k, v in attrs.items())
-                print(
-                    f"[repro] cell {index + 1}/{total} {wall:7.2f}s {label}".rstrip(),
-                    file=sys.stderr,
-                )
-            results.append(result)
+        self._note_success(index, wall)
 
-    with tracer.span("grid", cells=total, workers=min(workers, max(total, 1))):
-        if workers <= 1 or total <= 1:
-            consume(map(wrapped, pairs))
+    def should_retry(self, index: int, exc: BaseException) -> bool:
+        """Charge one failed attempt; True if the cell gets another."""
+        if self.attempts[index] <= self.policy.retries:
+            self.registry.add("grid.cell_retries")
+            self.tracer.point(
+                "grid.cell_retry",
+                index=index,
+                attempt=self.attempts[index],
+                exc=type(exc).__name__,
+            )
+            time.sleep(self.policy.backoff(index, self.attempts[index]))
+            return True
+        return False
+
+    def fail(self, index: int, exc: BaseException, wall: float) -> None:
+        """Retries exhausted: record (or propagate) the failure."""
+        if self.collector is None:
+            raise exc
+        failure = CellFailure.from_exception(
+            index,
+            exc,
+            attempts=self.attempts[index],
+            wall_s=wall,
+            **_cell_attrs(self.cells[index]),
+        )
+        self.collector.record(failure)
+        self.registry.add("grid.cell_failures")
+        self.tracer.point(
+            "grid.cell_failed",
+            index=index,
+            total=self.total,
+            exc=failure.exc_type,
+            attempts=failure.attempts,
+            **_cell_attrs(self.cells[index]),
+        )
+        if self.tracer.enabled:
+            print(
+                f"[repro] cell {index + 1}/{self.total} FAILED "
+                f"{failure.exc_type} after {failure.attempts} attempt(s)",
+                file=sys.stderr,
+            )
+
+    def _note_success(self, index: int, wall: float, *, cached: bool = False) -> None:
+        attrs = _cell_attrs(self.cells[index])
+        if cached:
+            attrs["cached"] = True
+        self.tracer.point(
+            "grid.cell",
+            index=index,
+            total=self.total,
+            wall_s=round(wall, 6),
+            **attrs,
+        )
+        self.registry.add("grid.cells")
+        self.registry.observe("grid.cell_wall_s", wall)
+        if self.tracer.enabled:
+            label = " ".join(f"{k}={v}" for k, v in attrs.items())
+            print(
+                f"[repro] cell {index + 1}/{self.total} {wall:7.2f}s {label}".rstrip(),
+                file=sys.stderr,
+            )
+
+
+def _run_grid_engine(
+    func, cell_list, workers, *, tracer, prof, policy, collector, ckpt
+) -> list:
+    engine = _GridEngine(
+        func,
+        cell_list,
+        tracer=tracer,
+        prof=prof,
+        policy=policy,
+        collector=collector,
+        ckpt=ckpt,
+    )
+    with tracer.span(
+        "grid", cells=engine.total, workers=min(workers, max(engine.total, 1))
+    ):
+        pending = engine.pending_cells()
+        if not pending:
+            return engine.results
+        if workers <= 1 or len(pending) <= 1:
+            _serial_cells(engine, pending)
         else:
+            _pool_cells(engine, pending, min(workers, len(pending)))
+    return engine.results
+
+
+def _serial_cells(engine: _GridEngine, pending: list[int]) -> None:
+    """In-process execution with per-cell SIGALRM timeout and retries."""
+    for i in pending:
+        while True:
+            engine.attempts[i] += 1
+            start = time.perf_counter()
             try:
-                with ProcessPoolExecutor(max_workers=min(workers, total)) as pool:
-                    consume(pool.map(wrapped, pairs))
-            except (OSError, PermissionError, BrokenProcessPool):
-                results.clear()
-                consume(map(wrapped, pairs))
-    return results
+                with faults.cell_timeout(engine.policy.timeout_s):
+                    value, wall = engine.call(
+                        (i, engine.attempts[i], engine.cells[i])
+                    )
+            except Exception as exc:
+                wall = time.perf_counter() - start
+                if engine.should_retry(i, exc):
+                    continue
+                engine.fail(i, exc, wall)
+                break
+            engine.succeed(i, value, wall)
+            break
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down hard — hung or orphaned workers included."""
+    try:
+        processes = list(pool._processes.values())  # noqa: SLF001
+    except Exception:
+        processes = []
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+    for proc in processes:
+        try:
+            proc.terminate()
+        except Exception:
+            pass
+    for proc in processes:
+        try:
+            proc.join(timeout=1.0)
+        except Exception:
+            pass
+
+
+def _pool_cells(engine: _GridEngine, pending: list[int], max_workers: int) -> None:
+    """Pool execution surviving worker exceptions, crashes and hangs.
+
+    The parent consumes futures in submission order (preserving result
+    and event ordering). A broken pool is attributed via the "started"
+    markers workers drop, then rebuilt; unfinished cells are resubmitted
+    without charging the innocents' retry budgets. A per-cell timeout
+    bounds the wait for that cell's result.
+    """
+    mark_dir = tempfile.mkdtemp(prefix="repro-grid-")
+    previous_mark = os.environ.get(_MARK_DIR_ENV)
+    os.environ[_MARK_DIR_ENV] = mark_dir
+    unfinished = set(pending)
+    failed: set[int] = set()
+    pool: ProcessPoolExecutor | None = None
+    futures: dict = {}
+
+    def submit(i: int) -> None:
+        engine.attempts[i] += 1
+        futures[i] = pool.submit(engine.call, (i, engine.attempts[i], engine.cells[i]))
+
+    def resubmit_unfinished() -> None:
+        # Same attempt numbers: an aborted-by-pool-break attempt was
+        # already either charged (suspects) or innocent (no charge).
+        for i in sorted(unfinished):
+            _clear_marker(mark_dir, i)
+            futures[i] = pool.submit(
+                engine.call, (i, engine.attempts[i], engine.cells[i])
+            )
+
+    def rebuild_pool() -> None:
+        nonlocal pool
+        _kill_pool(pool)
+        engine.registry.add("grid.pool_rebuilds")
+        engine.tracer.point("grid.pool_rebuild", unfinished=len(unfinished))
+        pool = ProcessPoolExecutor(max_workers=max_workers)
+        resubmit_unfinished()
+
+    try:
+        try:
+            pool = ProcessPoolExecutor(max_workers=max_workers)
+        except (OSError, PermissionError) as exc:
+            _warn_pool_fallback(exc, engine.tracer)
+            _serial_cells(engine, pending)
+            return
+        for i in pending:
+            submit(i)
+        for i in pending:
+            while i in unfinished:
+                wait_start = time.perf_counter()
+                try:
+                    value, wall = futures[i].result(timeout=engine.policy.timeout_s)
+                except FuturesTimeoutError:
+                    exc = CellTimeoutError(
+                        f"no result within {engine.policy.timeout_s:g}s "
+                        "wall-clock budget"
+                    )
+                    retry = engine.should_retry(i, exc)
+                    if retry:
+                        engine.attempts[i] += 1  # next attempt, via resubmit
+                    else:
+                        unfinished.discard(i)
+                        failed.add(i)
+                    # The hung worker still occupies a slot: replace the
+                    # whole pool, then rerun everything unfinished.
+                    rebuild_pool()
+                    if not retry:
+                        engine.fail(
+                            i, exc, time.perf_counter() - wait_start
+                        )
+                except BrokenProcessPool:
+                    _consume_survivors(engine, futures, unfinished)
+                    suspects = _suspects(mark_dir, unfinished) or {i}
+                    crashed = []
+                    for j in sorted(suspects):
+                        exc_j = WorkerCrashError(
+                            "worker process died while running this cell "
+                            "(pool broken; signal or OOM kill)"
+                        )
+                        if engine.should_retry(j, exc_j):
+                            engine.attempts[j] += 1  # retried via resubmit
+                        else:
+                            unfinished.discard(j)
+                            failed.add(j)
+                            crashed.append((j, exc_j))
+                    rebuild_pool()
+                    for j, exc_j in crashed:
+                        engine.fail(j, exc_j, 0.0)
+                except Exception as exc:
+                    wall = time.perf_counter() - wait_start
+                    if engine.should_retry(i, exc):
+                        submit(i)
+                        continue
+                    unfinished.discard(i)
+                    failed.add(i)
+                    engine.fail(i, exc, wall)
+                else:
+                    unfinished.discard(i)
+                    engine.succeed(i, value, wall)
+        pool.shutdown(wait=True)
+        pool = None
+    finally:
+        if pool is not None:
+            _kill_pool(pool)
+        if previous_mark is None:
+            os.environ.pop(_MARK_DIR_ENV, None)
+        else:
+            os.environ[_MARK_DIR_ENV] = previous_mark
+        shutil.rmtree(mark_dir, ignore_errors=True)
+
+
+def _consume_survivors(engine: _GridEngine, futures: dict, unfinished: set) -> None:
+    """Harvest results that completed before the pool broke."""
+    for j in sorted(unfinished):
+        future = futures.get(j)
+        if future is not None and future.done():
+            try:
+                value, wall = future.result(timeout=0)
+            except Exception:
+                continue
+            unfinished.discard(j)
+            engine.succeed(j, value, wall)
+
+
+def _suspects(mark_dir: str, unfinished: set) -> set[int]:
+    """Unfinished cells whose attempt had started when the pool broke."""
+    out = set()
+    for j in unfinished:
+        if os.path.exists(os.path.join(mark_dir, f"{j}.started")):
+            out.add(j)
+    return out
+
+
+def _clear_marker(mark_dir: str, index: int) -> None:
+    try:
+        os.unlink(os.path.join(mark_dir, f"{index}.started"))
+    except OSError:
+        pass
 
 
 # ----------------------------------------------------------------------
@@ -232,7 +612,12 @@ class AnttCell:
 def antt_cell(cell: AnttCell) -> float:
     """Worker: ANTT of one scheme on one mix (the paper's metric)."""
     setup = cell.setup
-    mix = mixes_for_cores(setup.num_cores)[cell.mix]
+    mixes = mixes_for_cores(setup.num_cores)
+    if cell.mix not in mixes:
+        raise ValueError(
+            f"unknown mix {cell.mix!r} for {setup.num_cores} cores"
+        )
+    mix = mixes[cell.mix]
     system = setup.system
     if cell.cache_mb is not None:
         system = system.scaled_cache(cell.cache_mb << 20)

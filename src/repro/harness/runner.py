@@ -414,6 +414,10 @@ def run_scheme_on_mix(
 ) -> DriveResult:
     """Build scheme + mix trace, drive to completion, return the result."""
     setup = setup or ExperimentSetup()
+    if mix_name not in setup.mixes():
+        raise ValueError(
+            f"unknown mix {mix_name!r} for {setup.num_cores} cores"
+        )
     system = setup.system
     total = setup.accesses_per_core * setup.num_cores
     tracer = get_tracer()

@@ -9,6 +9,11 @@ interpreter/platform. Two runs whose manifests agree on
 ``config_hash`` + ``seed`` + git rev must produce identical simulation
 statistics; when they don't, the manifest diff is the first thing to
 read.
+
+A run that finished despite per-cell failures carries
+``status: "partial"`` and a ``failures`` list (one structured entry per
+failed grid cell, see :mod:`repro.harness.faults`); a clean run says
+``status: "complete"`` with an empty list.
 """
 
 from __future__ import annotations
@@ -87,6 +92,8 @@ class RunManifest:
     python: str = ""
     machine: str = ""
     created: str = ""
+    status: str = "complete"
+    failures: list = field(default_factory=list)
 
     @classmethod
     def collect(
@@ -97,6 +104,7 @@ class RunManifest:
         seed: int | None = None,
         scheme: str | None = None,
         argv: list[str] | None = None,
+        failures: list | None = None,
     ) -> "RunManifest":
         """Build a manifest from the current process state."""
         from repro import __version__
@@ -117,6 +125,8 @@ class RunManifest:
             python=platform.python_version(),
             machine=platform.machine(),
             created=time.strftime("%Y-%m-%dT%H:%M:%S"),
+            status="partial" if failures else "complete",
+            failures=list(failures or []),
         )
 
     def to_dict(self) -> dict:

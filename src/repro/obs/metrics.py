@@ -73,6 +73,16 @@ class MetricsRegistry:
     def counter_value(self, name: str) -> float:
         return self._counters.get(name, 0)
 
+    def counters(self, prefix: str = "") -> dict[str, float]:
+        """Counters (optionally filtered by dotted-name ``prefix``)."""
+        if not prefix:
+            return dict(self._counters)
+        return {
+            name: value
+            for name, value in self._counters.items()
+            if name.startswith(prefix)
+        }
+
     def distribution(self, name: str) -> RunningMean | None:
         return self._dists.get(name)
 

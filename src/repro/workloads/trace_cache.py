@@ -25,6 +25,14 @@ Invalidation: keys embed ``TRACE_FORMAT_VERSION`` plus a fingerprint of
 the fully-scaled mix (every profile field), so generator-model changes
 must bump the version, while workload/parameter changes re-key
 automatically.
+
+Self-healing: a corrupt or truncated ``.npz`` (torn write from a killed
+process, disk error, foreign file) never surfaces to the caller — the
+file is quarantined as ``<name>.npz.corrupt``, the
+``trace_cache.corrupt_evictions`` metric increments, and the trace is
+regenerated transparently. Disk pruning tolerates sibling workers
+racing it: files already pruned by another process are skipped, not
+raised.
 """
 
 from __future__ import annotations
@@ -55,7 +63,12 @@ TRACE_FORMAT_VERSION = 1
 
 _MEMORY_ENTRIES = 8  # merged streams are O(MB); keep a small working set
 _memory: "OrderedDict[str, tuple]" = OrderedDict()
-_stats = {"memory_hits": 0, "disk_hits": 0, "misses": 0}
+_stats = {
+    "memory_hits": 0,
+    "disk_hits": 0,
+    "misses": 0,
+    "corrupt_evictions": 0,
+}
 
 
 def disk_cache_enabled() -> bool:
@@ -127,8 +140,27 @@ def _disk_load(path: str) -> tuple | None:
             return _freeze(
                 (data["addresses"], data["is_write"], data["icount"])
             )
-    except (OSError, KeyError, ValueError):
-        return None  # corrupt/partial entry: regenerate
+    except FileNotFoundError:
+        return None  # plain miss
+    except Exception:
+        # Truncated/corrupt entry (torn write, BadZipFile, missing or
+        # malformed member, disk error): quarantine and regenerate —
+        # the cache must never take a run down.
+        _quarantine(path)
+        return None
+
+
+def _quarantine(path: str) -> None:
+    """Move a corrupt entry aside as ``<path>.corrupt`` and count it."""
+    try:
+        os.replace(path, f"{path}.corrupt")
+    except OSError:
+        pass  # already quarantined/pruned by a sibling, or gone
+    _stats["corrupt_evictions"] += 1
+    from repro.obs import get_metrics, get_tracer
+
+    get_metrics().add("trace_cache.corrupt_evictions")
+    get_tracer().point("trace_cache.corrupt", path=path)
 
 
 def _disk_store(directory: str, key: str, arrays: tuple) -> None:
@@ -154,22 +186,37 @@ def _disk_store(directory: str, key: str, arrays: tuple) -> None:
 
 
 def _prune_disk(directory: str) -> None:
-    """Drop oldest entries until the directory fits the size cap."""
+    """Drop oldest entries until the directory fits the size cap.
+
+    Sibling workers prune the same directory concurrently; a file
+    another process already removed is simply skipped (per-file
+    ``FileNotFoundError`` must not abort the sweep). Quarantined
+    ``.corrupt`` files count against the cap and age out the same way.
+    """
     cap = _disk_cap_bytes()
     try:
         entries = []
         total = 0
         with os.scandir(directory) as it:
             for entry in it:
-                if not entry.name.endswith(".npz"):
+                if not (
+                    entry.name.endswith(".npz")
+                    or entry.name.endswith(".corrupt")
+                ):
                     continue
-                st = entry.stat()
+                try:
+                    st = entry.stat()
+                except FileNotFoundError:
+                    continue  # pruned by a sibling between scan and stat
                 entries.append((st.st_mtime, st.st_size, entry.path))
                 total += st.st_size
         if total <= cap:
             return
         for _, size, path in sorted(entries):
-            os.unlink(path)
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                pass  # a sibling got there first; its bytes are gone too
             total -= size
             if total <= cap:
                 return

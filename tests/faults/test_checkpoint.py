@@ -1,0 +1,156 @@
+"""Crash-safe grid checkpoints and resume."""
+
+import json
+
+from repro.harness import checkpoint, faults
+from repro.harness.checkpoint import MISSING, GridCheckpoint, cell_key
+from repro.harness.parallel import run_grid
+
+
+def _square(x):
+    return x * x
+
+
+def _cube(x):
+    return x * x * x
+
+
+class TestCellKey:
+    def test_stable_across_calls(self):
+        assert cell_key(_square, 3) == cell_key(_square, 3)
+
+    def test_distinguishes_cell_and_func(self):
+        assert cell_key(_square, 3) != cell_key(_square, 4)
+        assert cell_key(_square, 3) != cell_key(_cube, 3)
+
+
+class TestGridCheckpoint:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "run.ckpt.jsonl"
+        ckpt = GridCheckpoint(path)
+        ckpt.append(index=0, key="k0", result={"hit_rate": 0.25}, wall_s=1.0)
+        ckpt.append(index=1, key="k1", result=2.5, wall_s=0.5)
+        ckpt.close()
+
+        resumed = GridCheckpoint(path, resume=True)
+        assert resumed.loaded == 2
+        assert resumed.lookup("k0") == {"hit_rate": 0.25}
+        assert resumed.lookup("k1") == 2.5
+        assert resumed.lookup("k2") is MISSING
+        resumed.close()
+
+    def test_fresh_open_truncates_stale_cells(self, tmp_path):
+        path = tmp_path / "run.ckpt.jsonl"
+        first = GridCheckpoint(path)
+        first.append(index=0, key="old", result=1, wall_s=0.0)
+        first.close()
+        fresh = GridCheckpoint(path)  # resume not requested: start over
+        fresh.close()
+        resumed = GridCheckpoint(path, resume=True)
+        assert resumed.lookup("old") is MISSING
+        resumed.close()
+
+    def test_torn_tail_line_is_skipped(self, tmp_path):
+        path = tmp_path / "run.ckpt.jsonl"
+        ckpt = GridCheckpoint(path)
+        ckpt.append(index=0, key="k0", result=1.5, wall_s=0.1)
+        ckpt.close()
+        with open(path, "a") as fh:
+            fh.write('{"schema": 1, "kind": "cell", "key": "k1", "resu')
+
+        resumed = GridCheckpoint(path, resume=True)
+        assert resumed.loaded == 1
+        assert resumed.skipped_lines == 1
+        assert resumed.lookup("k0") == 1.5
+        assert resumed.lookup("k1") is MISSING
+        resumed.close()
+
+    def test_foreign_and_wrong_schema_lines_skipped(self, tmp_path):
+        path = tmp_path / "run.ckpt.jsonl"
+        path.write_text(
+            "\n".join(
+                [
+                    json.dumps({"schema": 1, "kind": "header"}),
+                    json.dumps({"schema": 99, "kind": "cell", "key": "x"}),
+                    json.dumps({"something": "else"}),
+                    json.dumps(
+                        {"schema": 1, "kind": "cell", "key": "ok", "result": 7}
+                    ),
+                ]
+            )
+            + "\n"
+        )
+        resumed = GridCheckpoint(path, resume=True)
+        assert resumed.loaded == 1
+        assert resumed.skipped_lines == 2
+        assert resumed.lookup("ok") == 7
+        resumed.close()
+
+    def test_tuples_survive_the_json_round_trip(self, tmp_path):
+        path = tmp_path / "run.ckpt.jsonl"
+        ckpt = GridCheckpoint(path)
+        ckpt.append(
+            index=0,
+            key="k0",
+            result={"global_state": (4, 0), "hit_rate": 0.5},
+            wall_s=0.0,
+        )
+        ckpt.close()
+        resumed = GridCheckpoint(path, resume=True)
+        assert resumed.lookup("k0") == {"global_state": (4, 0), "hit_rate": 0.5}
+        resumed.close()
+
+    def test_unserializable_result_does_not_kill_the_run(self, tmp_path):
+        ckpt = GridCheckpoint(tmp_path / "run.ckpt.jsonl")
+        ckpt.append(index=0, key="k0", result=object(), wall_s=0.0)  # no raise
+        ckpt.close()
+
+    def test_default_path(self):
+        assert checkpoint.default_path("out/fig7.csv") == "out/fig7.csv.ckpt.jsonl"
+
+
+class TestAttachScope:
+    def test_attach_installs_and_restores(self, tmp_path):
+        assert checkpoint.active() is None
+        with checkpoint.attach(tmp_path / "a.ckpt.jsonl") as ckpt:
+            assert checkpoint.active() is ckpt
+        assert checkpoint.active() is None
+
+
+class TestGridIntegration:
+    def test_completed_cells_checkpoint_and_resume(self, tmp_path):
+        path = tmp_path / "grid.ckpt.jsonl"
+        clean = run_grid(_square, range(4), jobs=1)
+
+        # First pass: cell 2 fails permanently; the others checkpoint.
+        with faults.inject({2: "raise"}):
+            with faults.collect_failures():
+                with checkpoint.attach(path):
+                    partial = run_grid(_square, range(4), jobs=1)
+        assert partial == [0, 1, None, 9]
+
+        # Second pass resumes: only the missing cell is recomputed.
+        with faults.collect_failures() as collector:
+            with checkpoint.attach(path, resume=True) as ckpt:
+                resumed = run_grid(_square, range(4), jobs=1)
+                assert ckpt.hits == 3  # cells 0, 1, 3 served from the file
+        assert resumed == clean
+        assert not collector
+
+    def test_resume_with_different_grid_recomputes(self, tmp_path):
+        path = tmp_path / "grid.ckpt.jsonl"
+        with checkpoint.attach(path):
+            run_grid(_square, range(3), jobs=1)
+        with checkpoint.attach(path, resume=True) as ckpt:
+            results = run_grid(_cube, range(3), jobs=1)  # other worker func
+            assert ckpt.hits == 0
+        assert results == [0, 1, 8]
+
+    def test_pool_grid_checkpoints_too(self, tmp_path):
+        path = tmp_path / "grid.ckpt.jsonl"
+        with checkpoint.attach(path):
+            first = run_grid(_square, range(5), jobs=2)
+        with checkpoint.attach(path, resume=True) as ckpt:
+            second = run_grid(_square, range(5), jobs=2)
+            assert ckpt.hits == 5
+        assert second == first

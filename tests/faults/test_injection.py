@@ -1,0 +1,76 @@
+"""Deterministic fault-injection harness."""
+
+import json
+import os
+
+import pytest
+
+from repro.harness import faults
+from repro.harness.faults import (
+    FatalInjectedFault,
+    InjectedFault,
+    InjectionPlan,
+)
+
+
+class TestInjectionPlan:
+    def test_no_spec_is_noop(self):
+        InjectionPlan(actions={}).fire(0, 1)
+
+    def test_raise_action(self):
+        plan = InjectionPlan(actions={2: {"action": "raise"}})
+        plan.fire(1, 1)  # other cells untouched
+        with pytest.raises(InjectedFault):
+            plan.fire(2, 1)
+
+    def test_flaky_recovers_after_k_attempts(self):
+        plan = InjectionPlan(actions={0: {"action": "flaky", "fails": 2}})
+        with pytest.raises(InjectedFault):
+            plan.fire(0, 1)
+        with pytest.raises(InjectedFault):
+            plan.fire(0, 2)
+        plan.fire(0, 3)  # third attempt succeeds
+
+    def test_fatal_is_not_an_exception(self):
+        plan = InjectionPlan(actions={0: {"action": "fatal"}})
+        with pytest.raises(FatalInjectedFault):
+            plan.fire(0, 1)
+        assert not issubclass(FatalInjectedFault, Exception)
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError):
+            InjectionPlan(actions={0: {"action": "explode"}}).fire(0, 1)
+
+
+class TestSpecParsing:
+    def test_shorthand_strings(self):
+        env = faults.injection_env({1: "flaky:2", 3: "hang:30", 5: "raise"})
+        plan = json.loads(env[faults.INJECT_ENV])
+        assert plan["1"] == {"action": "flaky", "fails": 2}
+        assert plan["3"] == {"action": "hang", "seconds": 30.0}
+        assert plan["5"] == {"action": "raise"}
+
+    def test_unknown_action_rejected_at_parse(self):
+        with pytest.raises(ValueError):
+            faults.injection_env({0: "vanish"})
+
+
+class TestEnvPropagation:
+    def test_inject_sets_and_restores_env(self, monkeypatch):
+        monkeypatch.delenv(faults.INJECT_ENV, raising=False)
+        with faults.inject({1: "raise"}):
+            assert faults.INJECT_ENV in os.environ
+            plan = faults.active_plan()
+            assert plan is not None
+            assert plan.spec_for(1) == {"action": "raise"}
+            assert plan.spec_for(0) is None
+        assert faults.INJECT_ENV not in os.environ
+        assert faults.active_plan() is None
+
+    def test_active_plan_memoizes_parse(self, monkeypatch):
+        with faults.inject({0: "raise"}):
+            assert faults.active_plan() is faults.active_plan()
+
+    def test_bad_env_json_is_ignored(self, monkeypatch):
+        monkeypatch.setenv(faults.INJECT_ENV, "{not json")
+        assert faults.active_plan() is None

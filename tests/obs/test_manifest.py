@@ -38,6 +38,27 @@ class TestCollect:
         rev = git_revision()
         assert rev is None or len(rev.split("+")[0]) == 40
 
+    def test_clean_run_is_complete_with_no_failures(self):
+        manifest = RunManifest.collect("fig7", seed=1)
+        assert manifest.status == "complete"
+        assert manifest.failures == []
+
+    def test_failures_mark_the_run_partial(self):
+        failure = {
+            "index": 3,
+            "exc_type": "WorkerCrashError",
+            "message": "worker process died",
+            "attempts": 2,
+            "scheme": "bimodal",
+            "mix": "Q7",
+        }
+        manifest = RunManifest.collect("fig7", seed=1, failures=[failure])
+        assert manifest.status == "partial"
+        assert manifest.failures == [failure]
+        dumped = manifest.to_dict()
+        assert dumped["status"] == "partial"
+        assert dumped["failures"][0]["exc_type"] == "WorkerCrashError"
+
     def test_write_next_to_artifact(self, tmp_path):
         out = tmp_path / "rows.json"
         out.write_text("{}")

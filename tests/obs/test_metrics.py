@@ -12,6 +12,24 @@ class TestRegistry:
         assert reg.counter_value("drive.count") == 2
         assert reg.snapshot()["drive.records"] == 500
 
+    def test_counters_accessor_filters_by_prefix(self):
+        reg = MetricsRegistry()
+        reg.add("grid.cells", 4)
+        reg.add("grid.cell_failures")
+        reg.add("trace_cache.corrupt_evictions")
+        assert reg.counters() == {
+            "grid.cells": 4,
+            "grid.cell_failures": 1,
+            "trace_cache.corrupt_evictions": 1,
+        }
+        assert reg.counters("grid.") == {
+            "grid.cells": 4,
+            "grid.cell_failures": 1,
+        }
+        # A copy, not a view into the registry.
+        reg.counters()["grid.cells"] = 0
+        assert reg.counter_value("grid.cells") == 4
+
     def test_gauges_keep_latest(self):
         reg = MetricsRegistry()
         reg.gauge("cache.hit_rate", 0.5)

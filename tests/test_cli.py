@@ -102,3 +102,47 @@ class TestSubcommands:
         assert main(["run", "table1", "--jobs", "2"]) == 0
         assert os.environ.pop("REPRO_JOBS") == "2"
         capsys.readouterr()
+
+
+class TestConfigValidation:
+    """Bad configuration gets one clean error line and exit code 2."""
+
+    def _assert_usage_error(self, capsys, rc, needle):
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "Traceback" not in captured.err
+        [line] = [l for l in captured.err.splitlines() if l.startswith("error:")]
+        assert needle in line
+
+    def test_bad_core_count(self, capsys):
+        rc = main(["run", "fig10", "--cores", "5"])
+        self._assert_usage_error(capsys, rc, "--cores must be 4, 8 or 16")
+
+    def test_unknown_mix_for_cores(self, capsys):
+        rc = main(["run", "fig10", "--mixes", "Q1", "NOPE"])
+        self._assert_usage_error(capsys, rc, "unknown mix(es) NOPE")
+
+    def test_mix_from_wrong_core_count(self, capsys):
+        # E-mixes belong to 8 cores; fig10 defaults to 4.
+        rc = main(["run", "fig10", "--mixes", "E1"])
+        self._assert_usage_error(capsys, rc, "unknown mix(es) E1 for 4 cores")
+
+    def test_negative_accesses(self, capsys):
+        rc = main(["run", "fig10", "--accesses", "-5"])
+        self._assert_usage_error(capsys, rc, "--accesses must be positive")
+
+    def test_bad_scale(self, capsys):
+        rc = main(["run", "fig10", "--scale", "0"])
+        self._assert_usage_error(capsys, rc, "--scale must be >= 1")
+
+    def test_bench_unknown_scheme(self, capsys):
+        rc = main(["bench", "--scheme", "turbocache"])
+        self._assert_usage_error(capsys, rc, "unknown scheme 'turbocache'")
+
+    def test_bench_bad_cores(self, capsys):
+        rc = main(["bench", "--cores", "3"])
+        self._assert_usage_error(capsys, rc, "--cores must be 4, 8 or 16")
+
+    def test_bench_unknown_mix(self, capsys):
+        rc = main(["bench", "--mix", "Z9"])
+        self._assert_usage_error(capsys, rc, "unknown mix 'Z9'")

@@ -100,11 +100,15 @@ def test_key_distinguishes_every_parameter():
     assert key == trace_cache.trace_key(MIX, **base)
 
 
-def test_corrupt_disk_entry_regenerates(tmp_path):
-    trace_cache.materialized_trace(MIX, accesses_per_core=ACCESSES)
+def _entry_path():
     directory = trace_cache.disk_cache_dir()
     key = trace_cache.trace_key(MIX, accesses_per_core=ACCESSES, seed=1)
-    path = f"{directory}/{key}.npz"
+    return f"{directory}/{key}.npz"
+
+
+def test_corrupt_disk_entry_regenerates(tmp_path):
+    trace_cache.materialized_trace(MIX, accesses_per_core=ACCESSES)
+    path = _entry_path()
     with open(path, "wb") as fh:
         fh.write(b"not an npz")
     trace_cache.clear_memory_cache()
@@ -114,3 +118,129 @@ def test_corrupt_disk_entry_regenerates(tmp_path):
     assert after["misses"] == before["misses"] + 1
     direct = _materialize_direct()
     assert chunk.addresses.tobytes() == direct.addresses.tobytes()
+
+
+class TestSelfHealing:
+    """Corrupt entries are quarantined, counted and regenerated."""
+
+    def _corrupt_and_reload(self):
+        trace_cache.materialized_trace(MIX, accesses_per_core=ACCESSES)
+        path = _entry_path()
+        with open(path, "wb") as fh:
+            fh.write(b"PK\x03\x04 torn npz write")
+        trace_cache.clear_memory_cache()
+        return path, trace_cache.materialized_trace(
+            MIX, accesses_per_core=ACCESSES
+        )
+
+    def test_corrupt_entry_is_quarantined(self):
+        import os
+
+        path, _ = self._corrupt_and_reload()
+        assert os.path.exists(f"{path}.corrupt")  # moved aside, not deleted
+        # The regenerated entry replaced the corrupt one on disk.
+        assert os.path.exists(path)
+
+    def test_quarantine_increments_stat_and_metric(self):
+        from repro.obs import get_metrics
+
+        before_stat = trace_cache.cache_stats()["corrupt_evictions"]
+        before_metric = get_metrics().counter_value(
+            "trace_cache.corrupt_evictions"
+        )
+        self._corrupt_and_reload()
+        assert (
+            trace_cache.cache_stats()["corrupt_evictions"] == before_stat + 1
+        )
+        assert (
+            get_metrics().counter_value("trace_cache.corrupt_evictions")
+            == before_metric + 1
+        )
+
+    def test_regenerated_trace_is_byte_identical(self):
+        _, chunk = self._corrupt_and_reload()
+        direct = _materialize_direct()
+        assert chunk.addresses.tobytes() == direct.addresses.tobytes()
+        assert chunk.is_write.tobytes() == direct.is_write.tobytes()
+        assert chunk.icount.tobytes() == direct.icount.tobytes()
+
+    def test_truncated_entry_heals_too(self):
+        import os
+
+        trace_cache.materialized_trace(MIX, accesses_per_core=ACCESSES)
+        path = _entry_path()
+        data = open(path, "rb").read()
+        with open(path, "wb") as fh:
+            fh.write(data[: len(data) // 2])  # torn write from a killed proc
+        trace_cache.clear_memory_cache()
+        chunk = trace_cache.materialized_trace(MIX, accesses_per_core=ACCESSES)
+        assert os.path.exists(f"{path}.corrupt")
+        direct = _materialize_direct()
+        assert chunk.addresses.tobytes() == direct.addresses.tobytes()
+
+
+class TestPruneRace:
+    """Sibling workers pruning the same directory must not collide."""
+
+    def test_missing_file_during_prune_is_skipped(self, monkeypatch):
+        import os
+
+        trace_cache.materialized_trace(MIX, accesses_per_core=ACCESSES)
+        directory = trace_cache.disk_cache_dir()
+        real_unlink = os.unlink
+
+        def racy_unlink(path, *args, **kwargs):
+            # Another worker pruned this file between scandir and unlink.
+            real_unlink(path, *args, **kwargs)
+            raise FileNotFoundError(path)
+
+        monkeypatch.setattr(os, "unlink", racy_unlink)
+        monkeypatch.setenv("REPRO_TRACE_CACHE_MB", "0")
+        trace_cache._prune_disk(directory)  # must not raise
+        assert not [
+            name for name in os.listdir(directory) if name.endswith(".npz")
+        ]
+
+    def test_file_vanishing_before_stat_is_skipped(self, monkeypatch):
+        import os
+
+        trace_cache.materialized_trace(MIX, accesses_per_core=ACCESSES)
+        directory = trace_cache.disk_cache_dir()
+
+        real_scandir = os.scandir
+
+        class VanishingEntry:
+            def __init__(self, entry):
+                self._entry = entry
+                self.name = entry.name
+                self.path = entry.path
+
+            def stat(self):
+                raise FileNotFoundError(self.path)
+
+        class VanishingScan:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def __enter__(self):
+                return (VanishingEntry(e) for e in self._inner.__enter__())
+
+            def __exit__(self, *exc):
+                return self._inner.__exit__(*exc)
+
+        monkeypatch.setattr(
+            os, "scandir", lambda d: VanishingScan(real_scandir(d))
+        )
+        trace_cache._prune_disk(directory)  # must not raise
+
+    def test_quarantined_files_age_out_with_the_cap(self, monkeypatch):
+        import os
+
+        trace_cache.materialized_trace(MIX, accesses_per_core=ACCESSES)
+        directory = trace_cache.disk_cache_dir()
+        stale = os.path.join(directory, "old.npz.corrupt")
+        with open(stale, "wb") as fh:
+            fh.write(b"quarantined junk")
+        monkeypatch.setenv("REPRO_TRACE_CACHE_MB", "0")
+        trace_cache._prune_disk(directory)
+        assert not os.path.exists(stale)
