@@ -44,4 +44,12 @@ grep -q '"InjectedFault"' "${SMOKE_DIR}/part.csv.manifest.json" \
 cmp "${SMOKE_DIR}/base.csv" "${SMOKE_DIR}/part.csv" \
     || { echo "resumed CSV differs from uninterrupted run"; exit 1; }
 
+echo "== perf gate =="
+# Short fast-path throughput measurement vs the last committed
+# BENCH_perf.json entry for the same mode/scheme/mix; exits 4 when the
+# measured rate drops below 0.7x the committed one. The gate prints the
+# ratio either way so every CI log carries the current number.
+python -m repro.harness.perfbench --modes fast --repeats 2 \
+    --gate BENCH_perf.json
+
 echo "ci.sh: all checks passed"

@@ -27,9 +27,8 @@ from dataclasses import dataclass
 from repro.common.addressing import AddressMap
 from repro.common.config import DRAMCacheGeometry
 from repro.common.stats import Counter, Histogram, RateStat
-from repro.dram.bank import RowOutcome
 from repro.dram.controller import MemoryController
-from repro.dramcache.base import DRAMCacheAccess, DRAMCacheBase
+from repro.dramcache.base import DRAMCacheBase
 from repro.bimodal.dueling import SetDuelingController
 from repro.bimodal.global_state import GlobalStateController
 from repro.bimodal.metadata import MetadataLayout
@@ -141,6 +140,53 @@ class BiModalCache(DRAMCacheBase):
         self._blocks_per_granule = max(1, 4096 // cfg.big_block_size)
         self._observe_leader = getattr(self.global_ctrl, "observe_leader", None)
         self._leader_rank = getattr(self.global_ctrl, "leader_rank", None)
+        # Address-split fields and bound methods, flattened for the
+        # per-access kernel (AddressMap stays the canonical definition;
+        # resident() still goes through it).
+        self._offset_bits = self.addr_map.offset_bits
+        self._set_mask = self.addr_map._set_mask
+        self._tag_shift = self.addr_map._tag_shift
+        self._sub_mask = cfg.big_block_size - 1
+        self._set_index_bits = self.addr_map.set_index_bits
+        self._meta_bursts = self.layout.metadata_bursts
+        self._dram_fast = self.dram.access_direct_fast
+        self._record_global_access = self.global_ctrl.record_access
+        # record_access inline support: both controller flavours tick
+        # _accesses_in_interval and fire a boundary action; the bound
+        # action lets _access_fast inline the common increment.
+        self._gc_boundary = getattr(
+            self.global_ctrl, "_adapt", None
+        ) or self.global_ctrl._elect
+        # Location tables, fully materialized: one flat list lookup per
+        # access instead of a memoized method call. num_sets is a few
+        # thousand entries even at full capacity.
+        num_sets = self.addr_map.num_sets
+        self._data_locs = [self.layout.data_location(i) for i in range(num_sets)]
+        self._meta_locs = [self.layout.metadata_location(i) for i in range(num_sets)]
+        # Flat device-kernel state, hoisted for the inlined locator-hit
+        # data access in _access_fast. DRAMDevice.reset_stats() zeroes
+        # its stat lists in place, so these references stay valid across
+        # warmup resets; the timing scalars never change after build.
+        dram = self.dram
+        self._d_ready = dram._ready_at
+        self._d_open = dram._open_row
+        self._d_next_refresh = dram._next_refresh
+        self._d_rb_hits = dram._rb_hits
+        self._d_rb_misses = dram._rb_misses
+        self._d_acts = dram._activations
+        self._d_pres = dram._precharges
+        self._d_bus_free = dram._bus_free
+        self._d_bus_busy = dram._bus_busy
+        self._d_refresh_stall = dram._refresh_stall
+        self._d_trcd = dram._trcd
+        self._d_trp_trcd = dram._trp_trcd
+        self._d_tccd = dram._tccd
+        self._d_cl = dram._cl
+        self._d_burst = dram._burst_cycles
+        nbk = dram._nbk
+        self._data_kidx = [
+            (ch, ch * nbk + bk, row) for (ch, bk, row) in self._data_locs
+        ]
         # --- instrumentation -------------------------------------------
         self.metadata_rbh = RateStat()  # tag-read row-buffer hits (Fig 9b)
         self.small_access = RateStat()  # hit = access served by small block
@@ -199,12 +245,14 @@ class BiModalCache(DRAMCacheBase):
 
     def _read_metadata(self, set_index: int, now: int) -> int:
         """Tag-array read from the metadata bank; returns tags-known time."""
-        channel, bank, row = self.layout.metadata_location(set_index)
-        access = self.dram.access_direct(
-            channel, bank, row, now, bursts=self.layout.metadata_bursts
-        )
-        self.metadata_rbh.record(access.outcome is RowOutcome.HIT)
-        return access.data_end + _TAG_COMPARE_CYCLES
+        channel, bank, row = self._meta_locs[set_index]
+        end = self._dram_fast(channel, bank, row, now, self._meta_bursts)
+        rbh = self.metadata_rbh
+        if self.dram.last_outcome == 0:
+            rbh.hits += 1
+        else:
+            rbh.misses += 1
+        return end + _TAG_COMPARE_CYCLES
 
     def _touch_metadata(self, set_index: int, now: int) -> None:
         """Posted metadata update (dirty bits / fills); off critical path.
@@ -220,17 +268,17 @@ class BiModalCache(DRAMCacheBase):
         self._pending_meta_updates += 1
         if self._pending_meta_updates >= _META_UPDATE_BATCH:
             self._pending_meta_updates = 0
-            channel, bank, row = self.layout.metadata_location(set_index)
-            self._post(
+            channel, bank, row = self._meta_locs[set_index]
+            self._post_call(
                 now,
-                lambda: self.dram.access_direct(
-                    channel, bank, row, now, bursts=_META_UPDATE_BATCH // 4
-                ),
+                self._dram_fast,
+                channel, bank, row, now, _META_UPDATE_BATCH // 4,
             )
 
-    def _data_access(self, set_index: int, now: int, *, bursts: int = 1):
-        channel, bank, row = self.layout.data_location(set_index)
-        return self.dram.access_direct(channel, bank, row, now, bursts=bursts)
+    def _data_access(self, set_index: int, now: int, *, bursts: int = 1) -> int:
+        """Data-row access; returns the data-end time (flat)."""
+        channel, bank, row = self._data_locs[set_index]
+        return self._dram_fast(channel, bank, row, now, bursts)
 
     def _handle_evictions(
         self, set_index: int, evictions: list[EvictedBlock], now: int
@@ -301,34 +349,231 @@ class BiModalCache(DRAMCacheBase):
     # ------------------------------------------------------------------
     # the access path (Section III-D)
     # ------------------------------------------------------------------
-    def _access(self, address: int, now: int, is_write: bool) -> DRAMCacheAccess:
-        self.global_ctrl.record_access()
-        am = self.addr_map
-        set_index = am.set_index(address)
-        tag = am.tag(address)
-        sub = am.sub_block(address)
-        entry = self._get_set(set_index)
+    def access_fast(self, address: int, now: int, is_write: bool = False) -> int:
+        """Merged drive-loop entry: base accounting + scheme body in one
+        frame, with the device kernel inlined on the locator-hit branch
+        (it serves >90% of accesses once the locator is warm).
+
+        Byte-identical to routing ``DRAMCacheBase.access_fast`` over the
+        clean :meth:`_access_fast` copy below — the object-model methods
+        (WayLocator.lookup, BiModalSet.touch_mru, device access paths)
+        remain the canonical definitions, and the parity is pinned by
+        the harness byte-identity tests.
+        """
+        pending = self._pending
+        if pending and pending[0][0] <= now:
+            self._drain_posted(now)
+        # Inline of GlobalStateController.record_access (same shape for
+        # the set-dueling flavour): tick the interval clock, fire the
+        # hoisted boundary action when it wraps.
+        gc = self.global_ctrl
+        ticks = gc._accesses_in_interval + 1
+        if ticks >= gc.interval:
+            gc._accesses_in_interval = 0
+            self._gc_boundary()
+        else:
+            gc._accesses_in_interval = ticks
+        set_index = (address >> self._offset_bits) & self._set_mask
+        tag = address >> self._tag_shift
+        sub = (address & self._sub_mask) >> 6
+        sets = self._sets
+        entry = sets.get(set_index)
+        if entry is None:
+            entry = BiModalSet(self.states, smalls_per_big=self.smalls_per_big)
+            sets[set_index] = entry
         t_after_locator = now + self._locator_latency
 
-        # -- 1. way locator ------------------------------------------------
-        if self.locator is not None:
-            located = self.locator.lookup(set_index, tag, sub)
+        # -- 1. way locator (inlined WayLocator.lookup) --------------------
+        locator = self.locator
+        if locator is not None:
+            tick = locator._tick + 1
+            locator._tick = tick
+            combined = (tag << locator.set_index_bits) | set_index
+            loc_key = combined >> locator.index_bits
+            for loc_entry in locator._table[combined & locator._mask]:
+                if loc_entry.key != loc_key:
+                    continue
+                is_big = loc_entry.is_big
+                if not is_big and loc_entry.sub_offset != sub:
+                    continue
+                loc_entry.last_use = tick
+                locator.lookups.hits += 1
+                way = loc_entry.way
+                observe = self._observe_leader
+                if observe is not None:
+                    observe(set_index, miss=False)
+                # Inline of _record_block_touch.
+                if is_big:
+                    block = entry.big_ways[way]
+                    if block is None:
+                        raise RuntimeError("way locator pointed at an empty big way")
+                    bit = 1 << sub
+                    block.used_mask |= bit
+                    if is_write:
+                        block.dirty_mask |= bit
+                else:
+                    small = entry.small_ways[way]
+                    if small is None:
+                        raise RuntimeError("way locator pointed at an empty small way")
+                    if is_write:
+                        small.dirty = True
+                # Inline of BiModalSet.touch_mru.
+                mru = entry._mru
+                mru_key = (is_big, way)
+                if mru_key in mru:
+                    mru.remove(mru_key)
+                mru.insert(0, mru_key)
+                del mru[2:]
+                small_access = self.small_access
+                if is_big:
+                    small_access.misses += 1
+                else:
+                    small_access.hits += 1
+                # Inlined device kernel (access_direct_fast, 1 burst).
+                channel, idx, row = self._data_kidx[set_index]
+                dram = self.dram
+                dram.reads += 1
+                dram.bytes_transferred += 64
+                ready = self._d_ready
+                t = ready[idx]
+                if t_after_locator > t:
+                    t = t_after_locator
+                if t >= self._d_next_refresh[idx]:
+                    t = self._d_refresh_stall(idx, t)
+                open_rows = self._d_open
+                current = open_rows[idx]
+                if current == row:
+                    dram.last_outcome = 0
+                    self._d_rb_hits[idx] += 1
+                    cas_issue = t
+                elif current < 0:
+                    dram.last_outcome = 1
+                    self._d_acts[idx] += 1
+                    self._d_rb_misses[idx] += 1
+                    cas_issue = t + self._d_trcd
+                else:
+                    dram.last_outcome = 2
+                    self._d_pres[idx] += 1
+                    self._d_acts[idx] += 1
+                    self._d_rb_misses[idx] += 1
+                    cas_issue = t + self._d_trp_trcd
+                open_rows[idx] = row
+                ready[idx] = cas_issue + self._d_tccd
+                cas_done = cas_issue + self._d_cl
+                bus_free = self._d_bus_free
+                start = bus_free[channel]
+                if cas_done > start:
+                    start = cas_done
+                data_end = start + self._d_burst
+                bus_free[channel] = data_end
+                self._d_bus_busy[channel] += data_end - start
+                dram.last_data_start = start
+                if is_write:
+                    # dirty-bit update in the metadata bank, posted
+                    self._touch_metadata(set_index, data_end)
+                self._hit = True
+                # Inline of the base accounting epilogue (hit branch).
+                self.hit_stat.hits += 1
+                if not is_write:
+                    latency = data_end - now
+                    mean = self.read_latency
+                    mean.count += 1
+                    mean.total += latency
+                    if latency < mean.minimum:
+                        mean.minimum = latency
+                    if latency > mean.maximum:
+                        mean.maximum = latency
+                    mean = self.hit_latency
+                    mean.count += 1
+                    mean.total += latency
+                    if latency < mean.minimum:
+                        mean.minimum = latency
+                    if latency > mean.maximum:
+                        mean.maximum = latency
+                return data_end
+            locator.lookups.misses += 1
+
+        complete = self._access_cold(
+            address, set_index, tag, sub, entry, t_after_locator, is_write
+        )
+        hit = self._hit
+        hit_stat = self.hit_stat
+        if hit:
+            hit_stat.hits += 1
+        else:
+            hit_stat.misses += 1
+        if not is_write:
+            latency = complete - now
+            mean = self.read_latency
+            mean.count += 1
+            mean.total += latency
+            if latency < mean.minimum:
+                mean.minimum = latency
+            if latency > mean.maximum:
+                mean.maximum = latency
+            mean = self.hit_latency if hit else self.miss_latency
+            mean.count += 1
+            mean.total += latency
+            if latency < mean.minimum:
+                mean.minimum = latency
+            if latency > mean.maximum:
+                mean.maximum = latency
+        return complete
+
+    def _access_fast(self, address: int, now: int, is_write: bool) -> int:
+        """Clean reference copy of the access path (base-class contract).
+
+        :meth:`access_fast` above merges this logic with the accounting
+        epilogue and the inlined device kernel; this copy keeps the
+        object-model calls and shares the cold path, so the two cannot
+        drift apart below the locator-hit branch.
+        """
+        self._record_global_access()
+        set_index = (address >> self._offset_bits) & self._set_mask
+        tag = address >> self._tag_shift
+        sub = (address & self._sub_mask) >> 6
+        sets = self._sets
+        entry = sets.get(set_index)
+        if entry is None:
+            entry = BiModalSet(self.states, smalls_per_big=self.smalls_per_big)
+            sets[set_index] = entry
+        t_after_locator = now + self._locator_latency
+
+        locator = self.locator
+        if locator is not None:
+            located = locator.lookup(set_index, tag, sub)
             if located is not None:
                 is_big, way = located
                 self._observe_outcome(set_index, miss=False)
                 self._record_block_touch(entry, is_big, way, sub, is_write)
                 self.small_access.record(not is_big)
-                data = self._data_access(set_index, t_after_locator)
+                channel, bank, row = self._data_locs[set_index]
+                data_end = self._dram_fast(channel, bank, row, t_after_locator, 1)
                 if is_write:
                     # dirty-bit update in the metadata bank, posted
-                    self._touch_metadata(set_index, int(data.data_end))
-                return DRAMCacheAccess(
-                    hit=True, start=now, complete=data.data_end
-                )
+                    self._touch_metadata(set_index, data_end)
+                self._hit = True
+                return data_end
 
+        return self._access_cold(
+            address, set_index, tag, sub, entry, t_after_locator, is_write
+        )
+
+    def _access_cold(
+        self,
+        address: int,
+        set_index: int,
+        tag: int,
+        sub: int,
+        entry: BiModalSet,
+        t_after_locator: int,
+        is_write: bool,
+    ) -> int:
+        """Locator-miss continuation, shared by both entry points."""
+        locator = self.locator
         # -- 2. metadata read (+ concurrent data-row activation) ----------
         tags_known = self._read_metadata(set_index, t_after_locator)
-        data_channel, data_bank, data_row = self.layout.data_location(set_index)
+        data_channel, data_bank, data_row = self._data_locs[set_index]
         if self._parallel_tags:
             self.dram.activate_direct(
                 data_channel, data_bank, data_row, t_after_locator
@@ -340,13 +585,12 @@ class BiModalCache(DRAMCacheBase):
             self._observe_outcome(set_index, miss=False)
             self._record_block_touch(entry, is_big, way, sub, is_write)
             self.small_access.record(not is_big)
-            if self.locator is not None:
-                self.locator.insert(set_index, tag, sub, is_big=is_big, way=way)
+            if locator is not None:
+                locator.insert(set_index, tag, sub, is_big=is_big, way=way)
+            self._hit = True
             if self._parallel_tags:
-                data = self.dram.column_direct(data_channel, data_bank, tags_known)
-            else:
-                data = self._data_access(set_index, tags_known)
-            return DRAMCacheAccess(hit=True, start=now, complete=data.data_end)
+                return self.dram.column_direct_fast(data_channel, data_bank, tags_known)
+            return self._dram_fast(data_channel, data_bank, data_row, tags_known, 1)
 
         # -- 3. DRAM cache miss --------------------------------------------
         self._observe_outcome(set_index, miss=True)
@@ -361,7 +605,7 @@ class BiModalCache(DRAMCacheBase):
         is_big, way, evictions = self._allocate(
             entry, set_index, tag, sub, predicted_big
         )
-        fetch_addr = am.block_address(address) if is_big else (address & ~63)
+        fetch_addr = (address & ~self._sub_mask) if is_big else (address & ~63)
         bursts = self.smalls_per_big if is_big else 1
         fetch_end = self._fetch_offchip(fetch_addr, tags_known, bursts=bursts)
 
@@ -377,16 +621,18 @@ class BiModalCache(DRAMCacheBase):
             small = entry.small_ways[way]
             small.dirty = is_write
         entry.touch_mru(is_big, way)
-        if self.locator is not None:
-            self.locator.insert(set_index, tag, sub, is_big=is_big, way=way)
+        if locator is not None:
+            locator.insert(set_index, tag, sub, is_big=is_big, way=way)
 
         # posted fill into the data row + metadata update
-        self._post(
+        self._post_call(
             fetch_end,
-            lambda: self._data_access(set_index, fetch_end, bursts=bursts),
+            self._dram_fast,
+            data_channel, data_bank, data_row, fetch_end, bursts,
         )
         self._touch_metadata(set_index, fetch_end)
-        return DRAMCacheAccess(hit=False, start=now, complete=fetch_end)
+        self._hit = False
+        return fetch_end
 
     def _observe_outcome(self, set_index: int, *, miss: bool) -> None:
         observe = self._observe_leader

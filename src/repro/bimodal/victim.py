@@ -93,6 +93,15 @@ class VictimProbeWrapper:
 
         self.cache._handle_evictions = hooked
 
+    def access_fast(self, address: int, now: int, is_write: bool = False) -> int:
+        """Flat drive-loop entry point (mirrors DRAMCacheBase.access_fast)."""
+        complete = self.cache.access_fast(address, now, is_write)
+        if not self.cache._hit:
+            self.buffer.probe(address)
+        else:
+            self.buffer.remove(address)
+        return complete
+
     def access(self, address: int, now: int, *, is_write: bool = False) -> DRAMCacheAccess:
         result = self.cache.access(address, now, is_write=is_write)
         if not result.hit:

@@ -88,17 +88,23 @@ class WayLocator:
         A big-block entry matches any sub-offset of its 512 B frame; a
         small-block entry additionally requires the 3 offset bits to
         match — this is what makes hits always correct.
+
+        Called once per cache access, so _split and RateStat.record are
+        inlined here.
         """
-        self._tick += 1
-        index, key = self._split(set_index, tag)
-        for entry in self._table[index]:
+        tick = self._tick + 1
+        self._tick = tick
+        combined = (tag << self.set_index_bits) | set_index
+        key = combined >> self.index_bits
+        lookups = self.lookups
+        for entry in self._table[combined & self._mask]:
             if entry.key != key:
                 continue
             if entry.is_big or entry.sub_offset == sub_offset:
-                entry.last_use = self._tick
-                self.lookups.record(True)
+                entry.last_use = tick
+                lookups.hits += 1
                 return entry.is_big, entry.way
-        self.lookups.record(False)
+        lookups.misses += 1
         return None
 
     def insert(

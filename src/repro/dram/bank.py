@@ -32,9 +32,7 @@ class RowOutcome(Enum):
     CONFLICT = "conflict"
 
 
-_HIT = RowOutcome.HIT
-_CLOSED = RowOutcome.CLOSED
-_CONFLICT = RowOutcome.CONFLICT
+_OUTCOMES = (RowOutcome.HIT, RowOutcome.CLOSED, RowOutcome.CONFLICT)
 
 
 @dataclass(slots=True)
@@ -73,6 +71,10 @@ class Bank:
         self._trp_trcd = timings.trp + timings.trcd
         self._cl = timings.cl
         self._tccd = timings.tccd
+        # Fast-path scratch: outcome (0 hit / 1 closed / 2 conflict) and
+        # adjusted issue time of the most recent access_fast call.
+        self.last_outcome = 0
+        self.last_issue = 0
 
     @property
     def open_row(self) -> int | None:
@@ -130,13 +132,18 @@ class Bank:
         self._ready_at = t
         return t
 
-    def access(self, row: int, now: int) -> BankAccess:
-        """Resolve a column access to ``row`` arriving at time ``now``.
+    def access_fast(self, row: int, now: int) -> int:
+        """Resolve a column access to ``row``; returns the data-ready time.
 
         CAS commands pipeline: the bank accepts the next command tCCD
         after this one's CAS (not after its data returns), so open-row
         streams sustain full bus bandwidth while each individual access
         still observes the complete CL (and ACT/PRE) latency.
+
+        Flat fast path: no :class:`BankAccess` allocation. The row-buffer
+        case lands in ``last_outcome`` (0 hit / 1 closed / 2 conflict)
+        and the adjusted issue time in ``last_issue``; :meth:`access`
+        wraps this into the rich dataclass for tests and tooling.
         """
         t = now if now > self._ready_at else self._ready_at
         if t >= self._next_refresh:
@@ -144,23 +151,29 @@ class Bank:
         open_row = self._open_row
         row_buffer = self.row_buffer
         if open_row == row:
-            outcome = _HIT
+            self.last_outcome = 0
             cas_issue = t
             row_buffer.hits += 1
         elif open_row is None:
-            outcome = _CLOSED
+            self.last_outcome = 1
             self.activations += 1
             cas_issue = t + self._trcd
             row_buffer.misses += 1
         else:
-            outcome = _CONFLICT
+            self.last_outcome = 2
             self.precharges += 1
             self.activations += 1
             cas_issue = t + self._trp_trcd
             row_buffer.misses += 1
         self._open_row = row
         self._ready_at = cas_issue + self._tccd
-        return BankAccess(outcome, t, cas_issue + self._cl)
+        self.last_issue = t
+        return cas_issue + self._cl
+
+    def access(self, row: int, now: int) -> BankAccess:
+        """Rich wrapper of :meth:`access_fast` (same state transitions)."""
+        data_ready = self.access_fast(row, now)
+        return BankAccess(_OUTCOMES[self.last_outcome], self.last_issue, data_ready)
 
     def column_access(self, now: int) -> int:
         """Extra column access to the already-open row (multi-burst reads).

@@ -15,6 +15,8 @@ from repro.dram.bank import Bank, RowOutcome
 
 __all__ = ["ChannelAccess", "Channel"]
 
+_OUTCOMES = (RowOutcome.HIT, RowOutcome.CLOSED, RowOutcome.CONFLICT)
+
 
 @dataclass(slots=True)
 class ChannelAccess:
@@ -63,6 +65,8 @@ class Channel:
         ]
         self._bus_free_at = 0
         self.bus_busy_cycles = 0
+        # Fast-path scratch: bus data-start of the most recent access_fast.
+        self.last_data_start = 0
 
     @property
     def num_banks(self) -> int:
@@ -86,6 +90,32 @@ class Channel:
         self.bus_busy_cycles += end - start
         return start, end
 
+    def access_fast(
+        self,
+        bank: int,
+        row: int,
+        now: int,
+        bursts: int = 1,
+        transfer_cycles: int | None = None,
+    ) -> int:
+        """Flat fast path of :meth:`access`; returns the data-end time.
+
+        The row-buffer case is left in ``self.banks[bank].last_outcome``
+        and the bus data-start in ``self.last_data_start``.
+        """
+        cas_done = self.banks[bank].access_fast(row, now)
+        start = cas_done if cas_done > self._bus_free_at else self._bus_free_at
+        cycles = (
+            transfer_cycles
+            if transfer_cycles is not None
+            else bursts * self._burst_cycles
+        )
+        end = start + cycles
+        self._bus_free_at = end
+        self.bus_busy_cycles += cycles
+        self.last_data_start = start
+        return end
+
     def access(
         self,
         bank: int,
@@ -102,18 +132,14 @@ class Channel:
         """
         if bursts < 1:
             raise ValueError("bursts must be >= 1")
-        result = self.banks[bank].access(row, now)
-        cas_done = result.data_ready
-        start = cas_done if cas_done > self._bus_free_at else self._bus_free_at
-        cycles = (
-            transfer_cycles
-            if transfer_cycles is not None
-            else bursts * self._burst_cycles
+        end = self.access_fast(bank, row, now, bursts, transfer_cycles)
+        return ChannelAccess(
+            _OUTCOMES[self.banks[bank].last_outcome],
+            now,
+            self.last_data_start,
+            end,
+            bursts,
         )
-        end = start + cycles
-        self._bus_free_at = end
-        self.bus_busy_cycles += cycles
-        return ChannelAccess(result.outcome, now, start, end, bursts)
 
     def activate(self, bank: int, row: int, now: int) -> int:
         """Open a row without transferring data (anticipatory activation)."""

@@ -63,22 +63,52 @@ class MemoryController:
             for _ in range(2 * self._queue_depth):
                 queue.popleft()
 
+    def read_fast(self, address: int, now: int, bursts: int = 1) -> int:
+        """Read ``bursts`` * 64 B; returns the data-end time (flat path)."""
+        channel = self.device.channel_of(address)
+        start = self._queue_delayed_time(channel, now)
+        end = self.device.read_fast(address, start, bursts)
+        self._track(channel, end)
+        self.reads += 1
+        latency = end - now
+        mean = self.read_latency
+        mean.count += 1
+        mean.total += latency
+        if latency < mean.minimum:
+            mean.minimum = latency
+        if latency > mean.maximum:
+            mean.maximum = latency
+        return end
+
+    def write_fast(self, address: int, now: int, bursts: int = 1) -> int:
+        """Posted write: timing matters only for contention, not latency."""
+        channel = self.device.channel_of(address)
+        start = self._queue_delayed_time(channel, now)
+        end = self.device.write_fast(address, start, bursts)
+        self._track(channel, end)
+        self.writes += 1
+        return end
+
     def read(self, address: int, now: int, *, bursts: int = 1) -> ChannelAccess:
-        """Read ``bursts`` * 64 B; returns the completed channel access."""
-        loc = self.device.decode(address)
-        start = self._queue_delayed_time(loc.channel, now)
+        """Rich wrapper: same queueing and stats as :meth:`read_fast`.
+
+        The returned record's ``request_time`` is the queue-delayed issue
+        time (matching the device-level convention), so this cannot be a
+        trivial wrapper around the int-returning fast path.
+        """
+        channel = self.device.channel_of(address)
+        start = self._queue_delayed_time(channel, now)
         access = self.device.read(address, start, bursts=bursts)
-        self._track(loc.channel, access.data_end)
+        self._track(channel, access.data_end)
         self.reads += 1
         self.read_latency.add(access.data_end - now)
         return access
 
     def write(self, address: int, now: int, *, bursts: int = 1) -> ChannelAccess:
-        """Posted write: timing matters only for contention, not latency."""
-        loc = self.device.decode(address)
-        start = self._queue_delayed_time(loc.channel, now)
+        channel = self.device.channel_of(address)
+        start = self._queue_delayed_time(channel, now)
         access = self.device.write(address, start, bursts=bursts)
-        self._track(loc.channel, access.data_end)
+        self._track(channel, access.data_end)
         self.writes += 1
         return access
 

@@ -3,8 +3,11 @@
 ``ReferenceBank`` simulates one DRAM bank at command granularity
 (PRE/ACT/CAS with explicit inter-command constraints). It is
 deliberately slow and simple — it exists so tests can check that the
-fast access-granularity :class:`~repro.dram.bank.Bank` produces the
-same latencies on arbitrary request sequences, which is the kind of
+fast access-granularity :class:`~repro.dram.bank.Bank` and the flat
+:class:`~repro.dram.device.DRAMDevice` timing kernel (including its
+inlined fast-path copies) produce the same latencies on arbitrary
+request sequences (``tests/dram/test_reference_validation.py`` and
+``tests/dram/test_kernel_validation.py``), which is the kind of
 evidence a timing model needs before anyone trusts the numbers built
 on top of it.
 """

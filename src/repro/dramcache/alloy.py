@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from repro.common.config import DRAMCacheGeometry
 from repro.dram.controller import MemoryController
-from repro.dramcache.base import DRAMCacheAccess, DRAMCacheBase
+from repro.dramcache.base import DRAMCacheBase
 
 __all__ = ["MAPPredictor", "AlloyCache"]
 
@@ -101,10 +101,9 @@ class AlloyCache(DRAMCacheBase):
     def _probe(self, slot: int, now: int) -> int:
         """One TAD access (tag+data big burst); returns data-end time."""
         channel, bank, row = self._location(slot)
-        access = self.dram.access_direct(
-            channel, bank, row, now, bursts=1, transfer_cycles=_TAD_TRANSFER_CYCLES
+        return self.dram.access_direct_fast(
+            channel, bank, row, now, 1, _TAD_TRANSFER_CYCLES
         )
-        return access.data_end
 
     def _fill(self, slot: int, block: int, now: int, *, dirty: bool) -> None:
         """Install a block; dirty victims write back at 64 B granularity."""
@@ -116,12 +115,10 @@ class AlloyCache(DRAMCacheBase):
         if dirty:
             self._dirty.add(slot)
         channel, bank, row = self._location(slot)
-        self._post(
+        self._post_call(
             now,
-            lambda: self.dram.access_direct(
-                channel, bank, row, now, bursts=1,
-                transfer_cycles=_TAD_TRANSFER_CYCLES,
-            ),
+            self.dram.access_direct_fast,
+            channel, bank, row, now, 1, _TAD_TRANSFER_CYCLES,
         )
 
     def resident(self, address: int) -> bool:
@@ -130,14 +127,17 @@ class AlloyCache(DRAMCacheBase):
         return self._tags.get(slot) == block
 
     # ------------------------------------------------------------------
-    def _access(self, address: int, now: int, is_write: bool) -> DRAMCacheAccess:
-        slot, block = self._slot(address)
+    def _access_fast(self, address: int, now: int, is_write: bool) -> int:
+        block = address >> 6
+        slot = block % self.num_slots
         resident = self._tags.get(slot) == block
+        self._hit = resident
 
         predicted_miss = False
-        if self.predictor is not None and not is_write:
-            predicted_miss = self.predictor.predict_miss(address)
-            self.predictor.update(address, not resident)
+        predictor = self.predictor
+        if predictor is not None and not is_write:
+            predicted_miss = predictor.predict_miss(address)
+            predictor.update(address, not resident)
 
         probe_end = self._probe(slot, now) + _TAG_COMPARE_CYCLES
 
@@ -148,17 +148,17 @@ class AlloyCache(DRAMCacheBase):
                 # write-allocate: fetch the rest of the line, then install
                 fetch_end = self._fetch_offchip(address, now, bursts=1)
                 self._fill(slot, block, fetch_end, dirty=True)
-            return DRAMCacheAccess(hit=resident, start=now, complete=probe_end)
+            return probe_end
 
         if resident:
             # A false miss prediction also launched a useless memory read.
             if predicted_miss:
                 self._fetch_offchip(address, now, bursts=1)
-            return DRAMCacheAccess(hit=True, start=now, complete=probe_end)
+            return probe_end
 
         # Actual miss: fetch starts at `now` when predicted (parallel
         # access), else only once the probe disproved residency.
         fetch_start = now if predicted_miss else probe_end
         fetch_end = self._fetch_offchip(address, fetch_start, bursts=1)
         self._fill(slot, block, fetch_end, dirty=False)
-        return DRAMCacheAccess(hit=False, start=now, complete=fetch_end)
+        return fetch_end

@@ -18,7 +18,7 @@ from __future__ import annotations
 from repro.common.config import DRAMCacheGeometry
 from repro.common.stats import RateStat
 from repro.dram.controller import MemoryController
-from repro.dramcache.base import DRAMCacheAccess, DRAMCacheBase
+from repro.dramcache.base import DRAMCacheBase
 from repro.dramcache.lohhill import _Set, _TAG_BURSTS, _TAG_COMPARE_CYCLES, _WAYS
 from repro.sram.cache import SetAssociativeCache
 from repro.sram.replacement import LRU
@@ -101,24 +101,26 @@ class ATCache(DRAMCacheBase):
         return entry is not None and block in entry.blocks
 
     # -------------------------------------------------------------------
-    def _access(self, address: int, now: int, is_write: bool) -> DRAMCacheAccess:
+    def _access_fast(self, address: int, now: int, is_write: bool) -> int:
         self._tick += 1
-        set_index, block = self._set_of(address)
+        block = address >> 6
+        set_index = block % self.num_sets
         entry = self._get_set(set_index)
         channel, bank, row = self._location(set_index)
 
         tc_hit = self.tag_cache.access(self._group_key(set_index)).hit
-        self.tag_cache_stat.record(tc_hit)
-
+        tc_stat = self.tag_cache_stat
         if tc_hit:
+            tc_stat.hits += 1
             tags_known = now + _TAG_CACHE_LATENCY
             open_row_for_data = False
         else:
+            tc_stat.misses += 1
             # Serial DRAM tag read (row stays open for the data column).
-            tag_access = self.dram.access_direct(
-                channel, bank, row, now + _TAG_CACHE_LATENCY, bursts=_TAG_BURSTS
+            tag_end = self.dram.access_direct_fast(
+                channel, bank, row, now + _TAG_CACHE_LATENCY, _TAG_BURSTS
             )
-            tags_known = tag_access.data_end + _TAG_COMPARE_CYCLES
+            tags_known = tag_end + _TAG_COMPARE_CYCLES
             open_row_for_data = True
 
         way = None
@@ -128,18 +130,16 @@ class ATCache(DRAMCacheBase):
                 break
 
         if way is not None:
+            self._hit = True
             entry.last_use[way] = self._tick
             if is_write:
                 entry.dirty[way] = True
-                return DRAMCacheAccess(hit=True, start=now, complete=tags_known)
+                return tags_known
             if open_row_for_data:
-                data = self.dram.column_direct(channel, bank, tags_known, bursts=1)
-            else:
-                data = self.dram.access_direct(
-                    channel, bank, row, tags_known, bursts=1
-                )
-            return DRAMCacheAccess(hit=True, start=now, complete=data.data_end)
+                return self.dram.column_direct_fast(channel, bank, tags_known, 1)
+            return self.dram.access_direct_fast(channel, bank, row, tags_known, 1)
 
+        self._hit = False
         fetch_end = self._fetch_offchip(address, tags_known, bursts=1)
         victim_way = self._victim_way(entry)
         victim = entry.blocks[victim_way]
@@ -148,11 +148,10 @@ class ATCache(DRAMCacheBase):
         entry.blocks[victim_way] = block
         entry.dirty[victim_way] = is_write
         entry.last_use[victim_way] = self._tick
-        self._post(
-            fetch_end,
-            lambda: self.dram.access_direct(channel, bank, row, fetch_end, bursts=1),
+        self._post_call(
+            fetch_end, self.dram.access_direct_fast, channel, bank, row, fetch_end, 1
         )
-        return DRAMCacheAccess(hit=False, start=now, complete=fetch_end)
+        return fetch_end
 
     def _victim_way(self, entry: _Set) -> int:
         for way, resident in enumerate(entry.blocks):

@@ -67,11 +67,19 @@ class DRAMCacheBase(ABC):
         self.bypassed_accesses = 0
         # Deferred (posted) operations: fills, writebacks and metadata
         # updates complete in the future relative to the access that
-        # produced them. They are queued and executed once simulation
-        # time reaches their stamp, so a fill scheduled for t+300 can
-        # never retroactively block a request that arrives at t+10.
-        self._pending: list[tuple[int, int, Callable[[], None]]] = []
+        # produced them. They are queued as (when, seq, func, args)
+        # tuples — no closure allocation on the hot path — and executed
+        # once simulation time reaches their stamp, so a fill scheduled
+        # for t+300 can never retroactively block a request that
+        # arrives at t+10.
+        self._pending: list[tuple[int, int, Callable[..., object], tuple]] = []
         self._pending_seq = 0
+        # Fast-path scratch: hit/miss of the access in flight, set by
+        # the subclass inside _access_fast before it returns.
+        self._hit = False
+        # Hoisted off-chip helpers for _fetch_offchip's posted tails.
+        self._offchip_spread = offchip.device.timings.burst_cycles
+        self._offchip_read_tail = offchip.device.read_fast
 
     # ------------------------------------------------------------------
     # public API
@@ -81,21 +89,33 @@ class DRAMCacheBase(ABC):
     ) -> DRAMCacheAccess:
         """Serve one LLSC miss (read) or LLSC writeback (write).
 
+        Rich wrapper over :meth:`access_fast`: every scheme starts its
+        access at the request time, so the record is reconstructed
+        exactly from the fast path's plain-int result.
+        """
+        complete = self.access_fast(address, now, is_write)
+        return DRAMCacheAccess(self._hit, now, complete)
+
+    def access_fast(self, address: int, now: int, is_write: bool = False) -> int:
+        """Flat access path: returns the completion time as a plain int.
+
         Read latency statistics feed the average-LLSC-miss-penalty
         comparison; writes are posted (they occupy resources but their
-        completion does not stall the core).
+        completion does not stall the core). The hit/miss of the access
+        is left in ``self._hit`` by the scheme's ``_access_fast``.
         """
-        if self._pending:
+        pending = self._pending
+        if pending and pending[0][0] <= now:
             self._drain_posted(now)
-        result = self._access(address, now, is_write)
-        hit = result.hit
+        complete = self._access_fast(address, now, is_write)
+        hit = self._hit
         hit_stat = self.hit_stat
         if hit:
             hit_stat.hits += 1
         else:
             hit_stat.misses += 1
         if not is_write:
-            latency = result.complete - result.start
+            latency = complete - now
             mean = self.read_latency
             mean.count += 1
             mean.total += latency
@@ -103,35 +123,57 @@ class DRAMCacheBase(ABC):
                 mean.minimum = latency
             if latency > mean.maximum:
                 mean.maximum = latency
-            if hit:
-                self.hit_latency.add(latency)
-            else:
-                self.miss_latency.add(latency)
-        return result
+            mean = self.hit_latency if hit else self.miss_latency
+            mean.count += 1
+            mean.total += latency
+            if latency < mean.minimum:
+                mean.minimum = latency
+            if latency > mean.maximum:
+                mean.maximum = latency
+        return complete
 
     @abstractmethod
-    def _access(self, address: int, now: int, is_write: bool) -> DRAMCacheAccess:
-        """Organization-specific access path."""
+    def _access_fast(self, address: int, now: int, is_write: bool) -> int:
+        """Organization-specific access path (flat).
+
+        Returns the completion time and must set ``self._hit`` to the
+        access's hit/miss outcome before returning. Every access starts
+        at the request time ``now``; :meth:`access` relies on that to
+        rebuild the rich :class:`DRAMCacheAccess` record.
+        """
 
     # ------------------------------------------------------------------
     # shared helpers for subclasses
     # ------------------------------------------------------------------
+    def _post_call(self, when: int, func: Callable[..., object], *args) -> None:
+        """Queue ``func(*args)`` to execute at simulation time ``when``.
+
+        Allocation-light posting: the heap entry is a plain tuple, so the
+        hot path never builds a closure. ``seq`` breaks ties FIFO and
+        guarantees the heap never compares the callables.
+        """
+        heapq.heappush(self._pending, (when, self._pending_seq, func, args))
+        self._pending_seq += 1
+
     def _post(self, when: int, action: Callable[[], None]) -> None:
         """Queue a posted operation to execute at simulation time ``when``."""
-        heapq.heappush(self._pending, (when, self._pending_seq, action))
+        heapq.heappush(self._pending, (when, self._pending_seq, action, ()))
         self._pending_seq += 1
 
     def _drain_posted(self, now: int) -> None:
         """Run every posted operation whose time has arrived."""
-        while self._pending and self._pending[0][0] <= now:
-            _, _, action = heapq.heappop(self._pending)
-            action()
+        pending = self._pending
+        pop = heapq.heappop
+        while pending and pending[0][0] <= now:
+            entry = pop(pending)
+            entry[2](*entry[3])
 
     def flush_posted(self) -> None:
         """Run all remaining posted operations (end of a drive)."""
-        while self._pending:
-            _, _, action = heapq.heappop(self._pending)
-            action()
+        pending = self._pending
+        while pending:
+            entry = heapq.heappop(pending)
+            entry[2](*entry[3])
 
     def _fetch_offchip(self, address: int, now: int, *, bursts: int) -> int:
         """Fetch ``bursts`` * 64 B from main memory.
@@ -144,25 +186,27 @@ class DRAMCacheBase(ABC):
         interleaves a long cacheline fill with competing traffic. Total
         bytes moved and bus occupancy are unchanged.
         """
-        access = self.offchip.read(address, now, bursts=1)
+        end = self.offchip.read_fast(address, now, 1)
         self.offchip_fetched_bytes += bursts * 64
         if bursts > 1:
-            spread = self.offchip.device.timings.burst_cycles
+            # Inline of _post_call: a big-block fill posts bursts-1 tail
+            # transfers, making this the hottest posting site.
+            spread = self._offchip_spread
+            read_tail = self._offchip_read_tail
+            pending = self._pending
+            seq = self._pending_seq
+            push = heapq.heappush
             for i in range(1, bursts):
-                when = access.data_end + i * spread
-                tail_address = address + 64 * i
-                self._post(
-                    when,
-                    lambda a=tail_address, t=when: self.offchip.device.read(
-                        a, t, bursts=1
-                    ),
-                )
-        return access.data_end
+                when = end + i * spread
+                push(pending, (when, seq, read_tail, (address + 64 * i, when, 1)))
+                seq += 1
+            self._pending_seq = seq
+        return end
 
     def _writeback_offchip(self, address: int, now: int, *, bursts: int) -> None:
         """Posted dirty writeback to main memory (deferred to ``now``)."""
         self.offchip_writeback_bytes += bursts * 64
-        self._post(now, lambda: self.offchip.write(address, now, bursts=bursts))
+        self._post_call(now, self.offchip.write_fast, address, now, bursts)
 
     def _account_waste(self, unused_sub_blocks: int) -> None:
         """Record fetched-but-never-referenced sub-blocks at eviction."""

@@ -31,7 +31,7 @@ from repro.common.config import DRAMCacheGeometry
 from repro.common.stats import RateStat
 from repro.common.tables import sram_latency_cycles
 from repro.dram.controller import MemoryController
-from repro.dramcache.base import DRAMCacheAccess, DRAMCacheBase
+from repro.dramcache.base import DRAMCacheBase
 from repro.sram.replacement import LRU
 
 __all__ = ["FootprintPredictor", "FootprintCache"]
@@ -168,7 +168,7 @@ class FootprintCache(DRAMCacheBase):
         return False
 
     # ------------------------------------------------------------------
-    def _access(self, address: int, now: int, is_write: bool) -> DRAMCacheAccess:
+    def _access_fast(self, address: int, now: int, is_write: bool) -> int:
         self._tick += 1
         set_index, page, offset = self._split(address)
         ways = self._sets.setdefault(set_index, [])
@@ -188,31 +188,31 @@ class FootprintCache(DRAMCacheBase):
             if is_write:
                 frame.dirty |= bit
             if frame.present & bit:
-                self.footprint_misses.record(False)
+                self.footprint_misses.misses += 1
+                self._hit = True
                 if is_write:
-                    return DRAMCacheAccess(hit=True, start=now, complete=tags_known)
+                    return tags_known
                 channel, bank, row = self._location(set_index, way_idx)
-                data = self.dram.access_direct(channel, bank, row, tags_known, bursts=1)
-                return DRAMCacheAccess(hit=True, start=now, complete=data.data_end)
+                return self.dram.access_direct_fast(channel, bank, row, tags_known, 1)
             # Footprint miss: page resident, block not fetched.
-            self.footprint_misses.record(True)
+            self.footprint_misses.hits += 1
+            self._hit = False
             fetch_end = self._fetch_offchip(address, tags_known, bursts=1)
             frame.present |= bit
             channel, bank, row = self._location(set_index, way_idx)
-            self._post(
+            self._post_call(
                 fetch_end,
-                lambda: self.dram.access_direct(
-                    channel, bank, row, fetch_end, bursts=1
-                ),
+                self.dram.access_direct_fast,
+                channel, bank, row, fetch_end, 1,
             )
-            return DRAMCacheAccess(hit=False, start=now, complete=fetch_end)
+            return fetch_end
 
         # Page miss: predict footprint, optionally bypass singletons.
+        self._hit = False
         footprint = self.predictor.predict(page, offset) | bit
         if self.enable_bypass and footprint.bit_count() == 1:
             self.bypasses += 1
-            fetch_end = self._fetch_offchip(address, tags_known, bursts=1)
-            return DRAMCacheAccess(hit=False, start=now, complete=fetch_end)
+            return self._fetch_offchip(address, tags_known, bursts=1)
 
         fetch_end = self._fetch_blocks(page, footprint, tags_known)
         new_frame = _Page(page, offset)
@@ -232,13 +232,12 @@ class FootprintCache(DRAMCacheBase):
 
         channel, bank, row = self._location(set_index, way_idx)
         fill_bursts = max(1, footprint.bit_count())
-        self._post(
+        self._post_call(
             fetch_end,
-            lambda: self.dram.access_direct(
-                channel, bank, row, fetch_end, bursts=fill_bursts
-            ),
+            self.dram.access_direct_fast,
+            channel, bank, row, fetch_end, fill_bursts,
         )
-        return DRAMCacheAccess(hit=False, start=now, complete=fetch_end)
+        return fetch_end
 
     def reset_stats(self) -> None:
         super().reset_stats()

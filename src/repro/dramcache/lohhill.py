@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from repro.common.config import DRAMCacheGeometry
 from repro.dram.controller import MemoryController
-from repro.dramcache.base import DRAMCacheAccess, DRAMCacheBase
+from repro.dramcache.base import DRAMCacheBase
 from repro.sram.replacement import LRU
 
 __all__ = ["LohHillCache"]
@@ -75,17 +75,16 @@ class LohHillCache(DRAMCacheBase):
         entry = self._sets.get(set_index)
         return entry is not None and block in entry.blocks
 
-    def _access(self, address: int, now: int, is_write: bool) -> DRAMCacheAccess:
+    def _access_fast(self, address: int, now: int, is_write: bool) -> int:
         self._tick += 1
-        set_index, block = self._set_of(address)
+        block = address >> 6
+        set_index = block % self.num_sets
         entry = self._get_set(set_index)
         channel, bank, row = self._location(set_index)
 
         # Compound access: tag read opens the row and keeps it open.
-        tag_access = self.dram.access_direct(
-            channel, bank, row, now, bursts=_TAG_BURSTS
-        )
-        tags_known = tag_access.data_end + _TAG_COMPARE_CYCLES
+        tag_end = self.dram.access_direct_fast(channel, bank, row, now, _TAG_BURSTS)
+        tags_known = tag_end + _TAG_COMPARE_CYCLES
 
         way = None
         for w, resident in enumerate(entry.blocks):
@@ -94,14 +93,15 @@ class LohHillCache(DRAMCacheBase):
                 break
 
         if way is not None:
+            self._hit = True
             entry.last_use[way] = self._tick
             if is_write:
                 entry.dirty[way] = True
-                return DRAMCacheAccess(hit=True, start=now, complete=tags_known)
-            data = self.dram.column_direct(channel, bank, tags_known, bursts=1)
-            return DRAMCacheAccess(hit=True, start=now, complete=data.data_end)
+                return tags_known
+            return self.dram.column_direct_fast(channel, bank, tags_known, 1)
 
         # Miss: off-chip fetch after the tag check disproved residency.
+        self._hit = False
         fetch_end = self._fetch_offchip(address, tags_known, bursts=1)
         victim_way = self._victim_way(entry)
         victim = entry.blocks[victim_way]
@@ -111,8 +111,7 @@ class LohHillCache(DRAMCacheBase):
         entry.dirty[victim_way] = is_write
         entry.last_use[victim_way] = self._tick
         # Fill write into the row; posted at fill time.
-        self._post(
-            fetch_end,
-            lambda: self.dram.access_direct(channel, bank, row, fetch_end, bursts=1),
+        self._post_call(
+            fetch_end, self.dram.access_direct_fast, channel, bank, row, fetch_end, 1
         )
-        return DRAMCacheAccess(hit=False, start=now, complete=fetch_end)
+        return fetch_end

@@ -21,20 +21,24 @@ wall-clock is the only difference.
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import os
 import platform
 import time
+import tracemalloc
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.harness.runner import ExperimentSetup, build_cache, drive_cache
+from repro.harness.schemes import available_schemes
 from repro.obs import Tracer, install
 
 __all__ = [
     "ThroughputResult",
     "measure_drive_throughput",
     "append_bench_record",
+    "gate_against_history",
     "main",
 ]
 
@@ -53,6 +57,10 @@ class ThroughputResult:
     records_per_second: float
     repeats: int
     stats: dict
+    # Allocation profile of one (untimed) instrumented run of the same
+    # cell: tracemalloc peak and the number of gc collections it caused.
+    alloc_peak_bytes: int = 0
+    gc_collections: int = 0
 
     def row(self) -> dict:
         return {
@@ -63,6 +71,8 @@ class ThroughputResult:
             "best_seconds": round(self.best_seconds, 4),
             "records_per_second": round(self.records_per_second, 1),
             "repeats": self.repeats,
+            "alloc_peak_bytes": self.alloc_peak_bytes,
+            "gc_collections": self.gc_collections,
         }
 
 
@@ -113,6 +123,27 @@ def _run_once(
     return elapsed, result.stats
 
 
+def _measure_allocations(
+    scheme: str, mix: str, setup: ExperimentSetup, mode: str
+) -> tuple[int, int]:
+    """(tracemalloc peak bytes, gc collections) of one untimed run.
+
+    Run separately from the timed repeats: tracemalloc slows the
+    interpreter down severalfold, so the allocation profile must never
+    share a run with a throughput sample.
+    """
+    gc.collect()
+    before = sum(s["collections"] for s in gc.get_stats())
+    tracemalloc.start()
+    try:
+        _run_once(scheme, mix, setup, mode)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    after = sum(s["collections"] for s in gc.get_stats())
+    return peak, after - before
+
+
 def measure_drive_throughput(
     *,
     scheme: str = "bimodal",
@@ -120,6 +151,7 @@ def measure_drive_throughput(
     setup: ExperimentSetup | None = None,
     mode: str = "fast",
     repeats: int = 3,
+    allocations: bool = True,
 ) -> ThroughputResult:
     """Best-of-``repeats`` records/sec for one (scheme, mix, mode) cell."""
     setup = setup or ExperimentSetup(num_cores=4, accesses_per_core=15_000)
@@ -130,6 +162,9 @@ def measure_drive_throughput(
         elapsed, stats = _run_once(scheme, mix, setup, mode)
         if elapsed < best:
             best = elapsed
+    peak = collections = 0
+    if allocations:
+        peak, collections = _measure_allocations(scheme, mix, setup, mode)
     return ThroughputResult(
         mode=mode,
         scheme=scheme,
@@ -139,6 +174,8 @@ def measure_drive_throughput(
         records_per_second=total / best if best else 0.0,
         repeats=max(1, repeats),
         stats=dict(stats),
+        alloc_peak_bytes=peak,
+        gc_collections=collections,
     )
 
 
@@ -180,12 +217,75 @@ def append_bench_record(results: list[ThroughputResult], path: str | Path) -> di
     return entry
 
 
+def gate_against_history(
+    results: list[ThroughputResult], path: str | Path, *, threshold: float = 0.7
+) -> int:
+    """Regression gate: compare measurements to the committed history.
+
+    For every measured cell, find the most recent entry in ``path``
+    with the same (mode, scheme, mix) and require
+    ``measured >= threshold * committed`` records/sec. Prints the ratio
+    either way; returns 4 (the CI perf-regression exit code) if any
+    cell falls below, 0 otherwise. Cells with no committed baseline
+    pass trivially — a new scheme cannot fail its first run.
+    """
+    path = Path(path)
+    history: list = []
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+            if isinstance(loaded, list):
+                history = loaded
+        except (OSError, ValueError):
+            history = []
+    failed = False
+    for result in results:
+        baseline = None
+        for entry in reversed(history):
+            for row in entry.get("measurements", []):
+                if (
+                    row.get("mode") == result.mode
+                    and row.get("scheme") == result.scheme
+                    and row.get("mix") == result.mix
+                ):
+                    baseline = row
+                    break
+            if baseline is not None:
+                break
+        cell = f"{result.mode}/{result.scheme}/{result.mix}"
+        committed = (baseline or {}).get("records_per_second") or 0.0
+        if not committed:
+            print(f"perf gate: {cell}: no committed baseline, skipping")
+            continue
+        ratio = result.records_per_second / committed
+        verdict = "ok" if ratio >= threshold else "REGRESSION"
+        print(
+            f"perf gate: {cell}: {result.records_per_second:.0f} vs committed"
+            f" {committed:.0f} records/sec -> {ratio:.2f}x"
+            f" (threshold {threshold:.2f}x) {verdict}"
+        )
+        if ratio < threshold:
+            failed = True
+    return 4 if failed else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Measure drive-loop throughput (records simulated/sec)."
     )
     parser.add_argument("--scheme", default="bimodal")
     parser.add_argument("--mix", default="Q1")
+    parser.add_argument(
+        "--schemes",
+        default=None,
+        help="matrix mode: comma-separated schemes, or 'all' for every "
+        "registered scheme (runs the fast mode over --mixes)",
+    )
+    parser.add_argument(
+        "--mixes",
+        default=None,
+        help="matrix mode: comma-separated trace mixes (default: --mix)",
+    )
     parser.add_argument("--cores", type=int, default=4)
     parser.add_argument("--accesses-per-core", type=int, default=15_000)
     parser.add_argument("--repeats", type=int, default=3)
@@ -199,11 +299,61 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help=f"append the entry to this JSON history (e.g. {BENCH_FILE})",
     )
+    parser.add_argument(
+        "--gate",
+        default=None,
+        metavar="HISTORY",
+        help="compare against the last committed entry for each measured "
+        "(mode, scheme, mix) in this JSON history; exit 4 on regression",
+    )
+    parser.add_argument(
+        "--gate-threshold",
+        type=float,
+        default=0.7,
+        help="minimum measured/committed records-per-second ratio (default 0.7)",
+    )
     args = parser.parse_args(argv)
 
     setup = ExperimentSetup(
         num_cores=args.cores, accesses_per_core=args.accesses_per_core
     )
+    if args.schemes or args.mixes:
+        # Matrix mode: fast-path throughput + allocation profile for
+        # every (scheme, mix) cell; one history entry for the grid.
+        if args.schemes in (None, "", "all"):
+            schemes = available_schemes()
+        else:
+            schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
+        mixes = (
+            [m.strip() for m in args.mixes.split(",") if m.strip()]
+            if args.mixes
+            else [args.mix]
+        )
+        results = []
+        for scheme in schemes:
+            for mix in mixes:
+                result = measure_drive_throughput(
+                    scheme=scheme,
+                    mix=mix,
+                    setup=setup,
+                    mode="fast",
+                    repeats=args.repeats,
+                )
+                results.append(result)
+                print(
+                    f"{scheme:>10}/{mix}: {result.records_per_second:10.0f}"
+                    f" records/sec  (alloc peak"
+                    f" {result.alloc_peak_bytes / 1024:.0f} KiB,"
+                    f" {result.gc_collections} gc collections)"
+                )
+        if args.output:
+            append_bench_record(results, args.output)
+            print(f"appended entry to {args.output}")
+        if args.gate:
+            return gate_against_history(
+                results, args.gate, threshold=args.gate_threshold
+            )
+        return 0
     results = []
     reference: dict | None = None
     for mode in [m.strip() for m in args.modes.split(",") if m.strip()]:
@@ -230,6 +380,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.output:
         append_bench_record(results, args.output)
         print(f"appended entry to {args.output}")
+    if args.gate:
+        return gate_against_history(results, args.gate, threshold=args.gate_threshold)
     return 0
 
 

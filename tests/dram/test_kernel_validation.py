@@ -1,0 +1,128 @@
+"""Cross-validation of the flat DRAMDevice timing kernel.
+
+The device keeps all bank/channel state in flat lists and duplicates the
+timing kernel into its hot entry points (``read_fast``, ``write_fast``,
+``access_direct_fast``). These tests pin every copy to the slower
+object models on randomized request sequences:
+
+* against :class:`~repro.dram.reference.ReferenceBank`, the
+  command-granularity schedule (PRE/ACT/CAS with explicit constraints);
+* against a mirror built from :class:`~repro.dram.channel.Channel` /
+  :class:`~repro.dram.bank.Bank` objects, including bus serialization,
+  refresh stagger and the per-bank statistics the views expose.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.config import DRAMGeometry, DRAMTimingConfig
+from repro.dram.channel import build_channels
+from repro.dram.device import DRAMDevice
+from repro.dram.reference import ReferenceBank
+
+
+def _timings(kind: str) -> DRAMTimingConfig:
+    return (
+        DRAMTimingConfig.stacked()
+        if kind == "stacked"
+        else DRAMTimingConfig.ddr3_1600h()
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    requests=st.lists(
+        st.tuples(st.integers(0, 5), st.integers(0, 300)),  # (row, gap)
+        min_size=1,
+        max_size=60,
+    ),
+    timing_kind=st.sampled_from(["stacked", "ddr3"]),
+)
+def test_flat_kernel_matches_reference_bank(requests, timing_kind):
+    """Kernel CAS/data times equal the command-level schedule.
+
+    Arrivals are clamped past the previous transfer's end so the shared
+    data bus never delays a request: the kernel's ``last_data_start``
+    must then equal the reference's ``data_ready`` (CAS + CL), and the
+    row outcome must match the commands the reference issued. Bank 0
+    has refresh offset 0 in both models.
+    """
+    timings = _timings(timing_kind)
+    geometry = DRAMGeometry(channels=1, banks_per_channel=1, page_size=2048)
+    device = DRAMDevice(geometry, timings)
+    reference = ReferenceBank(timings)
+    now = 0
+    prev_end = 0
+    for row, gap in requests:
+        now = max(now + gap, prev_end)
+        prev_end = device.access_direct_fast(0, 0, row, now)
+        ref = reference.access(row, now)
+        assert device.last_data_start == ref.data_ready, (row, now)
+        if ref.precharge_at is not None:
+            assert device.last_outcome == 2  # conflict: PRE + ACT + CAS
+        elif ref.activate_at is not None:
+            assert device.last_outcome == 1  # closed: ACT + CAS
+        else:
+            assert device.last_outcome == 0  # row hit: CAS only
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    requests=st.lists(
+        st.tuples(
+            st.sampled_from(["direct_fast", "read_fast", "write_fast", "timed"]),
+            st.integers(0, 1),  # channel
+            st.integers(0, 3),  # bank
+            st.integers(0, 5),  # row (direct) / address seed (decoded)
+            st.integers(1, 4),  # bursts
+            st.integers(0, 200),  # gap
+        ),
+        min_size=1,
+        max_size=60,
+    ),
+    timing_kind=st.sampled_from(["stacked", "ddr3"]),
+)
+def test_flat_kernel_matches_channel_object_model(requests, timing_kind):
+    """Every inlined kernel copy tracks the Bank/Channel object model.
+
+    The mirror is built with the same refresh stagger the device bakes
+    into its flat state; addressed entry points route the mirror through
+    ``device.decode`` (pure mask/shift, shared by construction). Ends,
+    bus data-start and the per-bank statistics views must all agree.
+    """
+    timings = _timings(timing_kind)
+    geometry = DRAMGeometry(channels=2, banks_per_channel=4, page_size=2048)
+    device = DRAMDevice(geometry, timings)
+    mirror = build_channels(geometry, timings)
+    now = 0
+    for kind, channel, bank, seed, bursts, gap in requests:
+        now += gap
+        if kind == "direct_fast":
+            end = device.access_direct_fast(channel, bank, seed, now, bursts)
+            want = mirror[channel].access_fast(bank, seed, now, bursts)
+        elif kind == "timed":
+            end = device._timed(channel, bank, seed, now, bursts, None)
+            want = mirror[channel].access_fast(bank, seed, now, bursts)
+        else:
+            address = (seed * 131) << 13  # spread across rows/banks/channels
+            loc = device.decode(address)
+            if kind == "read_fast":
+                end = device.read_fast(address, now, bursts)
+            else:
+                end = device.write_fast(address, now, bursts)
+            want = mirror[loc.channel].access_fast(loc.bank, loc.row, now, bursts)
+        assert end == want, (kind, now)
+        ch = channel if kind in ("direct_fast", "timed") else loc.channel
+        assert device.last_data_start == mirror[ch].last_data_start, (kind, now)
+
+    # The structural views over the flat state must agree with the
+    # object model's per-bank counters and bus accounting.
+    for ch_view, ch_obj in zip(device.channels, mirror):
+        assert ch_view.bus_free_at == ch_obj.bus_free_at
+        assert ch_view.bus_busy_cycles == ch_obj.bus_busy_cycles
+        for bank_view, bank_obj in zip(ch_view.banks, ch_obj.banks):
+            assert bank_view.open_row == bank_obj.open_row
+            assert bank_view.ready_at == bank_obj.ready_at
+            assert bank_view.activations == bank_obj.activations
+            assert bank_view.precharges == bank_obj.precharges
+            assert bank_view.row_buffer.hits == bank_obj.row_buffer.hits
+            assert bank_view.row_buffer.misses == bank_obj.row_buffer.misses

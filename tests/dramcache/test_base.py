@@ -4,7 +4,7 @@ import pytest
 
 from repro.common.config import DRAMCacheGeometry, DRAMGeometry, DRAMTimingConfig
 from repro.dram.controller import MemoryController
-from repro.dramcache.base import DRAMCacheAccess, DRAMCacheBase
+from repro.dramcache.base import DRAMCacheBase
 
 
 class _StubCache(DRAMCacheBase):
@@ -24,9 +24,9 @@ class _StubCache(DRAMCacheBase):
         super().__init__(geometry, offchip)
         self.executed: list[int] = []
 
-    def _access(self, address, now, is_write):
-        end = self._fetch_offchip(address, now, bursts=1)
-        return DRAMCacheAccess(hit=False, start=now, complete=end)
+    def _access_fast(self, address, now, is_write):
+        self._hit = False
+        return self._fetch_offchip(address, now, bursts=1)
 
 
 class TestAccounting:

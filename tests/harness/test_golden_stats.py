@@ -1,0 +1,90 @@
+"""Golden byte-identity: every scheme's stats pinned against committed JSON.
+
+The timing kernel (dram device, cache base, scheme access paths) is
+rewritten for speed from time to time; the contract is that such
+rewrites are *bit-identical* — every number in ``stats_snapshot()``,
+every CSV export and every end_time must come out exactly the same.
+This test drives all registered schemes on the Q1 mix with a non-zero
+warmup (so the warmup reset boundary semantics are covered too) and
+compares the full stats dictionary — after a JSON round-trip, so the
+comparison is exactly as strict as what lands in exported artifacts —
+against ``tests/golden/drive_stats_q1.json``.
+
+To regenerate after an *intentional* simulation-semantics change::
+
+    REPRO_REGEN_GOLDEN=1 python -m pytest tests/harness/test_golden_stats.py
+
+then commit the updated JSON alongside the change that explains it.
+A pure performance PR must never need to regenerate this file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.harness.runner import ExperimentSetup, build_cache, drive_cache
+from repro.harness.schemes import available_schemes
+
+GOLDEN_PATH = Path(__file__).resolve().parent.parent / "golden" / "drive_stats_q1.json"
+
+SETUP = ExperimentSetup(num_cores=4, accesses_per_core=1_500)
+TOTAL = SETUP.num_cores * SETUP.accesses_per_core
+WARMUP = TOTAL // 2  # warmup > 0: the reset boundary is part of the contract
+
+
+def _drive_scheme(scheme: str) -> dict:
+    cache = build_cache(scheme, SETUP.system, scale=SETUP.scale)
+    result = drive_cache(
+        cache,
+        SETUP.trace_records("Q1"),
+        window=16,
+        streams=SETUP.num_cores,
+        warmup=WARMUP,
+    )
+    snapshot = {
+        "records": result.accesses,
+        "end_time": result.end_time,
+        "stats": result.stats,
+    }
+    # JSON round-trip: the comparison happens in the exact representation
+    # exported artifacts use, so "equal here" means "byte-identical there".
+    return json.loads(json.dumps(snapshot))
+
+
+def _current_snapshots() -> dict[str, dict]:
+    return {scheme: _drive_scheme(scheme) for scheme in available_schemes()}
+
+
+def test_all_schemes_match_golden():
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(
+            json.dumps(_current_snapshots(), indent=2, sort_keys=True) + "\n"
+        )
+        pytest.skip(f"regenerated {GOLDEN_PATH}")
+    assert GOLDEN_PATH.exists(), (
+        f"missing golden file {GOLDEN_PATH}; regenerate with "
+        "REPRO_REGEN_GOLDEN=1 python -m pytest tests/harness/test_golden_stats.py"
+    )
+    golden = json.loads(GOLDEN_PATH.read_text())
+    current = _current_snapshots()
+    assert sorted(current) == sorted(golden), (
+        "registered scheme set changed; regenerate the golden file"
+    )
+    for scheme in available_schemes():
+        assert current[scheme] == golden[scheme], (
+            f"scheme {scheme!r} drifted from the golden snapshot — a timing "
+            "kernel change altered simulation results"
+        )
+
+
+def test_golden_covers_all_registered_schemes():
+    """The committed file must track the registry, not a stale subset."""
+    if not GOLDEN_PATH.exists():
+        pytest.skip("golden file not generated yet")
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert sorted(golden) == sorted(available_schemes())
