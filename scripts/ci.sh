@@ -12,6 +12,20 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="${PWD}/src${PYTHONPATH:+:${PYTHONPATH}}"
 
+echo "== static analysis (simlint) =="
+# The tree itself must be clean: ignore the baseline so tolerated debt
+# cannot mask a regression sneaking in under an existing fingerprint.
+python -m repro lint --no-baseline
+
+# ruff is not part of the offline container image; run it when the
+# environment provides it (the CI lint job installs it explicitly).
+if command -v ruff >/dev/null 2>&1; then
+    echo "== static analysis (ruff) =="
+    ruff check src tests
+else
+    echo "== static analysis (ruff) == skipped: ruff not on PATH"
+fi
+
 echo "== tier-1 test suite =="
 python -m pytest -x -q
 

@@ -77,7 +77,7 @@ _EXPERIMENTS: dict[str, tuple[str, bool, int, str]] = {
     ),
 }
 
-_SUBCOMMANDS = ("run", "list", "list-schemes", "bench")
+_SUBCOMMANDS = ("run", "list", "list-schemes", "bench", "lint")
 
 
 def _shared_flags(parser: argparse.ArgumentParser) -> None:
@@ -142,6 +142,13 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list experiment ids")
     sub.add_parser("list-schemes", help="list registered DRAM cache schemes")
+    # `lint` is dispatched before parse_args so simlint owns its own
+    # argument surface; this entry only makes it show up in --help.
+    sub.add_parser(
+        "lint",
+        help="run simlint static analysis (see docs/static-analysis.md)",
+        add_help=False,
+    )
 
     bench = sub.add_parser(
         "bench", help="measure drive-loop throughput (records/sec)"
@@ -181,10 +188,10 @@ def _cmd_list() -> int:
 
 
 def _cmd_list_schemes() -> int:
-    from repro.harness.schemes import scheme_descriptions
+    from repro.harness.schemes import scheme_catalog
 
-    for name, description in scheme_descriptions().items():
-        print(f"  {name:14s} {description}")
+    for line in scheme_catalog():
+        print(f"  {line}")
     return 0
 
 
@@ -226,11 +233,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _usage_error(f"--cores must be 4, 8 or 16 (got {args.cores})")
     try:
         get_scheme(args.scheme)
-    except UnknownSchemeError:
-        return _usage_error(
-            f"unknown scheme {args.scheme!r}; "
-            "try `python -m repro list-schemes`"
-        )
+    except UnknownSchemeError as exc:
+        # The exception text already lists every registered scheme.
+        return _usage_error(f"{exc} (see `python -m repro list-schemes`)")
     if args.mix not in mixes_for_cores(args.cores):
         return _usage_error(
             f"unknown mix {args.mix!r} for {args.cores} cores"
@@ -382,6 +387,10 @@ def _write_manifests(
 
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "lint":
+        from repro.analysis.cli import main as lint_main
+
+        return lint_main(argv[1:])
     if argv and argv[0] not in _SUBCOMMANDS and not argv[0].startswith("-"):
         # Legacy invocation: `python -m repro fig1 ...`.
         print(

@@ -1,0 +1,110 @@
+"""Committed baseline: known findings the gate tolerates (for now).
+
+The baseline lets the lint gate land green on a tree with pre-existing
+findings, then ratchet: new findings fail immediately, baselined ones
+are reported as debt, and entries whose code was fixed become *stale*
+so the file shrinks monotonically. Entries match on the violation
+fingerprint (rule + file + offending source line, not line numbers), as
+a multiset — identical lines consume one entry each.
+
+The file is JSON so diffs review cleanly::
+
+    {"version": 1, "entries": [
+        {"rule": "slots", "path": "src/...", "snippet": "class Foo:"}
+    ]}
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.model import Violation
+
+__all__ = ["Baseline", "BaselineError", "split_by_baseline"]
+
+_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """Unreadable or structurally invalid baseline file."""
+
+
+@dataclass
+class Baseline:
+    """The committed multiset of tolerated finding fingerprints."""
+
+    path: Path | None = None
+    entries: list[dict] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        path = Path(path)
+        try:
+            document = json.loads(path.read_text())
+        except OSError as exc:
+            raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+        except ValueError as exc:
+            raise BaselineError(f"baseline {path} is not valid JSON: {exc}") from exc
+        if (
+            not isinstance(document, dict)
+            or document.get("version") != _VERSION
+            or not isinstance(document.get("entries"), list)
+        ):
+            raise BaselineError(
+                f"baseline {path} must be {{'version': {_VERSION}, 'entries': [...]}}"
+            )
+        entries = []
+        for entry in document["entries"]:
+            if not isinstance(entry, dict) or not {"rule", "path", "snippet"} <= set(entry):
+                raise BaselineError(
+                    f"baseline {path}: each entry needs rule/path/snippet keys"
+                )
+            entries.append(entry)
+        return cls(path=path, entries=entries)
+
+    @classmethod
+    def from_violations(cls, violations: list[Violation]) -> "Baseline":
+        return cls(
+            entries=[
+                {
+                    "rule": v.rule,
+                    "path": v.path,
+                    "snippet": v.snippet,
+                    "message": v.message,
+                }
+                for v in violations
+            ]
+        )
+
+    def fingerprints(self) -> Counter:
+        return Counter(
+            f"{entry['rule']}|{entry['path']}|{entry['snippet']}"
+            for entry in self.entries
+        )
+
+    def write(self, path: str | Path) -> Path:
+        path = Path(path)
+        document = {"version": _VERSION, "entries": self.entries}
+        path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+        return path
+
+
+def split_by_baseline(
+    violations: list[Violation], baseline: Baseline
+) -> tuple[list[Violation], list[Violation], int]:
+    """(new, tolerated, stale_entry_count) under ``baseline``."""
+    budget = baseline.fingerprints()
+    new: list[Violation] = []
+    tolerated: list[Violation] = []
+    for violation in violations:
+        print_ = violation.fingerprint()
+        if budget.get(print_, 0) > 0:
+            budget[print_] -= 1
+            tolerated.append(violation)
+        else:
+            new.append(violation)
+    stale = sum(count for count in budget.values() if count > 0)
+    return new, tolerated, stale

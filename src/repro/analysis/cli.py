@@ -1,0 +1,131 @@
+"""``python -m repro lint`` — the simlint command-line front end.
+
+Exit codes: 0 clean (or fully baselined), 1 new findings, 2 usage /
+configuration errors. ``--update-baseline`` rewrites the committed
+baseline from the current findings (the ratchet: run it only to shrink
+the file or to adopt a deliberate, justified exception).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import Baseline, BaselineError, split_by_baseline
+from repro.analysis.config import load_config
+from repro.analysis.engine import find_repo_root, run_lint
+from repro.analysis.reporting import render_json, render_text
+from repro.analysis.rules import all_rules
+
+__all__ = ["main"]
+
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def _default_paths() -> list[Path]:
+    import repro
+
+    return [Path(repro.__file__).resolve().parent]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description=(
+            "AST-level invariant checker: determinism, hot-path purity, "
+            "fast/reference parity, scheme-registry completeness, stats-"
+            "protocol stability and __slots__ enforcement "
+            "(see docs/static-analysis.md)"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files/directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--rules", default=None, metavar="A,B",
+        help="comma-separated rule subset (default: all)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="baseline file (default: simlint-baseline.json at the repo "
+        "root, when present)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file (CI uses this to assert the tree "
+        "itself is clean)",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def _usage_error(message: str) -> int:
+    print(f"error: {message}", file=sys.stderr)
+    return EXIT_USAGE
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for name, rule in sorted(all_rules().items()):
+            print(f"  {name:24s} {rule.description}")
+        return 0
+
+    paths = [Path(p) for p in args.paths] or _default_paths()
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        return _usage_error(f"no such path(s): {', '.join(missing)}")
+
+    root = find_repo_root(paths[0])
+    config = load_config(root)
+    rules = None
+    if args.rules:
+        names = [name.strip() for name in args.rules.split(",") if name.strip()]
+        try:
+            rules = all_rules(names)
+        except KeyError as exc:
+            return _usage_error(str(exc.args[0]))
+
+    result = run_lint(paths, config=config, root=root, rules=rules)
+
+    baseline = Baseline()
+    baseline_path = Path(args.baseline) if args.baseline else root / config.baseline_name
+    if args.update_baseline:
+        Baseline.from_violations(result.violations).write(baseline_path)
+        print(
+            f"simlint: wrote {len(result.violations)} entr"
+            f"{'y' if len(result.violations) == 1 else 'ies'} to {baseline_path}"
+        )
+        return 0
+    if not args.no_baseline and baseline_path.is_file():
+        try:
+            baseline = Baseline.load(baseline_path)
+        except BaselineError as exc:
+            return _usage_error(str(exc))
+
+    new, tolerated, stale = split_by_baseline(result.violations, baseline)
+    renderer = render_json if args.format == "json" else render_text
+    print(
+        renderer(
+            result, new=new, tolerated=tolerated, stale_baseline_entries=stale
+        )
+    )
+    return EXIT_FINDINGS if new else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,78 @@
+"""simlint configuration: baked-in project defaults + pyproject overrides.
+
+The defaults below ARE the repository's configuration; a
+``[tool.simlint]`` table in ``pyproject.toml`` can override any field
+(used by tests and by downstream forks). Globs match either the
+repo-relative path (``src/repro/dram/bank.py``) or the package-relative
+one (``dram/bank.py``) — see :meth:`SourceFile.matches`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from pathlib import Path
+
+__all__ = ["LintConfig", "load_config"]
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    # Files never scanned at all.
+    exclude: tuple[str, ...] = ("*/__pycache__/*",)
+    # Rule subset to run; empty means every registered rule.
+    select: tuple[str, ...] = ()
+    # determinism: modules allowed to touch wall clock / ambient entropy
+    # (observability, profiling and harness bookkeeping — never the sim
+    # core, whose results must replay bit-identically).
+    determinism_allow: tuple[str, ...] = (
+        "obs/*",
+        "analysis/*",
+        "harness/checkpoint.py",
+        "harness/perfbench.py",
+    )
+    # hot-path-purity: function name patterns treated as hot paths.
+    hotpath_patterns: tuple[str, ...] = ("*_fast",)
+    # slots: modules whose record classes must be allocation-lean.
+    slots_modules: tuple[str, ...] = (
+        "bimodal/sets.py",
+        "bimodal/way_locator.py",
+        "sram/cache.py",
+        "dram/*.py",
+        "dramcache/*.py",
+        "common/stats.py",
+        "workloads/trace.py",
+    )
+    # scheme-registry: the root class every cache organization extends.
+    scheme_base: str = "DRAMCacheBase"
+    # Baseline filename looked up from the scan root toward the repo root.
+    baseline_name: str = "simlint-baseline.json"
+
+
+def load_config(root: Path | None = None) -> LintConfig:
+    """Defaults, overridden by ``[tool.simlint]`` when present.
+
+    ``tomllib`` ships with Python 3.11+; on 3.10 the pyproject override
+    is skipped silently and the baked-in defaults (which match this
+    repository's committed configuration) apply.
+    """
+    config = LintConfig()
+    if root is None:
+        return config
+    pyproject = Path(root) / "pyproject.toml"
+    if not pyproject.is_file():
+        return config
+    try:
+        import tomllib
+    except ModuleNotFoundError:  # Python 3.10
+        return config
+    try:
+        table = tomllib.loads(pyproject.read_text()).get("tool", {}).get("simlint", {})
+    except (OSError, tomllib.TOMLDecodeError):
+        return config
+    overrides = {}
+    valid = {f.name for f in fields(LintConfig)}
+    for key, value in table.items():
+        name = key.replace("-", "_")
+        if name in valid:
+            overrides[name] = tuple(value) if isinstance(value, list) else value
+    return replace(config, **overrides) if overrides else config

@@ -1,0 +1,79 @@
+"""simlint reporters: human text and machine JSON.
+
+Text lines follow the compiler convention
+``path:line:col: rule: message`` so editors and CI annotations pick
+them up unmodified; the JSON document carries the same findings plus
+the run summary for tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+
+from repro.analysis.engine import LintResult
+from repro.analysis.model import Violation
+
+__all__ = ["render_json", "render_text"]
+
+
+def render_text(
+    result: LintResult,
+    *,
+    new: Sequence[Violation],
+    tolerated: Sequence[Violation] = (),
+    stale_baseline_entries: int = 0,
+) -> str:
+    lines = [violation.render() for violation in new]
+    for violation in tolerated:
+        lines.append(f"{violation.render()} [baselined]")
+    summary = (
+        f"simlint: {result.files_scanned} file(s), "
+        f"{len(result.rules_run)} rule(s): "
+        f"{len(new)} finding(s)"
+    )
+    if tolerated:
+        summary += f", {len(tolerated)} baselined"
+    if result.suppressed:
+        summary += f", {result.suppressed} suppressed inline"
+    if stale_baseline_entries:
+        summary += (
+            f"; {stale_baseline_entries} stale baseline entr"
+            f"{'y' if stale_baseline_entries == 1 else 'ies'} "
+            "(fixed findings — prune with --update-baseline)"
+        )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(
+    result: LintResult,
+    *,
+    new: Sequence[Violation],
+    tolerated: Sequence[Violation] = (),
+    stale_baseline_entries: int = 0,
+) -> str:
+    def row(violation: Violation, baselined: bool) -> dict:
+        return {
+            "rule": violation.rule,
+            "path": violation.path,
+            "line": violation.line,
+            "col": violation.col,
+            "message": violation.message,
+            "snippet": violation.snippet,
+            "baselined": baselined,
+        }
+
+    document = {
+        "violations": [row(v, False) for v in new]
+        + [row(v, True) for v in tolerated],
+        "summary": {
+            "files_scanned": result.files_scanned,
+            "rules_run": list(result.rules_run),
+            "new": len(new),
+            "baselined": len(tolerated),
+            "suppressed_inline": result.suppressed,
+            "stale_baseline_entries": stale_baseline_entries,
+        },
+    }
+    return json.dumps(document, indent=2)

@@ -1,0 +1,178 @@
+"""Rule ``fast-reference-parity`` — fast and reference paths share code.
+
+PR 4 keeps two entry points per scheme: the merged/inlined
+``access_fast`` and a clean reference ``_access_fast`` whose equality
+the golden byte-identity tests pin at runtime. Runtime tests only catch
+drift on the inputs they replay; this rule enforces the *structural*
+invariants that make drift unlikely in the first place:
+
+* a class overriding both ``access_fast`` and ``_access_fast`` must
+  route both through the same shared ``_access*`` continuation (for
+  ``BiModalCache``: both call ``self._access_cold``), and the merged
+  entry must leave the ``self._hit`` scratch attribute set;
+* a scheme overriding the rich ``access`` wrapper must delegate to
+  ``access_fast`` and rebuild the record from the same scratch
+  attribute (``self._hit``) rather than recomputing hit/miss.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.model import ClassInfo, ProjectModel, Violation
+from repro.analysis.rules import Rule, register_rule
+
+
+def _self_method_calls(func: ast.FunctionDef, prefix: str = "") -> set[str]:
+    """Names of ``self.<name>(...)`` calls in ``func`` (filtered by prefix)."""
+    found: set[str] = set()
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "self"
+            and node.func.attr.startswith(prefix)
+        ):
+            found.add(node.func.attr)
+    return found
+
+
+def _reads_self_attr(func: ast.FunctionDef, attr: str) -> bool:
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr == attr
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return True
+    return False
+
+
+def _assigns_self_attr(func: ast.FunctionDef, attr: str) -> bool:
+    for node in ast.walk(func):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and target.attr == attr
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                return True
+    return False
+
+
+def _is_abstract(func: ast.FunctionDef) -> bool:
+    for deco in func.decorator_list:
+        target = deco.attr if isinstance(deco, ast.Attribute) else getattr(deco, "id", "")
+        if target == "abstractmethod":
+            return True
+    body = [
+        node
+        for node in func.body
+        if not (
+            isinstance(node, ast.Expr)
+            and isinstance(node.value, ast.Constant)
+        )
+        and not isinstance(node, ast.Pass)
+    ]
+    return not body
+
+
+@register_rule
+class FastReferenceParityRule(Rule):
+    name = "fast-reference-parity"
+    description = (
+        "merged fast entries must structurally share their reference "
+        "copy's continuation and the _hit scratch contract"
+    )
+
+    def check_project(self, project: ProjectModel) -> Iterator[Violation]:
+        base = project.config.scheme_base
+        for info in project.classes:
+            methods = info.methods
+            fast = methods.get("access_fast")
+            reference = methods.get("_access_fast")
+            if fast is not None and reference is not None:
+                yield from self._check_pair(info, fast, reference)
+            if (
+                base
+                and (info.name == base or project.is_subclass_of(info, base))
+                and "access" in methods
+            ):
+                yield from self._check_rich_wrapper(info, methods["access"])
+
+    def _check_pair(
+        self, info: ClassInfo, fast: ast.FunctionDef, reference: ast.FunctionDef
+    ) -> Iterator[Violation]:
+        source = info.source
+        if _is_abstract(reference):
+            # Dispatcher pattern (DRAMCacheBase): access_fast is the
+            # accounting shell and must route through the subclass hook
+            # and consume its scratch outcome.
+            if "_access_fast" not in _self_method_calls(fast):
+                yield source.violation(
+                    self.name, fast,
+                    f"{info.name}.access_fast must dispatch to "
+                    "self._access_fast (abstract scheme hook)",
+                )
+            elif not _reads_self_attr(fast, "_hit"):
+                yield source.violation(
+                    self.name, fast,
+                    f"{info.name}.access_fast dispatches to _access_fast "
+                    "but never reads the self._hit scratch outcome",
+                )
+            return
+        fast_shared = _self_method_calls(fast, prefix="_access")
+        ref_shared = _self_method_calls(reference, prefix="_access")
+        ref_shared.discard("_access_fast")  # base-class dispatch, not sharing
+        shared = fast_shared & ref_shared
+        if not shared:
+            yield source.violation(
+                self.name, fast,
+                f"{info.name}.access_fast and ._access_fast share no "
+                "_access* continuation method; the merged entry must call "
+                "the same cold-path helper as the reference copy (e.g. "
+                "_access_cold) so the two cannot drift",
+            )
+        missing = ref_shared - fast_shared
+        if shared and missing:
+            yield source.violation(
+                self.name, fast,
+                f"{info.name}._access_fast routes through "
+                f"{', '.join(sorted(missing))} but access_fast does not; "
+                "the merged entry no longer covers the reference path",
+            )
+        if not _assigns_self_attr(fast, "_hit"):
+            yield source.violation(
+                self.name, fast,
+                f"{info.name}.access_fast never assigns self._hit; the "
+                "rich access() wrapper rebuilds its record from that "
+                "scratch attribute",
+            )
+
+    def _check_rich_wrapper(
+        self, info: ClassInfo, access: ast.FunctionDef
+    ) -> Iterator[Violation]:
+        source = info.source
+        calls = _self_method_calls(access)
+        if "access_fast" not in calls:
+            yield source.violation(
+                self.name, access,
+                f"{info.name}.access must delegate to self.access_fast so "
+                "the rich and fast paths cannot diverge",
+            )
+        elif not _reads_self_attr(access, "_hit"):
+            yield source.violation(
+                self.name, access,
+                f"{info.name}.access delegates to access_fast but ignores "
+                "the self._hit scratch attribute; the record must be "
+                "rebuilt from the fast path's own outcome",
+            )

@@ -44,7 +44,7 @@ def allowed_states(set_size: int, big_block_size: int = 512) -> tuple[tuple[int,
     return tuple(states)
 
 
-@dataclass
+@dataclass(slots=True)
 class BigBlock:
     """A resident 512 B block: tag plus per-sub-block use/dirty vectors."""
 
@@ -68,7 +68,7 @@ class BigBlock:
         return self.dirty_mask.bit_count()
 
 
-@dataclass
+@dataclass(slots=True)
 class SmallBlock:
     """A resident 64 B block: big-block tag + the 3 high offset bits."""
 
@@ -77,7 +77,7 @@ class SmallBlock:
     dirty: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EvictedBlock:
     """Eviction record handed back to the cache for writebacks/locator."""
 
@@ -98,6 +98,15 @@ class BiModalSet:
     (the information the way locator would hold for this set) is kept for
     the random-not-recent replacement policy.
     """
+
+    __slots__ = (
+        "_states",
+        "smalls_per_big",
+        "_state_index",
+        "big_ways",
+        "small_ways",
+        "_mru",
+    )
 
     def __init__(
         self,

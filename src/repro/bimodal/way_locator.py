@@ -37,6 +37,22 @@ class WayLocatorEntry:
 class WayLocator:
     """2-way set-associative way cache with exact-match lookups."""
 
+    __slots__ = (
+        "index_bits",
+        "address_bits",
+        "set_index_bits",
+        "offset_bits",
+        "max_ways",
+        "_mask",
+        "_table",
+        "_tick",
+        "lookups",
+        "insertions",
+        "invalidations",
+        "storage_bytes",
+        "latency_cycles",
+    )
+
     def __init__(
         self,
         index_bits: int,

@@ -134,6 +134,8 @@ class StatGroup:
     whole tree into plain dictionaries for table rendering.
     """
 
+    __slots__ = ("name", "_stats")
+
     def __init__(self, name: str) -> None:
         self.name = name
         self._stats: dict[str, object] = {}

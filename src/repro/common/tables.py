@@ -13,7 +13,6 @@ the simulated system itself:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 __all__ = [
     "CPU_FREQ_HZ",

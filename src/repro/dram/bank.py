@@ -57,6 +57,23 @@ class BankAccess:
 class Bank:
     """One DRAM bank with an open-page (row buffer) policy."""
 
+    __slots__ = (
+        "_timings",
+        "_open_row",
+        "_ready_at",
+        "_next_refresh",
+        "row_buffer",
+        "activations",
+        "precharges",
+        "refreshes",
+        "_trcd",
+        "_trp_trcd",
+        "_cl",
+        "_tccd",
+        "last_outcome",
+        "last_issue",
+    )
+
     def __init__(self, timings: DRAMTimingConfig, *, refresh_offset: int = 0) -> None:
         self._timings = timings
         self._open_row: int | None = None

@@ -49,6 +49,15 @@ class ChannelAccess:
 class Channel:
     """Banks plus one shared, serializing data bus."""
 
+    __slots__ = (
+        "_timings",
+        "_burst_cycles",
+        "banks",
+        "_bus_free_at",
+        "bus_busy_cycles",
+        "last_data_start",
+    )
+
     def __init__(
         self,
         timings: DRAMTimingConfig,

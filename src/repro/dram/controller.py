@@ -28,6 +28,15 @@ __all__ = ["MemoryController"]
 class MemoryController:
     """Timed front-end to an off-chip :class:`DRAMDevice`."""
 
+    __slots__ = (
+        "device",
+        "_queue_depth",
+        "_inflight",
+        "read_latency",
+        "reads",
+        "writes",
+    )
+
     def __init__(
         self,
         geometry: DRAMGeometry,

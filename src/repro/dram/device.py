@@ -67,6 +67,46 @@ class DRAMLocation:
 class DRAMDevice:
     """Flat timing kernel + row-rank-bank-mc-column interleaving."""
 
+    __slots__ = (
+        "name",
+        "geometry",
+        "timings",
+        "_nch",
+        "_nbk",
+        "_trcd",
+        "_trp",
+        "_trp_trcd",
+        "_cl",
+        "_tccd",
+        "_burst_cycles",
+        "_trefi",
+        "_trfc",
+        "_open_row",
+        "_ready_at",
+        "_next_refresh",
+        "_rb_hits",
+        "_rb_misses",
+        "_activations",
+        "_precharges",
+        "_refreshes",
+        "_bus_free",
+        "_bus_busy",
+        "_column_bits",
+        "_channel_bits",
+        "_bank_bits",
+        "_column_mask",
+        "_channel_mask",
+        "_bank_mask",
+        "_cbr_shift",
+        "_mod_channels",
+        "_mod_banks",
+        "reads",
+        "writes",
+        "bytes_transferred",
+        "last_outcome",
+        "last_data_start",
+    )
+
     def __init__(
         self,
         geometry: DRAMGeometry,

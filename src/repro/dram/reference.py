@@ -21,7 +21,7 @@ from repro.common.config import DRAMTimingConfig
 __all__ = ["ReferenceAccess", "ReferenceBank"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReferenceAccess:
     """One resolved access with its command times."""
 
@@ -43,6 +43,8 @@ class ReferenceBank:
     * refresh every ``tREFI`` lasting ``tRFC``, closing the row; idle
       refreshes are not charged to later requests.
     """
+
+    __slots__ = ("_t", "_open_row", "_next_slot", "_next_refresh")
 
     def __init__(self, timings: DRAMTimingConfig) -> None:
         self._t = timings

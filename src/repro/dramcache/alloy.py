@@ -29,6 +29,8 @@ _TAG_COMPARE_CYCLES = 1
 class MAPPredictor:
     """2-bit saturating hit/miss predictor table (1 KB => 4096 counters)."""
 
+    __slots__ = ("_counters", "_mask", "correct", "wrong")
+
     def __init__(self, entries: int = 4096) -> None:
         if entries < 1:
             raise ValueError("entries must be >= 1")

@@ -43,6 +43,8 @@ _BLOCKS_PER_PAGE = _PAGE_SIZE // 64
 class FootprintPredictor:
     """Footprint history table: page-class -> predicted block bit-vector."""
 
+    __slots__ = ("_table", "_mask", "lookups", "history_hits")
+
     def __init__(self, entries: int = 16384) -> None:
         self._table: dict[int, int] = {}
         self._mask = entries - 1
@@ -225,7 +227,9 @@ class FootprintCache(DRAMCacheBase):
             ways.append(new_frame)
             way_idx = len(ways) - 1
         else:
-            last_use = [w.last_use for w in ways]
+            last_use = []
+            for w in ways:
+                last_use.append(w.last_use)
             way_idx = self._lru.victim(list(range(len(ways))), last_use=last_use)
             self._evict(set_index, way_idx, ways[way_idx], fetch_end)
             ways[way_idx] = new_frame

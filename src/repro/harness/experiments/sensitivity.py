@@ -21,7 +21,6 @@ from repro.harness.parallel import (
     run_grid,
 )
 from repro.harness.runner import ExperimentSetup, scaled_locator_bits
-from repro.workloads.mixes import mixes_for_cores
 
 __all__ = [
     "fig12_sensitivity",

@@ -25,6 +25,7 @@ import gc
 import json
 import os
 import platform
+import sys
 import time
 import tracemalloc
 from dataclasses import dataclass
@@ -33,6 +34,7 @@ from pathlib import Path
 from repro.harness.runner import ExperimentSetup, build_cache, drive_cache
 from repro.harness.schemes import available_schemes
 from repro.obs import Tracer, install
+from repro.workloads.mixes import mixes_for_cores
 
 __all__ = [
     "ThroughputResult",
@@ -218,7 +220,11 @@ def append_bench_record(results: list[ThroughputResult], path: str | Path) -> di
 
 
 def gate_against_history(
-    results: list[ThroughputResult], path: str | Path, *, threshold: float = 0.7
+    results: list[ThroughputResult],
+    path: str | Path,
+    *,
+    threshold: float = 0.7,
+    allow_missing: bool = False,
 ) -> int:
     """Regression gate: compare measurements to the committed history.
 
@@ -226,8 +232,9 @@ def gate_against_history(
     with the same (mode, scheme, mix) and require
     ``measured >= threshold * committed`` records/sec. Prints the ratio
     either way; returns 4 (the CI perf-regression exit code) if any
-    cell falls below, 0 otherwise. Cells with no committed baseline
-    pass trivially — a new scheme cannot fail its first run.
+    cell falls below, 0 otherwise. A cell with no committed baseline is
+    a usage error (exit 2) — a silently skipped gate is worse than no
+    gate — unless ``allow_missing`` is set (first run of a new scheme).
     """
     path = Path(path)
     history: list = []
@@ -255,8 +262,16 @@ def gate_against_history(
         cell = f"{result.mode}/{result.scheme}/{result.mix}"
         committed = (baseline or {}).get("records_per_second") or 0.0
         if not committed:
-            print(f"perf gate: {cell}: no committed baseline, skipping")
-            continue
+            if allow_missing:
+                print(f"perf gate: {cell}: no committed baseline, skipping")
+                continue
+            print(
+                f"perf gate: error: no committed baseline for {cell} in"
+                f" {path} (record one with --output, or pass"
+                " --gate-allow-missing for a new cell's first run)",
+                file=sys.stderr,
+            )
+            return 2
         ratio = result.records_per_second / committed
         verdict = "ok" if ratio >= threshold else "REGRESSION"
         print(
@@ -312,7 +327,52 @@ def main(argv: list[str] | None = None) -> int:
         default=0.7,
         help="minimum measured/committed records-per-second ratio (default 0.7)",
     )
+    parser.add_argument(
+        "--gate-allow-missing",
+        action="store_true",
+        help="let cells with no committed baseline pass the gate "
+        "(first run of a new scheme) instead of failing with exit 2",
+    )
     args = parser.parse_args(argv)
+
+    # Validate the requested grid up front so a typo is a one-line
+    # usage error (exit 2), not a traceback from deep inside a build.
+    def usage_error(message: str) -> int:
+        print(f"perfbench: error: {message}", file=sys.stderr)
+        return 2
+
+    if args.cores not in (4, 8, 16):
+        return usage_error(f"--cores must be 4, 8 or 16 (got {args.cores})")
+    known = available_schemes()
+    if args.schemes in (None, "", "all"):
+        schemes = known if (args.schemes or args.mixes) else [args.scheme]
+    else:
+        schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
+    unknown = [s for s in schemes if s not in known]
+    if unknown:
+        return usage_error(
+            f"unknown scheme(s): {', '.join(unknown)};"
+            f" available schemes: {', '.join(known)}"
+        )
+    mixes = (
+        [m.strip() for m in args.mixes.split(",") if m.strip()]
+        if args.mixes
+        else [args.mix]
+    )
+    valid_mixes = mixes_for_cores(args.cores)
+    bad_mixes = [m for m in mixes if m not in valid_mixes]
+    if bad_mixes:
+        return usage_error(
+            f"unknown mix(es) for {args.cores} cores: {', '.join(bad_mixes)};"
+            f" available mixes: {', '.join(valid_mixes)}"
+        )
+    modes = [m.strip() for m in args.modes.split(",") if m.strip()]
+    bad_modes = [m for m in modes if m not in ("legacy", "fast", "traced")]
+    if bad_modes:
+        return usage_error(
+            f"unknown mode(s): {', '.join(bad_modes)}"
+            " (use 'legacy', 'fast' or 'traced')"
+        )
 
     setup = ExperimentSetup(
         num_cores=args.cores, accesses_per_core=args.accesses_per_core
@@ -320,15 +380,6 @@ def main(argv: list[str] | None = None) -> int:
     if args.schemes or args.mixes:
         # Matrix mode: fast-path throughput + allocation profile for
         # every (scheme, mix) cell; one history entry for the grid.
-        if args.schemes in (None, "", "all"):
-            schemes = available_schemes()
-        else:
-            schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
-        mixes = (
-            [m.strip() for m in args.mixes.split(",") if m.strip()]
-            if args.mixes
-            else [args.mix]
-        )
         results = []
         for scheme in schemes:
             for mix in mixes:
@@ -351,12 +402,15 @@ def main(argv: list[str] | None = None) -> int:
             print(f"appended entry to {args.output}")
         if args.gate:
             return gate_against_history(
-                results, args.gate, threshold=args.gate_threshold
+                results,
+                args.gate,
+                threshold=args.gate_threshold,
+                allow_missing=args.gate_allow_missing,
             )
         return 0
     results = []
     reference: dict | None = None
-    for mode in [m.strip() for m in args.modes.split(",") if m.strip()]:
+    for mode in modes:
         result = measure_drive_throughput(
             scheme=args.scheme,
             mix=args.mix,
@@ -381,7 +435,12 @@ def main(argv: list[str] | None = None) -> int:
         append_bench_record(results, args.output)
         print(f"appended entry to {args.output}")
     if args.gate:
-        return gate_against_history(results, args.gate, threshold=args.gate_threshold)
+        return gate_against_history(
+            results,
+            args.gate,
+            threshold=args.gate_threshold,
+            allow_missing=args.gate_allow_missing,
+        )
     return 0
 
 

@@ -252,9 +252,6 @@ def _drive_fast(
     pace = cycles_per_instruction / max(1, streams)
     stall_scale = 1.0 / (mlp * max(1, streams))
     state = _DriveState()
-    kwargs = dict(
-        window=window, min_gap=min_gap, pace=pace, stall_scale=stall_scale
-    )
     for chunk in chunks:
         addresses = chunk.addresses.tolist()
         is_writes = chunk.is_write.tolist()
@@ -265,14 +262,18 @@ def _drive_fast(
             split = warmup - state.issued - 1
             _drive_batch(
                 cache, addresses[:split], is_writes[:split], icounts[:split],
-                state, **kwargs,
+                state, window=window, min_gap=min_gap, pace=pace,
+                stall_scale=stall_scale,
             )
             cache.reset_stats()
             addresses = addresses[split:]
             is_writes = is_writes[split:]
             icounts = icounts[split:]
-        _drive_batch(cache, addresses, is_writes, icounts, state, **kwargs)
-    return DriveResult(
+        _drive_batch(
+            cache, addresses, is_writes, icounts, state,
+            window=window, min_gap=min_gap, pace=pace, stall_scale=stall_scale,
+        )
+    return DriveResult(  # simlint: off=hot-path-purity -- one record per drive, not per access
         cache=cache,
         accesses=state.count,
         end_time=state.end,

@@ -35,6 +35,7 @@ __all__ = [
     "build_scheme",
     "get_scheme",
     "register_scheme",
+    "scheme_catalog",
     "scheme_descriptions",
 ]
 
@@ -117,6 +118,20 @@ def available_schemes() -> list[str]:
 def scheme_descriptions() -> dict[str, str]:
     """Name -> one-line description for CLI listings."""
     return {name: spec.description for name, spec in _REGISTRY.items()}
+
+
+def scheme_catalog() -> list[str]:
+    """One aligned ``name description`` line per registered scheme.
+
+    The single formatting point for the catalog: ``python -m repro
+    list-schemes`` prints exactly these lines and
+    :class:`UnknownSchemeError` lists the same names, so neither can
+    drift from the registry.
+    """
+    return [
+        f"{name:14s} {spec.description}".rstrip()
+        for name, spec in _REGISTRY.items()
+    ]
 
 
 def get_scheme(name: str) -> SchemeSpec:

@@ -22,7 +22,7 @@ from repro.sram.replacement import ReplacementPolicy, make_policy
 __all__ = ["AccessResult", "SetAssociativeCache"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AccessResult:
     """Outcome of one cache access.
 
@@ -48,6 +48,23 @@ class _Line:
 
 class SetAssociativeCache:
     """Write-back, write-allocate set-associative cache."""
+
+    __slots__ = (
+        "name",
+        "size",
+        "associativity",
+        "block_size",
+        "num_sets",
+        "_offset_bits",
+        "_index_mask",
+        "_sets",
+        "_policy",
+        "_tick",
+        "accesses",
+        "evictions",
+        "writebacks",
+        "mru_hits",
+    )
 
     def __init__(
         self,

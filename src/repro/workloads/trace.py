@@ -26,7 +26,7 @@ __all__ = ["TraceRecord", "MultiProgramTrace", "CORE_ADDRESS_STRIDE"]
 CORE_ADDRESS_STRIDE = 1 << 36
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     """One interleaved access."""
 
@@ -38,6 +38,8 @@ class TraceRecord:
 
 class _CoreStream:
     """Buffered per-core iterator over chunked trace generation."""
+
+    __slots__ = ("core", "_iter", "_chunk", "_pos", "instr_time")
 
     def __init__(self, core: int, trace: ProgramTrace, accesses: int) -> None:
         self.core = core
@@ -67,6 +69,8 @@ class _CoreStream:
 
 class MultiProgramTrace:
     """Instruction-time-ordered merge of a mix's per-core streams."""
+
+    __slots__ = ("mix", "accesses_per_core", "seed", "traces", "_streams")
 
     def __init__(
         self,

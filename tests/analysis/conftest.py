@@ -1,0 +1,33 @@
+"""Shared simlint test helpers: lint a source snippet in isolation."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.config import LintConfig
+from repro.analysis.engine import run_lint
+from repro.analysis.rules import all_rules
+
+# Strict configuration for fixtures: no determinism allowlist, every
+# module counts as hot for the slots rule. Tests select the rule under
+# test explicitly so the strictness never cross-contaminates.
+STRICT = LintConfig(determinism_allow=(), slots_modules=("*.py",))
+
+
+@pytest.fixture
+def lint(tmp_path):
+    """lint(source, rules=[...]) -> LintResult over a temp module.
+
+    ``extra`` adds sibling modules (for cross-file project rules);
+    ``config`` overrides the strict default.
+    """
+
+    def run(source, *, rules, filename="mod.py", config=STRICT, extra=None):
+        (tmp_path / filename).write_text(textwrap.dedent(source))
+        for name, text in (extra or {}).items():
+            (tmp_path / name).write_text(textwrap.dedent(text))
+        return run_lint(
+            [tmp_path], config=config, root=tmp_path, rules=all_rules(rules)
+        )
+
+    return run

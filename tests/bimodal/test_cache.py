@@ -1,6 +1,5 @@
 """BiModalCache integration tests."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.bimodal.cache import BiModalCache, BiModalConfig

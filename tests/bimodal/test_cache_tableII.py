@@ -1,6 +1,5 @@
 """Cache-level Table II behaviour: per-set alignment to the global state."""
 
-import pytest
 
 from repro.bimodal.cache import BiModalCache, BiModalConfig
 from repro.common.config import DRAMCacheGeometry, DRAMGeometry, DRAMTimingConfig

@@ -9,12 +9,11 @@ requests from slower cores then queued behind — inflating latencies by
 orders of magnitude on heterogeneous mixes.
 """
 
-import pytest
 
 from repro.cores.multiprog import MultiProgramRunner
 from repro.harness.runner import ExperimentSetup, build_cache
 from repro.harness.system import System
-from repro.workloads.mixes import WorkloadMix, get_mix
+from repro.workloads.mixes import WorkloadMix
 from repro.workloads.profile import ProgramProfile
 
 

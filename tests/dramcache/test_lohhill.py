@@ -1,6 +1,5 @@
 """Loh-Hill cache tests."""
 
-import pytest
 
 from repro.common.config import DRAMCacheGeometry, DRAMGeometry, DRAMTimingConfig
 from repro.dram.controller import MemoryController

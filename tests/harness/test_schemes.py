@@ -104,3 +104,35 @@ class TestRunnerDelegation:
         assert wayloc.config.enable_way_locator
         assert not fixed.config.enable_bimodal
         assert not fixed.config.enable_way_locator
+
+
+class TestCatalogParity:
+    """``list-schemes`` output and ``UnknownSchemeError`` text both
+    derive from the registry via :func:`scheme_catalog`, so neither can
+    drift when a scheme is added."""
+
+    def test_catalog_covers_registry_in_order(self):
+        from repro.harness.schemes import scheme_catalog
+
+        lines = scheme_catalog()
+        names = available_schemes()
+        assert len(lines) == len(names)
+        for line, name in zip(lines, names):
+            assert line.startswith(name)
+            description = scheme_descriptions()[name]
+            if description:
+                assert description in line
+
+    def test_list_schemes_prints_exactly_the_catalog(self, capsys):
+        from repro.__main__ import main
+        from repro.harness.schemes import scheme_catalog
+
+        assert main(["list-schemes"]) == 0
+        out = capsys.readouterr().out
+        for line in scheme_catalog():
+            assert line in out
+
+    def test_unknown_scheme_error_names_every_registered_scheme(self):
+        message = str(UnknownSchemeError("zzz"))
+        for name in available_schemes():
+            assert name in message

@@ -1,6 +1,5 @@
 """CLI front-end tests (python -m repro)."""
 
-import pytest
 
 from repro.__main__ import _EXPERIMENTS, main
 

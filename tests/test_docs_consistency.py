@@ -7,7 +7,6 @@ documentation can be trusted as a map of the code.
 
 from pathlib import Path
 
-import pytest
 
 import repro.harness.experiments as experiments
 from repro.__main__ import _EXPERIMENTS

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.workloads.generator import ProgramTrace
-from repro.workloads.profile import ProgramProfile, program
+from repro.workloads.profile import ProgramProfile
 
 
 def small_profile(**overrides) -> ProgramProfile:

@@ -1,6 +1,5 @@
 """Trace materialization cache: identity, memoization and disk layer."""
 
-import numpy as np
 import pytest
 
 from repro.workloads import trace_cache
