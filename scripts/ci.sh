@@ -59,11 +59,16 @@ cmp "${SMOKE_DIR}/base.csv" "${SMOKE_DIR}/part.csv" \
     || { echo "resumed CSV differs from uninterrupted run"; exit 1; }
 
 echo "== perf gate =="
-# Short fast-path throughput measurement vs the last committed
-# BENCH_perf.json entry for the same mode/scheme/mix; exits 4 when the
-# measured rate drops below 0.7x the committed one. The gate prints the
-# ratio either way so every CI log carries the current number.
-python -m repro.harness.perfbench --modes fast --repeats 2 \
+# Fast-path throughput vs the last committed BENCH_perf.json entry for
+# the same mode/scheme/mix/backend; exits 4 when the measured rate
+# drops below 0.7x the committed one. Both drive engines are gated —
+# the scalar reference kernel and the vectorized SoA backend — so a
+# regression in either is caught. The gate prints the ratio either way
+# so every CI log carries the current numbers; gated runs take
+# best-of-3 regardless of --repeats.
+python -m repro.harness.perfbench --modes fast --repeats 3 \
     --gate BENCH_perf.json
+python -m repro.harness.perfbench --schemes bimodal,alloy --mixes Q1 \
+    --backends scalar,vectorized --repeats 3 --gate BENCH_perf.json
 
 echo "ci.sh: all checks passed"

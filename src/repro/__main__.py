@@ -90,6 +90,14 @@ def _shared_flags(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="drive engine: 'scalar' (default) or 'vectorized' "
+        "(sets REPRO_BACKEND for every layer below; recorded in "
+        "run manifests)",
+    )
+    parser.add_argument(
         "--trace-out",
         default=None,
         metavar="FILE",
@@ -171,10 +179,36 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _validate_backend(args: argparse.Namespace) -> str | None:
+    """Reject a bad --backend before any simulation starts.
+
+    Unknown names and a vectorized request without numpy are both
+    one-line usage errors (exit 2), never tracebacks; the scalar path
+    must work on a numpy-less interpreter.
+    """
+    if not args.backend:
+        return None
+    from repro.harness.backends import (
+        BackendUnavailableError,
+        UnknownBackendError,
+        require_backend,
+    )
+
+    try:
+        require_backend(args.backend)
+    except (UnknownBackendError, BackendUnavailableError) as exc:
+        return str(exc)
+    return None
+
+
 def _apply_shared_flags(args: argparse.Namespace) -> None:
-    """Propagate --jobs / --trace-out to the layers below."""
+    """Propagate --jobs / --backend / --trace-out to the layers below."""
     if args.jobs is not None:
         os.environ["REPRO_JOBS"] = str(args.jobs)
+    if args.backend:
+        # Workers and nested drives resolve the engine from the
+        # environment, so one flag covers the whole process tree.
+        os.environ["REPRO_BACKEND"] = args.backend
     if args.trace_out:
         from repro.obs import configure
 
@@ -240,6 +274,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _usage_error(
             f"unknown mix {args.mix!r} for {args.cores} cores"
         )
+    problem = _validate_backend(args)
+    if problem:
+        return _usage_error(problem)
     _apply_shared_flags(args)
     forwarded = [
         "--scheme", args.scheme,
@@ -249,6 +286,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         "--repeats", str(args.repeats),
         "--modes", args.modes,
     ]
+    if args.backend:
+        forwarded += ["--backend", args.backend]
     if args.output:
         forwarded += ["--output", args.output]
     return perfbench.main(forwarded)
@@ -269,7 +308,7 @@ def _cmd_run(args: argparse.Namespace, argv: list[str]) -> int:
     if args.experiment not in _EXPERIMENTS:
         print(f"unknown experiment {args.experiment!r}; try `python -m repro list`")
         return EXIT_USAGE
-    problem = _validate_run_args(args)
+    problem = _validate_run_args(args) or _validate_backend(args)
     if problem:
         return _usage_error(problem)
     _apply_shared_flags(args)

@@ -63,6 +63,7 @@ def all_rules(select: Iterable[str] = ()) -> dict[str, Rule]:
 
 # Import rule modules for their registration side effects.
 from repro.analysis.rules import (  # noqa: E402
+    backend_parity,
     determinism,
     hotpath,
     parity,
@@ -71,4 +72,12 @@ from repro.analysis.rules import (  # noqa: E402
     stats_protocol,
 )
 
-_ = (determinism, hotpath, parity, scheme_registry, slots, stats_protocol)
+_ = (
+    backend_parity,
+    determinism,
+    hotpath,
+    parity,
+    scheme_registry,
+    slots,
+    stats_protocol,
+)

@@ -1,0 +1,202 @@
+"""Rule ``backend-parity`` — vectorized kernels stay honest.
+
+The vectorized drive backend (:mod:`repro.harness.backends.vectorized`)
+is only correct because every fused kernel defers statistics to the
+shared flush helpers and every scheme that advertises ``"vectorized"``
+in its registry entry actually has a registered chunk kernel. Both
+invariants are structural and both have silent failure modes: a kernel
+that bumps ``stat.hits`` inline double-counts after a warmup reset, and
+a registry flag without a kernel turns every "vectorized" run into a
+quiet scalar fallback. This rule checks, project-wide:
+
+* every function decorated with ``register_kernel(...)`` calls the
+  shared ``_flush_stats`` helper (the single stats-accumulation seam);
+* no such kernel assigns or augments a statistics attribute
+  (``x.hits += 1``-style) outside the flush helpers;
+* the ``VECTORIZED_SCHEMES`` registry-name set in the vectorized module
+  and the ``register_scheme(..., backends=(..., "vectorized"))``
+  declarations in the scheme registry name exactly the same schemes.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.model import ProjectModel, SourceFile, Violation
+from repro.analysis.rules import Rule, register_rule
+
+# Attribute names that are statistics accumulators somewhere in the
+# simulator (RunningMean/RateStat fields, device/base counters). A
+# fused kernel must only touch these through the _flush_* helpers.
+_STAT_ATTRS = frozenset(
+    {
+        "hits",
+        "misses",
+        "count",
+        "total",
+        "minimum",
+        "maximum",
+        "reads",
+        "writes",
+        "bytes_transferred",
+        "correct",
+        "wrong",
+        "offchip_fetched_bytes",
+        "offchip_writeback_bytes",
+    }
+)
+
+_FLUSH_HELPER = "_flush_stats"
+_SET_NAME = "VECTORIZED_SCHEMES"
+
+
+def _kernel_decorator(node: ast.FunctionDef) -> ast.expr | None:
+    """The ``register_kernel(...)`` decorator call, when present."""
+    for decorator in node.decorator_list:
+        if (
+            isinstance(decorator, ast.Call)
+            and isinstance(decorator.func, ast.Name)
+            and decorator.func.id == "register_kernel"
+        ):
+            return decorator
+    return None
+
+
+def _string_set(node: ast.expr) -> set[str] | None:
+    """String constants of a ``frozenset({...})`` / set / tuple literal."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("frozenset", "set")
+        and node.args
+    ):
+        node = node.args[0]
+    if isinstance(node, (ast.Set, ast.Tuple, ast.List)):
+        values = set()
+        for element in node.elts:
+            if not (
+                isinstance(element, ast.Constant)
+                and isinstance(element.value, str)
+            ):
+                return None
+            values.add(element.value)
+        return values
+    return None
+
+
+@register_rule
+class BackendParityRule(Rule):
+    name = "backend-parity"
+    description = (
+        "vectorized kernels must flush stats through the shared helpers "
+        "and VECTORIZED_SCHEMES must match the registry backends flags"
+    )
+
+    def check_file(
+        self, source: SourceFile, project: ProjectModel
+    ) -> Iterator[Violation]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            if _kernel_decorator(node) is None:
+                continue
+            yield from self._check_kernel(source, node)
+
+    def _check_kernel(
+        self, source: SourceFile, func: ast.FunctionDef
+    ) -> Iterator[Violation]:
+        flushes = False
+        for node in ast.walk(func):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == _FLUSH_HELPER
+            ):
+                flushes = True
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.AugAssign):
+                targets = [node.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and target.attr in _STAT_ATTRS
+                ):
+                    yield source.violation(
+                        self.name,
+                        target,
+                        f"kernel {func.name} accumulates statistics "
+                        f"inline (.{target.attr}); defer to the shared "
+                        f"flush helpers so chunk flushes stay the only "
+                        "accumulation site",
+                    )
+        if not flushes:
+            yield source.violation(
+                self.name,
+                func,
+                f"kernel {func.name} is registered via register_kernel "
+                f"but never calls {_FLUSH_HELPER}; deferred statistics "
+                "would be dropped at the chunk boundary",
+            )
+
+    def check_project(self, project: ProjectModel) -> Iterator[Violation]:
+        declared_set: set[str] | None = None
+        declared_node: ast.AST | None = None
+        declared_source: SourceFile | None = None
+        for source in project.files:
+            for node in ast.walk(source.tree):
+                if not isinstance(node, ast.Assign):
+                    continue
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id == _SET_NAME
+                    ):
+                        declared_set = _string_set(node.value)
+                        declared_node = node
+                        declared_source = source
+        if declared_set is None or declared_source is None:
+            return  # vectorized module not in scope for this run
+
+        registry_flags: dict[str, tuple[SourceFile, ast.Call]] = {}
+        for source in project.registry_files:
+            for node in ast.walk(source.tree):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "register_scheme"
+                ):
+                    continue
+                if not (
+                    node.args
+                    and isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, str)
+                ):
+                    continue
+                scheme = node.args[0].value
+                for keyword in node.keywords:
+                    if keyword.arg != "backends":
+                        continue
+                    backends = _string_set(keyword.value)
+                    if backends and "vectorized" in backends:
+                        registry_flags[scheme] = (source, node)
+
+        for scheme in sorted(set(registry_flags) - declared_set):
+            source, node = registry_flags[scheme]
+            yield source.violation(
+                self.name,
+                node,
+                f"scheme {scheme!r} declares the vectorized backend but "
+                f"is missing from {_SET_NAME} in the vectorized module; "
+                "add it (and a kernel) or drop the flag",
+            )
+        for scheme in sorted(declared_set - set(registry_flags)):
+            yield declared_source.violation(
+                self.name,
+                declared_node,
+                f"{_SET_NAME} lists {scheme!r} but no register_scheme "
+                "call declares the vectorized backend for it; the "
+                "registry flags and the kernel set must not drift",
+            )

@@ -1,0 +1,115 @@
+"""Backend seam for the closed-loop drive (`scalar` | `vectorized`).
+
+The drive loop has exactly one semantic definition — the scalar kernel in
+:mod:`repro.harness.runner` — and this package is the seam that lets a
+run route records through an alternative engine:
+
+* ``scalar`` (default): the reference per-record kernel, untouched.
+* ``vectorized``: the numpy structure-of-arrays engine in
+  :mod:`repro.harness.backends.vectorized`; byte-identical results,
+  pinned by the golden-stats suite and the randomized cross-validation
+  tests.
+
+Selection order: explicit ``backend=`` argument > ``REPRO_BACKEND``
+environment variable > ``scalar``. Schemes without a vectorized kernel
+fall back to the scalar path transparently; the fall-back is recorded on
+the :class:`~repro.harness.runner.DriveResult` (``backend_fallbacks``)
+and in the ``drive.backend_fallbacks`` metric.
+
+This module must stay importable without numpy: the scalar path never
+imports it, and ``vectorized`` availability is probed via
+``importlib.util.find_spec`` only.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+
+__all__ = [
+    "BACKENDS",
+    "BACKEND_ENV",
+    "DEFAULT_BACKEND",
+    "NUMPY_MISSING_MESSAGE",
+    "BackendUnavailableError",
+    "UnknownBackendError",
+    "available_backends",
+    "backend_available",
+    "drive_with_backend",
+    "require_backend",
+    "resolve_backend",
+]
+
+BACKEND_ENV = "REPRO_BACKEND"
+DEFAULT_BACKEND = "scalar"
+BACKENDS = ("scalar", "vectorized")
+
+NUMPY_MISSING_MESSAGE = (
+    "backend 'vectorized' requires numpy, which is not installed; "
+    "run with --backend scalar or install numpy"
+)
+
+
+class UnknownBackendError(ValueError):
+    """Requested backend name is not registered."""
+
+
+class BackendUnavailableError(RuntimeError):
+    """Requested backend exists but cannot run in this environment."""
+
+
+def available_backends() -> tuple[str, ...]:
+    return BACKENDS
+
+
+def resolve_backend(name: str | None = None) -> str:
+    """Resolve a backend name: argument > ``REPRO_BACKEND`` > default."""
+    if name is None:
+        name = os.environ.get(BACKEND_ENV) or DEFAULT_BACKEND
+    name = name.strip().lower()
+    if name not in BACKENDS:
+        raise UnknownBackendError(
+            f"unknown backend {name!r}; available: {', '.join(BACKENDS)}"
+        )
+    return name
+
+
+def backend_available(name: str) -> bool:
+    """Whether ``name`` can run here (numpy probe; no numpy import)."""
+    if name == "vectorized":
+        return importlib.util.find_spec("numpy") is not None
+    return True
+
+
+def require_backend(name: str | None = None) -> str:
+    """Resolve and validate availability; raises with a one-line message."""
+    resolved = resolve_backend(name)
+    if not backend_available(resolved):
+        raise BackendUnavailableError(NUMPY_MISSING_MESSAGE)
+    return resolved
+
+
+def drive_with_backend(name: str, cache, records, kwargs: dict):
+    """Route one drive through a non-default backend.
+
+    ``kwargs`` is the drive-parameter dict built by
+    :func:`repro.harness.runner.drive_cache`. Schemes/record forms the
+    backend cannot handle fall back to the scalar reference path with
+    ``backend_fallbacks`` recorded on the result.
+    """
+    from repro.harness import runner
+
+    resolved = require_backend(name)
+    if resolved == "scalar":
+        return runner._dispatch_drive(cache, records, kwargs)
+    from repro.harness.backends import vectorized
+
+    if vectorized.supports(cache, records):
+        return vectorized.drive(cache, records, kwargs)
+    result = runner._dispatch_drive(cache, records, kwargs)
+    result.backend = resolved
+    result.backend_fallbacks = 1
+    from repro.obs import get_metrics
+
+    get_metrics().add("drive.backend_fallbacks")
+    return result

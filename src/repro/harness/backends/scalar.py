@@ -1,0 +1,18 @@
+"""The scalar backend: a named alias of the reference drive path.
+
+The per-record kernel in :mod:`repro.harness.runner` *is* the semantic
+definition of the drive loop; this module only gives it an addressable
+spot in the backend registry so ``--backend scalar`` and the default
+path are literally the same code. It must not import numpy.
+"""
+
+from __future__ import annotations
+
+__all__ = ["drive"]
+
+
+def drive(cache, records, kwargs: dict):
+    """Drive ``records`` through the reference scalar path."""
+    from repro.harness import runner
+
+    return runner._dispatch_drive(cache, records, kwargs)

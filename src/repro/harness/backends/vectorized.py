@@ -1,0 +1,822 @@
+"""Numpy structure-of-arrays drive backend (byte-identical to scalar).
+
+Design
+------
+The closed-loop drive is inherently sequential *in time*: every record's
+issue time depends on the previous record's completion (stall feedback,
+window backpressure), and every DRAM access mutates per-bank state the
+next access reads. No batch of timing resolutions can run as a pure
+array operation without changing results — so this backend splits each
+record chunk into two phases:
+
+1. **SoA precompute (numpy)** — everything that is a pure function of
+   the address stream and pacing parameters is computed for the whole
+   chunk as array operations on the cached ``.npz`` columns: inter-access
+   gaps (``max(icount * pace, min_gap)``), set/tag/sub-block splits,
+   way-locator bucket indices and keys, per-set (channel, bank-index,
+   row) device coordinates from the flat decode tables, predictor table
+   indices. The arrays are converted to plain-Python lists once per
+   chunk, so the sequential phase never touches numpy scalars (whose
+   arithmetic would not be byte-compatible with Python ints).
+2. **Fused sequential kernel (per scheme)** — one Python loop that
+   merges the drive loop, the scheme's access path and the inlined
+   device kernel into a single frame over the precomputed columns, with
+   all mutable state hoisted into locals and all statistics deferred to
+   per-chunk flushes through the shared helpers below.
+
+Chunk boundaries are where deferred state synchronizes back into the
+object model: stats flush (`` _flush_stats`` and friends), the locator
+tick and the global-adaptation interval clock write back. Sequential
+dependencies that arrays cannot express — posted writebacks coming due,
+adaptive (X, Y) transitions, way-locator insert/evict — stay in the
+scalar object model: the kernels call the *same* cold-path methods
+(``BiModalCache._access_cold``, posted-op drain) the scalar kernel uses,
+synchronizing any mirrored locals around the call. That is what makes
+byte-identity structural rather than coincidental: every branch either
+replicates the scalar code exactly (pinned by the golden-stats and
+cross-validation suites) or *is* the scalar code.
+
+Deferred statistics are flushed with Python ``sum``/``min``/``max`` —
+integer latencies keep ``RunningMean.total`` exact below 2**53, so a
+single bulk add equals the scalar's running adds bit-for-bit. The
+per-access scratch attributes ``dram.last_outcome``/``last_data_start``
+are dead between accesses (only ``_read_metadata`` consumes them, right
+after its own device call) and are deliberately not written on the fused
+hit paths.
+
+Vectorizing a new scheme: add a ``prep`` building the per-chunk columns,
+a kernel that replicates the scheme's ``access_fast`` body with deferred
+stats, register both with :func:`register_kernel` keyed by the cache
+class name, flush through the shared helpers, and add the scheme to
+``VECTORIZED_SCHEMES`` plus its registry ``backends`` flag (the
+``backend-parity`` simlint rule and the cross-validation suite enforce
+the pairing).
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+
+import numpy as np
+
+from repro.bimodal.sets import BiModalSet
+from repro.workloads.generator import TraceChunk
+from repro.workloads.trace import MultiProgramTrace
+
+__all__ = [
+    "DEFAULT_CHUNK_RECORDS",
+    "VECTORIZED_SCHEMES",
+    "drive",
+    "kernel_for",
+    "register_kernel",
+    "supports",
+]
+
+CHUNK_ENV = "REPRO_BACKEND_CHUNK"
+DEFAULT_CHUNK_RECORDS = 4096
+
+# Registry-name view of kernel coverage, cross-checked against the
+# ``backends`` flags in repro.harness.schemes by the backend-parity
+# simlint rule and tests/harness/test_backends.py. Dispatch itself is
+# by cache class (kernel_for), so config variants of a vectorized
+# scheme are covered automatically.
+VECTORIZED_SCHEMES = frozenset(
+    {"alloy", "bimodal", "wayloc-only", "bimodal-only", "fixed512"}
+)
+
+# class name -> (prep, kernel); filled by register_kernel below.
+_KERNELS: dict[str, tuple] = {}
+
+
+def register_kernel(class_name: str, prep):
+    """Register a fused chunk kernel for a cache class (decorator)."""
+
+    def decorator(func):
+        _KERNELS[class_name] = (prep, func)
+        return func
+
+    return decorator
+
+
+def kernel_for(cache):
+    """The (prep, kernel) pair serving ``cache``, or None."""
+    for klass in type(cache).__mro__:
+        found = _KERNELS.get(klass.__name__)
+        if found is not None:
+            return found
+    return None
+
+
+def supports(cache, records) -> bool:
+    """Whether this backend can drive ``records`` through ``cache``."""
+    if kernel_for(cache) is None:
+        return False
+    return isinstance(records, (TraceChunk, MultiProgramTrace))
+
+
+def _chunk_records(kwargs: dict) -> int:
+    explicit = kwargs.get("chunk_records")
+    if explicit:
+        return int(explicit)
+    try:
+        value = int(os.environ.get(CHUNK_ENV, DEFAULT_CHUNK_RECORDS))
+    except ValueError:
+        value = DEFAULT_CHUNK_RECORDS
+    return max(1, value)
+
+
+def drive(cache, records, kwargs: dict):
+    """Drive supported records; chunk/warmup semantics mirror the scalar
+    ``_drive_fast`` exactly (stats reset immediately before the
+    ``warmup``-th record, deferred stats flushed first)."""
+    from repro.harness import runner
+
+    if isinstance(records, TraceChunk):
+        chunks = (records,)
+    else:
+        chunks = records.merged_chunks()
+    prep, kernel = kernel_for(cache)
+    window = kwargs["window"]
+    min_gap = kwargs["min_gap"]
+    pace = kwargs["cycles_per_instruction"] / max(1, kwargs["streams"])
+    stall_scale = 1.0 / (kwargs["mlp"] * max(1, kwargs["streams"]))
+    warmup = kwargs["warmup"]
+    span = _chunk_records(kwargs)
+    state = runner._DriveState()
+    for chunk in chunks:
+        total = len(chunk.addresses)
+        lo = 0
+        if warmup and state.issued < warmup <= state.issued + total:
+            split = warmup - state.issued - 1
+            _run_span(
+                cache, prep, kernel, chunk, 0, split, state,
+                window=window, min_gap=min_gap, pace=pace,
+                stall_scale=stall_scale, span=span,
+            )
+            cache.reset_stats()
+            lo = split
+        _run_span(
+            cache, prep, kernel, chunk, lo, total, state,
+            window=window, min_gap=min_gap, pace=pace,
+            stall_scale=stall_scale, span=span,
+        )
+    result = runner.DriveResult(
+        cache=cache,
+        accesses=state.count,
+        end_time=state.end,
+        stats=cache.stats_snapshot(),
+    )
+    result.backend = "vectorized"
+    result.backend_fallbacks = 0
+    return result
+
+
+def _run_span(
+    cache, prep, kernel, chunk, lo, hi, state, *,
+    window, min_gap, pace, stall_scale, span,
+):
+    """Shared chunk dispatch: precompute, run, account — per sub-chunk."""
+    for start in range(lo, hi, span):
+        stop = start + span
+        if stop > hi:
+            stop = hi
+        columns = prep(cache, chunk, start, stop, pace, min_gap)
+        kernel(cache, columns, state, window=window, stall_scale=stall_scale)
+        state.count += stop - start
+        state.issued += stop - start
+
+
+# ----------------------------------------------------------------------
+# deferred-stats flush helpers (the only place kernels may accumulate
+# statistics; enforced by the backend-parity simlint rule)
+# ----------------------------------------------------------------------
+def _flush_mean(mean, values: list) -> None:
+    """Bulk-add integer latencies; equals the scalar's running adds."""
+    mean.count += len(values)
+    mean.total += sum(values)
+    low = min(values)
+    if low < mean.minimum:
+        mean.minimum = low
+    high = max(values)
+    if high > mean.maximum:
+        mean.maximum = high
+
+
+def _flush_rate(stat, hits: int, misses: int) -> None:
+    stat.hits += hits
+    stat.misses += misses
+
+
+def _flush_stats(cache, *, hits, misses, lat_hits, lat_miss, dram_reads=0):
+    """Flush the base accounting epilogue for one sub-chunk."""
+    stat = cache.hit_stat
+    stat.hits += hits
+    stat.misses += misses
+    if dram_reads:
+        dram = cache.dram
+        dram.reads += dram_reads
+        dram.bytes_transferred += dram_reads * 64
+    if lat_hits:
+        _flush_mean(cache.read_latency, lat_hits)
+        _flush_mean(cache.hit_latency, lat_hits)
+    if lat_miss:
+        _flush_mean(cache.read_latency, lat_miss)
+        _flush_mean(cache.miss_latency, lat_miss)
+
+
+def _flush_offchip(cache, fetched: int, writeback: int) -> None:
+    cache.offchip_fetched_bytes += fetched
+    cache.offchip_writeback_bytes += writeback
+
+
+def _flush_predictor(predictor, correct: int, wrong: int) -> None:
+    predictor.correct += correct
+    predictor.wrong += wrong
+
+
+def _gaps(chunk, lo, hi, pace, min_gap):
+    """Pacing gaps: ``max(icount * pace, min_gap)`` as float64.
+
+    uint32 * float64 rounds identically to Python's int * float, and
+    ``maximum`` picks the same value the scalar's ``gap if gap >
+    min_gap else min_gap`` does (equal values coincide), so the
+    ``now`` accumulation stays bit-exact.
+    """
+    icount = chunk.icount[lo:hi].astype(np.float64)
+    return np.maximum(icount * pace, np.float64(min_gap))
+
+
+# ----------------------------------------------------------------------
+# BiModalCache (bimodal, wayloc-only, bimodal-only, fixed512)
+# ----------------------------------------------------------------------
+class _BimodalAux:
+    """Per-cache constants for the SoA precompute (built once)."""
+
+    __slots__ = (
+        "offset_bits", "set_mask", "tag_shift", "sub_mask",
+        "chan", "idx", "row",
+        "loc_bits", "loc_index_bits", "loc_mask",
+    )
+
+    def __init__(self, cache) -> None:
+        self.offset_bits = cache._offset_bits
+        self.set_mask = np.int64(cache._set_mask)
+        self.tag_shift = cache._tag_shift
+        self.sub_mask = np.int64(cache._sub_mask)
+        kidx = cache._data_kidx
+        self.chan = np.array([c for c, _, _ in kidx], dtype=np.int64)
+        self.idx = np.array([i for _, i, _ in kidx], dtype=np.int64)
+        self.row = np.array([r for _, _, r in kidx], dtype=np.int64)
+        locator = cache.locator
+        if locator is None:
+            self.loc_bits = None
+            self.loc_index_bits = 0
+            self.loc_mask = np.int64(0)
+        else:
+            self.loc_bits = locator.set_index_bits
+            self.loc_index_bits = locator.index_bits
+            self.loc_mask = np.int64(locator._mask)
+
+
+_BIMODAL_AUX: dict[int, tuple] = {}
+
+
+def _aux_for(cache, builder, store: dict):
+    """Per-cache aux constants, keyed by id (weak-side: entry dropped
+    when a different object reuses the id)."""
+    key = id(cache)
+    entry = store.get(key)
+    if entry is None or entry[0] is not cache:
+        entry = (cache, builder(cache))
+        store[key] = entry
+        if len(store) > 64:  # a drive touches a handful of caches
+            store.clear()
+            store[key] = entry
+    return entry[1]
+
+
+def _prep_bimodal(cache, chunk, lo, hi, pace, min_gap):
+    aux = _aux_for(cache, _BimodalAux, _BIMODAL_AUX)
+    addresses = chunk.addresses[lo:hi].astype(np.int64)
+    set_index = (addresses >> aux.offset_bits) & aux.set_mask
+    tags = addresses >> aux.tag_shift
+    if aux.loc_bits is None:
+        buckets = keys = None
+    else:
+        combined = (tags << aux.loc_bits) | set_index
+        buckets = (combined & aux.loc_mask).tolist()
+        keys = (combined >> aux.loc_index_bits).tolist()
+    return (
+        addresses.tolist(),
+        chunk.is_write[lo:hi].tolist(),
+        _gaps(chunk, lo, hi, pace, min_gap).tolist(),
+        set_index.tolist(),
+        tags.tolist(),
+        ((addresses & aux.sub_mask) >> 6).tolist(),
+        np.take(aux.chan, set_index).tolist(),
+        np.take(aux.idx, set_index).tolist(),
+        np.take(aux.row, set_index).tolist(),
+        buckets,
+        keys,
+    )
+
+
+@register_kernel("BiModalCache", _prep_bimodal)
+def _run_bimodal(cache, columns, state, *, window, stall_scale):
+    """Fused drive + BiModalCache.access_fast over one sub-chunk.
+
+    The locator-hit branch replicates the scalar inline exactly (minus
+    the dead ``last_outcome``/``last_data_start`` stores and with stats
+    deferred); locator misses synchronize the mirrored locator tick and
+    call the shared scalar cold path.
+    """
+    (addr_l, iw_l, gap_l, si_l, tag_l, sub_l,
+     ch_l, idx_l, row_l, bkt_l, key_l) = columns
+    inflight = state.inflight
+    now = state.now
+    end = state.end
+    depth = len(inflight)
+    heap_push = heapq.heappush
+    heap_replace = heapq.heapreplace
+
+    pending = cache._pending
+    drain = cache._drain_posted
+    gc_ = cache.global_ctrl
+    gticks = gc_._accesses_in_interval
+    ginterval = gc_.interval
+    boundary = cache._gc_boundary
+    sets = cache._sets
+    sets_get = sets.get
+    states_ = cache.states
+    spb = cache.smalls_per_big
+    loc_lat = cache._locator_latency
+    locator = cache.locator
+    observe = cache._observe_leader
+    cold = cache._access_cold
+    touch_meta = cache._touch_metadata
+    ready = cache._d_ready
+    open_rows = cache._d_open
+    next_refresh = cache._d_next_refresh
+    rb_hits = cache._d_rb_hits
+    rb_misses = cache._d_rb_misses
+    acts = cache._d_acts
+    pres = cache._d_pres
+    bus_free = cache._d_bus_free
+    bus_busy = cache._d_bus_busy
+    refresh_stall = cache._d_refresh_stall
+    trcd = cache._d_trcd
+    trp_trcd = cache._d_trp_trcd
+    tccd = cache._d_tccd
+    cl = cache._d_cl
+    burst = cache._d_burst
+
+    n_hits = 0
+    n_misses = 0
+    lat_hits: list[int] = []
+    lat_miss: list[int] = []
+    lh_append = lat_hits.append
+    lm_append = lat_miss.append
+    d_reads = 0
+    loc_hits = 0
+    loc_misses = 0
+    small_h = 0
+    small_m = 0
+
+    if locator is not None:
+        ltable = locator._table
+        ltick = locator._tick
+        for (address, is_write, gap, set_index, tag, sub,
+             channel, idx, row, bucket, loc_key) in zip(
+                 addr_l, iw_l, gap_l, si_l, tag_l, sub_l,
+                 ch_l, idx_l, row_l, bkt_l, key_l):
+            now += gap
+            if depth >= window:
+                earliest = inflight[0]
+                if earliest > now:
+                    now = float(earliest)
+                replace = True
+            else:
+                replace = False
+            inow = int(now)
+            if pending and pending[0][0] <= inow:
+                drain(inow)
+            gticks += 1
+            if gticks >= ginterval:
+                gc_._accesses_in_interval = 0
+                boundary()
+                gticks = gc_._accesses_in_interval
+            entry = sets_get(set_index)
+            if entry is None:
+                entry = BiModalSet(states_, smalls_per_big=spb)
+                sets[set_index] = entry
+            t_after_locator = inow + loc_lat
+            ltick += 1
+            complete = -1
+            for loc_entry in ltable[bucket]:
+                if loc_entry.key != loc_key:
+                    continue
+                is_big = loc_entry.is_big
+                if not is_big and loc_entry.sub_offset != sub:
+                    continue
+                loc_entry.last_use = ltick
+                loc_hits += 1
+                way = loc_entry.way
+                if observe is not None:
+                    observe(set_index, miss=False)
+                if is_big:
+                    block = entry.big_ways[way]
+                    if block is None:
+                        raise RuntimeError(
+                            "way locator pointed at an empty big way"
+                        )
+                    bit = 1 << sub
+                    block.used_mask |= bit
+                    if is_write:
+                        block.dirty_mask |= bit
+                else:
+                    small = entry.small_ways[way]
+                    if small is None:
+                        raise RuntimeError(
+                            "way locator pointed at an empty small way"
+                        )
+                    if is_write:
+                        small.dirty = True
+                mru = entry._mru
+                mru_key = (is_big, way)
+                if mru_key in mru:
+                    mru.remove(mru_key)
+                mru.insert(0, mru_key)
+                del mru[2:]
+                if is_big:
+                    small_m += 1
+                else:
+                    small_h += 1
+                d_reads += 1
+                t = ready[idx]
+                if t_after_locator > t:
+                    t = t_after_locator
+                if t >= next_refresh[idx]:
+                    t = refresh_stall(idx, t)
+                current = open_rows[idx]
+                if current == row:
+                    rb_hits[idx] += 1
+                    cas_issue = t
+                elif current < 0:
+                    acts[idx] += 1
+                    rb_misses[idx] += 1
+                    cas_issue = t + trcd
+                else:
+                    pres[idx] += 1
+                    acts[idx] += 1
+                    rb_misses[idx] += 1
+                    cas_issue = t + trp_trcd
+                open_rows[idx] = row
+                ready[idx] = cas_issue + tccd
+                cas_done = cas_issue + cl
+                start = bus_free[channel]
+                if cas_done > start:
+                    start = cas_done
+                data_end = start + burst
+                bus_free[channel] = data_end
+                bus_busy[channel] += data_end - start
+                if is_write:
+                    touch_meta(set_index, data_end)
+                n_hits += 1
+                if not is_write:
+                    lh_append(data_end - inow)
+                complete = data_end
+                break
+            if complete < 0:
+                loc_misses += 1
+                locator._tick = ltick
+                complete = cold(
+                    address, set_index, tag, sub, entry,
+                    t_after_locator, is_write,
+                )
+                ltick = locator._tick
+                if cache._hit:
+                    n_hits += 1
+                    if not is_write:
+                        lh_append(complete - inow)
+                else:
+                    n_misses += 1
+                    if not is_write:
+                        lm_append(complete - inow)
+            if replace:
+                heap_replace(inflight, complete)
+            else:
+                heap_push(inflight, complete)
+                depth += 1
+            if not is_write:
+                now += (complete - inow) * stall_scale
+            if complete > end:
+                end = complete
+        locator._tick = ltick
+    else:
+        for address, is_write, gap, set_index, tag, sub in zip(
+                addr_l, iw_l, gap_l, si_l, tag_l, sub_l):
+            now += gap
+            if depth >= window:
+                earliest = inflight[0]
+                if earliest > now:
+                    now = float(earliest)
+                replace = True
+            else:
+                replace = False
+            inow = int(now)
+            if pending and pending[0][0] <= inow:
+                drain(inow)
+            gticks += 1
+            if gticks >= ginterval:
+                gc_._accesses_in_interval = 0
+                boundary()
+                gticks = gc_._accesses_in_interval
+            entry = sets_get(set_index)
+            if entry is None:
+                entry = BiModalSet(states_, smalls_per_big=spb)
+                sets[set_index] = entry
+            complete = cold(
+                address, set_index, tag, sub, entry,
+                inow + loc_lat, is_write,
+            )
+            if cache._hit:
+                n_hits += 1
+                if not is_write:
+                    lh_append(complete - inow)
+            else:
+                n_misses += 1
+                if not is_write:
+                    lm_append(complete - inow)
+            if replace:
+                heap_replace(inflight, complete)
+            else:
+                heap_push(inflight, complete)
+                depth += 1
+            if not is_write:
+                now += (complete - inow) * stall_scale
+            if complete > end:
+                end = complete
+
+    gc_._accesses_in_interval = gticks
+    state.now = now
+    state.end = end
+    _flush_stats(
+        cache, hits=n_hits, misses=n_misses,
+        lat_hits=lat_hits, lat_miss=lat_miss, dram_reads=d_reads,
+    )
+    if locator is not None:
+        _flush_rate(locator.lookups, loc_hits, loc_misses)
+    _flush_rate(cache.small_access, small_h, small_m)
+
+
+# ----------------------------------------------------------------------
+# AlloyCache
+# ----------------------------------------------------------------------
+class _AlloyAux:
+    __slots__ = ("num_slots", "channels", "banks", "pmask", "has_predictor")
+
+    def __init__(self, cache) -> None:
+        fields = cache.dram.decode_fields()
+        self.num_slots = np.int64(cache.num_slots)
+        self.channels = np.int64(fields["channels"])
+        self.banks = np.int64(fields["banks_per_channel"])
+        predictor = cache.predictor
+        self.has_predictor = predictor is not None
+        self.pmask = np.int64(predictor._mask if predictor is not None else 0)
+
+
+_ALLOY_AUX: dict[int, tuple] = {}
+
+
+def _prep_alloy(cache, chunk, lo, hi, pace, min_gap):
+    aux = _aux_for(cache, _AlloyAux, _ALLOY_AUX)
+    addresses = chunk.addresses[lo:hi].astype(np.int64)
+    blocks = addresses >> 6
+    slots = blocks % aux.num_slots
+    tad_rows = slots // 28  # _TADS_PER_ROW
+    channels = tad_rows % aux.channels
+    banks = (tad_rows // aux.channels) % aux.banks
+    if aux.has_predictor:
+        # 40-bit addresses keep (addr >> 12) * 2654435761 far below
+        # 2**63, so int64 reproduces the Python-int hash exactly.
+        pidx = (((addresses >> 12) * 2_654_435_761) >> 15) & aux.pmask
+        pidx_l = pidx.tolist()
+    else:
+        pidx_l = None
+    return (
+        addresses.tolist(),
+        chunk.is_write[lo:hi].tolist(),
+        _gaps(chunk, lo, hi, pace, min_gap).tolist(),
+        blocks.tolist(),
+        slots.tolist(),
+        pidx_l,
+        channels.tolist(),
+        banks.tolist(),
+        (channels * aux.banks + banks).tolist(),
+        (tad_rows // (aux.channels * aux.banks)).tolist(),
+    )
+
+
+@register_kernel("AlloyCache", _prep_alloy)
+def _run_alloy(cache, columns, state, *, window, stall_scale):
+    """Fused drive + AlloyCache access path over one sub-chunk.
+
+    The TAD probe inlines the device kernel (1 burst, 5 transfer
+    cycles + 1 tag-compare); fills/writebacks post heap entries with a
+    mirrored sequence counter written back at flush time.
+    """
+    (addr_l, iw_l, gap_l, blk_l, slot_l, pidx_l,
+     ch_l, bank_l, idx_l, row_l) = columns
+    inflight = state.inflight
+    now = state.now
+    end = state.end
+    depth = len(inflight)
+    heap_push = heapq.heappush
+    heap_replace = heapq.heapreplace
+
+    pending = cache._pending
+    drain = cache._drain_posted
+    tags = cache._tags
+    tags_get = tags.get
+    dirty = cache._dirty
+    dirty_add = dirty.add
+    dirty_discard = dirty.discard
+    predictor = cache.predictor
+    counters = predictor._counters if predictor is not None else None
+    offchip_read = cache.offchip.read_fast
+    offchip_write = cache.offchip.write_fast
+    dram = cache.dram
+    fill_write = dram.access_direct_fast
+    ready = dram._ready_at
+    open_rows = dram._open_row
+    next_refresh = dram._next_refresh
+    rb_hits = dram._rb_hits
+    rb_misses = dram._rb_misses
+    acts = dram._activations
+    pres = dram._precharges
+    bus_free = dram._bus_free
+    bus_busy = dram._bus_busy
+    refresh_stall = dram._refresh_stall
+    timings = dram.timing_constants()
+    trcd = timings["trcd"]
+    trp_trcd = timings["trp_trcd"]
+    tccd = timings["tccd"]
+    cl = timings["cl"]
+    seq = cache._pending_seq
+
+    n_hits = 0
+    n_misses = 0
+    lat_hits: list[int] = []
+    lat_miss: list[int] = []
+    lh_append = lat_hits.append
+    lm_append = lat_miss.append
+    d_reads = 0
+    fetched = 0
+    wb_bytes = 0
+    p_correct = 0
+    p_wrong = 0
+
+    if pidx_l is None:
+        pidx_l = blk_l  # unused placeholder to keep one zip shape
+
+    for (address, is_write, gap, block, slot, pidx,
+         channel, bank, idx, row) in zip(
+             addr_l, iw_l, gap_l, blk_l, slot_l, pidx_l,
+             ch_l, bank_l, idx_l, row_l):
+        now += gap
+        if depth >= window:
+            earliest = inflight[0]
+            if earliest > now:
+                now = float(earliest)
+            replace = True
+        else:
+            replace = False
+        inow = int(now)
+        if pending and pending[0][0] <= inow:
+            drain(inow)
+        resident = tags_get(slot) == block
+        predicted_miss = False
+        if counters is not None and not is_write:
+            counter = counters[pidx]
+            predicted_miss = counter >= 2
+            if predicted_miss == (not resident):
+                p_correct += 1
+            else:
+                p_wrong += 1
+            if not resident:
+                if counter < 3:
+                    counters[pidx] = counter + 1
+            elif counter > 0:
+                counters[pidx] = counter - 1
+        # TAD probe: inlined access_direct_fast(..., 1, 5) + tag compare
+        d_reads += 1
+        t = ready[idx]
+        if inow > t:
+            t = inow
+        if t >= next_refresh[idx]:
+            t = refresh_stall(idx, t)
+        current = open_rows[idx]
+        if current == row:
+            rb_hits[idx] += 1
+            cas_issue = t
+        elif current < 0:
+            acts[idx] += 1
+            rb_misses[idx] += 1
+            cas_issue = t + trcd
+        else:
+            pres[idx] += 1
+            acts[idx] += 1
+            rb_misses[idx] += 1
+            cas_issue = t + trp_trcd
+        open_rows[idx] = row
+        ready[idx] = cas_issue + tccd
+        cas_done = cas_issue + cl
+        start = bus_free[channel]
+        if cas_done > start:
+            start = cas_done
+        probe_data_end = start + 5  # _TAD_TRANSFER_CYCLES
+        bus_free[channel] = probe_data_end
+        bus_busy[channel] += probe_data_end - start
+        probe_end = probe_data_end + 1  # _TAG_COMPARE_CYCLES
+
+        if is_write:
+            if resident:
+                dirty_add(slot)
+            else:
+                fetch_end = offchip_read(address, inow, 1)
+                fetched += 64
+                victim = tags_get(slot)
+                if victim is not None and slot in dirty:
+                    wb_bytes += 64
+                    heap_push(
+                        pending,
+                        (fetch_end, seq, offchip_write,
+                         (victim << 6, fetch_end, 1)),
+                    )
+                    seq += 1
+                dirty_discard(slot)
+                tags[slot] = block
+                dirty_add(slot)
+                heap_push(
+                    pending,
+                    (fetch_end, seq, fill_write,
+                     (channel, bank, row, fetch_end, 1, 5)),
+                )
+                seq += 1
+            complete = probe_end
+        elif resident:
+            if predicted_miss:
+                offchip_read(address, inow, 1)
+                fetched += 64
+            complete = probe_end
+        else:
+            fetch_start = inow if predicted_miss else probe_end
+            fetch_end = offchip_read(address, fetch_start, 1)
+            fetched += 64
+            victim = tags_get(slot)
+            if victim is not None and slot in dirty:
+                wb_bytes += 64
+                heap_push(
+                    pending,
+                    (fetch_end, seq, offchip_write,
+                     (victim << 6, fetch_end, 1)),
+                )
+                seq += 1
+            dirty_discard(slot)
+            tags[slot] = block
+            heap_push(
+                pending,
+                (fetch_end, seq, fill_write,
+                 (channel, bank, row, fetch_end, 1, 5)),
+            )
+            seq += 1
+            complete = fetch_end
+        if resident:
+            n_hits += 1
+            if not is_write:
+                lh_append(complete - inow)
+        else:
+            n_misses += 1
+            if not is_write:
+                lm_append(complete - inow)
+        if replace:
+            heap_replace(inflight, complete)
+        else:
+            heap_push(inflight, complete)
+            depth += 1
+        if not is_write:
+            now += (complete - inow) * stall_scale
+        if complete > end:
+            end = complete
+
+    cache._pending_seq = seq
+    state.now = now
+    state.end = end
+    _flush_stats(
+        cache, hits=n_hits, misses=n_misses,
+        lat_hits=lat_hits, lat_miss=lat_miss, dram_reads=d_reads,
+    )
+    _flush_offchip(cache, fetched, wb_bytes)
+    if predictor is not None:
+        _flush_predictor(predictor, p_correct, p_wrong)

@@ -16,6 +16,14 @@ and appends timestamped measurements to ``BENCH_perf.json`` so the
 throughput history rides alongside the figure results. All modes
 produce bit-identical statistics (asserted on every measurement);
 wall-clock is the only difference.
+
+Every cell also carries a ``backend`` dimension (``scalar`` |
+``vectorized``, see :mod:`repro.harness.backends`): the drive engine is
+part of the cell identity, so the regression gate compares
+(mode, scheme, mix, backend) cells only against their own history and
+both engines stay protected independently. Gated runs always use at
+least 3 repeats (best-of is what lands in the history, so a single
+noisy sample must never set or trip a baseline).
 """
 
 from __future__ import annotations
@@ -63,12 +71,14 @@ class ThroughputResult:
     # cell: tracemalloc peak and the number of gc collections it caused.
     alloc_peak_bytes: int = 0
     gc_collections: int = 0
+    backend: str = "scalar"
 
     def row(self) -> dict:
         return {
             "mode": self.mode,
             "scheme": self.scheme,
             "mix": self.mix,
+            "backend": self.backend,
             "records": self.records,
             "best_seconds": round(self.best_seconds, 4),
             "records_per_second": round(self.records_per_second, 1),
@@ -79,7 +89,11 @@ class ThroughputResult:
 
 
 def _run_once(
-    scheme: str, mix: str, setup: ExperimentSetup, mode: str
+    scheme: str,
+    mix: str,
+    setup: ExperimentSetup,
+    mode: str,
+    backend: str = "scalar",
 ) -> tuple[float, dict]:
     """One timed drive; returns (seconds, stats snapshot).
 
@@ -110,7 +124,12 @@ def _run_once(
                 f"unknown mode {mode!r} (use 'legacy', 'fast' or 'traced')"
             )
         result = drive_cache(
-            cache, records, window=16, streams=setup.num_cores, warmup=warmup
+            cache,
+            records,
+            window=16,
+            streams=setup.num_cores,
+            warmup=warmup,
+            backend=backend,
         )
         elapsed = time.perf_counter() - start
     finally:
@@ -126,7 +145,11 @@ def _run_once(
 
 
 def _measure_allocations(
-    scheme: str, mix: str, setup: ExperimentSetup, mode: str
+    scheme: str,
+    mix: str,
+    setup: ExperimentSetup,
+    mode: str,
+    backend: str = "scalar",
 ) -> tuple[int, int]:
     """(tracemalloc peak bytes, gc collections) of one untimed run.
 
@@ -138,7 +161,7 @@ def _measure_allocations(
     before = sum(s["collections"] for s in gc.get_stats())
     tracemalloc.start()
     try:
-        _run_once(scheme, mix, setup, mode)
+        _run_once(scheme, mix, setup, mode, backend)
         _, peak = tracemalloc.get_traced_memory()
     finally:
         tracemalloc.stop()
@@ -154,23 +177,28 @@ def measure_drive_throughput(
     mode: str = "fast",
     repeats: int = 3,
     allocations: bool = True,
+    backend: str = "scalar",
 ) -> ThroughputResult:
-    """Best-of-``repeats`` records/sec for one (scheme, mix, mode) cell."""
+    """Best-of-``repeats`` records/sec for one (scheme, mix, mode,
+    backend) cell."""
     setup = setup or ExperimentSetup(num_cores=4, accesses_per_core=15_000)
     total = setup.accesses_per_core * setup.num_cores
     best = float("inf")
     stats: dict = {}
     for _ in range(max(1, repeats)):
-        elapsed, stats = _run_once(scheme, mix, setup, mode)
+        elapsed, stats = _run_once(scheme, mix, setup, mode, backend)
         if elapsed < best:
             best = elapsed
     peak = collections = 0
     if allocations:
-        peak, collections = _measure_allocations(scheme, mix, setup, mode)
+        peak, collections = _measure_allocations(
+            scheme, mix, setup, mode, backend
+        )
     return ThroughputResult(
         mode=mode,
         scheme=scheme,
         mix=mix,
+        backend=backend,
         records=total,
         best_seconds=best,
         records_per_second=total / best if best else 0.0,
@@ -229,7 +257,9 @@ def gate_against_history(
     """Regression gate: compare measurements to the committed history.
 
     For every measured cell, find the most recent entry in ``path``
-    with the same (mode, scheme, mix) and require
+    with the same (mode, scheme, mix, backend) — history rows written
+    before the backend dimension existed count as ``scalar`` — and
+    require
     ``measured >= threshold * committed`` records/sec. Prints the ratio
     either way; returns 4 (the CI perf-regression exit code) if any
     cell falls below, 0 otherwise. A cell with no committed baseline is
@@ -254,12 +284,15 @@ def gate_against_history(
                     row.get("mode") == result.mode
                     and row.get("scheme") == result.scheme
                     and row.get("mix") == result.mix
+                    and row.get("backend", "scalar") == result.backend
                 ):
                     baseline = row
                     break
             if baseline is not None:
                 break
-        cell = f"{result.mode}/{result.scheme}/{result.mix}"
+        cell = (
+            f"{result.mode}/{result.scheme}/{result.mix}/{result.backend}"
+        )
         committed = (baseline or {}).get("records_per_second") or 0.0
         if not committed:
             if allow_missing:
@@ -303,7 +336,25 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--cores", type=int, default=4)
     parser.add_argument("--accesses-per-core", type=int, default=15_000)
-    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timed repeats per cell; gated runs use at least 3 "
+        "(best-of-repeats is what the gate compares)",
+    )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        help="drive engine for every cell: 'scalar' (default) or "
+        "'vectorized' (see repro.harness.backends)",
+    )
+    parser.add_argument(
+        "--backends",
+        default=None,
+        help="matrix mode: comma-separated drive engines, or 'all'; "
+        "each (scheme, mix) cell is measured once per backend",
+    )
     parser.add_argument(
         "--modes",
         default="legacy,fast,traced",
@@ -373,30 +424,59 @@ def main(argv: list[str] | None = None) -> int:
             f"unknown mode(s): {', '.join(bad_modes)}"
             " (use 'legacy', 'fast' or 'traced')"
         )
+    from repro.harness.backends import (
+        BACKENDS,
+        NUMPY_MISSING_MESSAGE,
+        backend_available,
+    )
+
+    if args.backends in ("all",):
+        backends = list(BACKENDS)
+    elif args.backends:
+        backends = [b.strip() for b in args.backends.split(",") if b.strip()]
+    else:
+        backends = [args.backend or "scalar"]
+    bad_backends = [b for b in backends if b not in BACKENDS]
+    if bad_backends:
+        return usage_error(
+            f"unknown backend(s): {', '.join(bad_backends)};"
+            f" available backends: {', '.join(BACKENDS)}"
+        )
+    for b in backends:
+        if not backend_available(b):
+            print(f"perfbench: error: {NUMPY_MISSING_MESSAGE}", file=sys.stderr)
+            return 2
+    # A gate comparison must never be set or tripped by a single noisy
+    # sample: gated cells always take best-of-3 or better.
+    repeats = max(3, args.repeats) if args.gate else args.repeats
 
     setup = ExperimentSetup(
         num_cores=args.cores, accesses_per_core=args.accesses_per_core
     )
-    if args.schemes or args.mixes:
+    if args.schemes or args.mixes or args.backends:
         # Matrix mode: fast-path throughput + allocation profile for
-        # every (scheme, mix) cell; one history entry for the grid.
+        # every (scheme, mix, backend) cell; one history entry for the
+        # grid.
         results = []
         for scheme in schemes:
             for mix in mixes:
-                result = measure_drive_throughput(
-                    scheme=scheme,
-                    mix=mix,
-                    setup=setup,
-                    mode="fast",
-                    repeats=args.repeats,
-                )
-                results.append(result)
-                print(
-                    f"{scheme:>10}/{mix}: {result.records_per_second:10.0f}"
-                    f" records/sec  (alloc peak"
-                    f" {result.alloc_peak_bytes / 1024:.0f} KiB,"
-                    f" {result.gc_collections} gc collections)"
-                )
+                for backend in backends:
+                    result = measure_drive_throughput(
+                        scheme=scheme,
+                        mix=mix,
+                        setup=setup,
+                        mode="fast",
+                        repeats=repeats,
+                        backend=backend,
+                    )
+                    results.append(result)
+                    print(
+                        f"{scheme:>10}/{mix}/{backend}:"
+                        f" {result.records_per_second:10.0f}"
+                        f" records/sec  (alloc peak"
+                        f" {result.alloc_peak_bytes / 1024:.0f} KiB,"
+                        f" {result.gc_collections} gc collections)"
+                    )
         if args.output:
             append_bench_record(results, args.output)
             print(f"appended entry to {args.output}")
@@ -410,13 +490,15 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     results = []
     reference: dict | None = None
+    backend = backends[0]
     for mode in modes:
         result = measure_drive_throughput(
             scheme=args.scheme,
             mix=args.mix,
             setup=setup,
             mode=mode,
-            repeats=args.repeats,
+            repeats=repeats,
+            backend=backend,
         )
         if reference is None:
             reference = result.stats
@@ -425,7 +507,8 @@ def main(argv: list[str] | None = None) -> int:
         results.append(result)
         print(
             f"{result.mode:>6}: {result.records_per_second:10.0f} records/sec"
-            f"  ({result.records} records, best of {result.repeats})"
+            f"  ({result.records} records, best of {result.repeats},"
+            f" backend {result.backend})"
         )
     if len(results) >= 2 and results[0].records_per_second:
         for later in results[1:]:

@@ -11,6 +11,7 @@ realistic without simulating the cores.
 from __future__ import annotations
 
 import heapq
+import os
 import time
 from dataclasses import dataclass, field
 
@@ -151,16 +152,26 @@ class DriveResult:
     accesses: int
     end_time: int
     stats: dict = field(default_factory=dict)
+    # Which engine produced the result, and whether a non-default
+    # backend had to fall back to the scalar reference path (schemes
+    # without a vectorized kernel, tuple-iterable records).
+    backend: str = "scalar"
+    backend_fallbacks: int = 0
 
     def to_dict(self) -> dict:
         """Flat-key export (shared stats protocol; see harness.export).
 
         Drive-level totals use ``records``/``end_time`` so they cannot
         collide with the cache snapshot's ``accesses`` (which counts
-        only the measured, post-warmup region).
+        only the measured, post-warmup region). Backend bookkeeping is
+        exported only for non-default backends, keeping scalar exports
+        byte-identical to pre-seam output.
         """
         out: dict = {"records": self.accesses, "end_time": self.end_time}
         out.update(self.stats)
+        if self.backend != "scalar":
+            out["backend"] = self.backend
+            out["backend_fallbacks"] = self.backend_fallbacks
         return out
 
 
@@ -291,6 +302,7 @@ def drive_cache(
     streams: int = 4,
     mlp: float = 2.2,
     warmup: int = 0,
+    backend: str | None = None,
 ) -> DriveResult:
     """Feed (address, is_write, icount) records with bounded outstanding.
 
@@ -318,6 +330,10 @@ def drive_cache(
     beyond what its cores could generate once they start missing, and
     every scheme would drown in queueing that the paper's closed-loop
     GEM5 cores never produce.
+
+    ``backend`` selects the drive engine (``scalar`` | ``vectorized``);
+    None resolves ``REPRO_BACKEND`` and defaults to the scalar
+    reference kernel. See :mod:`repro.harness.backends`.
     """
     kwargs = dict(
         window=window,
@@ -327,20 +343,28 @@ def drive_cache(
         mlp=mlp,
         warmup=warmup,
     )
+    if backend is None:
+        backend = os.environ.get("REPRO_BACKEND") or "scalar"
     # Observability tap: one guard per *drive* (tens of thousands of
     # records), never per record — the disabled path is the exact
     # pre-instrumentation code, so results and throughput are untouched.
     tracer = get_tracer()
     if tracer.enabled:
         start = time.perf_counter()
-        result = _dispatch_drive(cache, records, kwargs)
+        result = _dispatch_drive(cache, records, kwargs, backend)
         _tap_drive(tracer, cache, result, time.perf_counter() - start)
         return result
-    return _dispatch_drive(cache, records, kwargs)
+    return _dispatch_drive(cache, records, kwargs, backend)
 
 
-def _dispatch_drive(cache: DRAMCacheBase, records, kwargs: dict) -> DriveResult:
+def _dispatch_drive(
+    cache: DRAMCacheBase, records, kwargs: dict, backend: str = "scalar"
+) -> DriveResult:
     """Route records to the batched fast path or the tuple loop."""
+    if backend != "scalar":
+        from repro.harness.backends import drive_with_backend
+
+        return drive_with_backend(backend, cache, records, kwargs)
     window = kwargs["window"]
     min_gap = kwargs["min_gap"]
     cycles_per_instruction = kwargs["cycles_per_instruction"]

@@ -73,11 +73,23 @@ SchemeBuilder = Callable[[SchemeBuildContext], DRAMCacheBase]
 
 @dataclass(frozen=True)
 class SchemeSpec:
-    """A registered scheme: its builder plus display metadata."""
+    """A registered scheme: its builder plus display metadata.
+
+    ``backends`` declares which drive engines have a kernel for the
+    scheme (see :mod:`repro.harness.backends`); every scheme supports
+    the scalar reference path, and declaring ``"vectorized"`` requires
+    a registered chunk kernel (enforced by the ``backend-parity``
+    simlint rule and tests/harness/test_backends.py). Undeclared
+    backends fall back to scalar transparently at drive time.
+    """
 
     name: str
     builder: SchemeBuilder
     description: str = ""
+    backends: tuple[str, ...] = ("scalar",)
+
+    def supports_backend(self, backend: str) -> bool:
+        return backend in self.backends
 
 
 class UnknownSchemeError(ValueError):
@@ -99,13 +111,16 @@ def register_scheme(
     builder: SchemeBuilder,
     *,
     description: str = "",
+    backends: tuple[str, ...] = ("scalar",),
     overwrite: bool = False,
 ) -> SchemeSpec:
     """Register ``builder`` under ``name`` (idempotent re-registration
     requires ``overwrite=True``)."""
     if name in _REGISTRY and not overwrite:
         raise ValueError(f"scheme {name!r} already registered")
-    spec = SchemeSpec(name=name, builder=builder, description=description)
+    spec = SchemeSpec(
+        name=name, builder=builder, description=description, backends=backends
+    )
     _REGISTRY[name] = spec
     return spec
 
@@ -163,6 +178,7 @@ register_scheme(
     "alloy",
     lambda ctx: AlloyCache(ctx.system.dram_cache, ctx.offchip),
     description="AlloyCache: direct-mapped, 64 B TAD units (baseline)",
+    backends=("scalar", "vectorized"),
 )
 register_scheme(
     "lohhill",
@@ -183,19 +199,23 @@ register_scheme(
     "bimodal",
     _bimodal_variant(),
     description="Bi-Modal cache: adaptive big/small blocks + way locator",
+    backends=("scalar", "vectorized"),
 )
 register_scheme(
     "wayloc-only",
     _bimodal_variant(enable_bimodal=False),
     description="Bi-Modal with only the way locator (fixed 512 B blocks)",
+    backends=("scalar", "vectorized"),
 )
 register_scheme(
     "bimodal-only",
     _bimodal_variant(enable_way_locator=False),
     description="Bi-Modal block sizing without the way locator",
+    backends=("scalar", "vectorized"),
 )
 register_scheme(
     "fixed512",
     _bimodal_variant(enable_bimodal=False, enable_way_locator=False),
     description="Fixed 512 B blocks, no locator (Figure 9a/8b baseline)",
+    backends=("scalar", "vectorized"),
 )

@@ -69,6 +69,14 @@ class TraceChunk:
             self.icount.tolist(),
         )
 
+    def columns(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Zero-copy SoA view: the (addresses, is_write, icount) arrays.
+
+        The arrays are the chunk's own (often the shared, read-only
+        trace-cache buffers) — slice freely, copy before mutating.
+        """
+        return self.addresses, self.is_write, self.icount
+
 
 class ProgramTrace:
     """Reproducible access stream for one program instance.

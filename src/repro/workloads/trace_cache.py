@@ -51,6 +51,7 @@ __all__ = [
     "TRACE_FORMAT_VERSION",
     "trace_key",
     "materialized_trace",
+    "materialized_columns",
     "clear_memory_cache",
     "cache_stats",
     "disk_cache_dir",
@@ -278,6 +279,29 @@ def materialized_trace(
     if use_disk:
         _disk_store(directory, key, arrays)
     return TraceChunk(*arrays)
+
+
+def materialized_columns(
+    mix: WorkloadMix | str,
+    *,
+    accesses_per_core: int,
+    seed: int = 1,
+    footprint_scale: float = 1.0,
+    intensity_scale: float = 1.0,
+) -> tuple:
+    """SoA column views of a materialized trace, without copying.
+
+    Returns the cached ``(addresses, is_write, icount)`` arrays directly
+    (read-only, shared across callers) — the form the vectorized drive
+    backend consumes. Same memoization as :func:`materialized_trace`.
+    """
+    return materialized_trace(
+        mix,
+        accesses_per_core=accesses_per_core,
+        seed=seed,
+        footprint_scale=footprint_scale,
+        intensity_scale=intensity_scale,
+    ).columns()
 
 
 def clear_memory_cache() -> None:

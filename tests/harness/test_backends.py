@@ -1,0 +1,246 @@
+"""Backend seam + vectorized engine: selection, fallback, byte-identity.
+
+The vectorized backend's correctness contract is *byte-identity* with
+the scalar reference kernel — not approximate agreement. These tests
+pin it three ways:
+
+* randomized cross-validation over every vectorized scheme x mix x
+  seed, comparing the full JSON-round-tripped stats snapshot;
+* adversarial chunk sizes (1, 2, a prime, longer than the trace) so
+  every chunk-boundary synchronization point is exercised, including
+  forced mid-chunk (X, Y) adaptation transitions;
+* the committed golden-stats file: the vectorized engine must match
+  the *scalar* golden snapshot exactly, not its own.
+
+Plus the seam semantics: resolution order, unknown-backend errors,
+transparent scalar fallback for non-vectorized schemes, and the rule
+that the scalar path never imports numpy.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.harness import backends
+from repro.harness.backends import (
+    BackendUnavailableError,
+    UnknownBackendError,
+    backend_available,
+    resolve_backend,
+    require_backend,
+)
+from repro.harness.backends.vectorized import VECTORIZED_SCHEMES
+from repro.harness.runner import (
+    DriveResult,
+    ExperimentSetup,
+    build_cache,
+    drive_cache,
+)
+from repro.harness.schemes import available_schemes, get_scheme
+
+GOLDEN_PATH = (
+    Path(__file__).resolve().parent.parent / "golden" / "drive_stats_q1.json"
+)
+
+SETUP = ExperimentSetup(num_cores=4, accesses_per_core=1_500)
+TOTAL = SETUP.num_cores * SETUP.accesses_per_core
+WARMUP = TOTAL // 2
+
+
+def _snapshot(scheme, mix="Q1", *, backend=None, setup=None, **build_kwargs):
+    setup = setup or SETUP
+    total = setup.num_cores * setup.accesses_per_core
+    cache = build_cache(scheme, setup.system, scale=setup.scale, **build_kwargs)
+    result = drive_cache(
+        cache,
+        setup.trace_records(mix),
+        window=16,
+        streams=setup.num_cores,
+        warmup=total // 2,
+        backend=backend,
+    )
+    return json.loads(
+        json.dumps(
+            {
+                "records": result.accesses,
+                "end_time": result.end_time,
+                "stats": result.stats,
+            }
+        )
+    ), result
+
+
+# ----------------------------------------------------------------------
+# seam semantics
+# ----------------------------------------------------------------------
+class TestResolution:
+    def test_default_is_scalar(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert resolve_backend() == "scalar"
+
+    def test_env_resolves(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "vectorized")
+        assert resolve_backend() == "vectorized"
+
+    def test_explicit_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "vectorized")
+        assert resolve_backend("scalar") == "scalar"
+
+    def test_name_is_normalized(self):
+        assert resolve_backend("  Vectorized ") == "vectorized"
+
+    def test_unknown_backend_raises_listing_valid(self):
+        with pytest.raises(UnknownBackendError, match="scalar, vectorized"):
+            resolve_backend("bogus")
+
+    def test_drive_cache_rejects_unknown_backend(self):
+        cache = build_cache("alloy", SETUP.system, scale=SETUP.scale)
+        with pytest.raises(UnknownBackendError):
+            drive_cache(cache, SETUP.trace_records("Q1"), backend="bogus")
+
+    def test_scalar_always_available(self):
+        assert backend_available("scalar")
+        assert require_backend("scalar") == "scalar"
+
+    def test_unavailable_vectorized_is_one_line_runtime_error(
+        self, monkeypatch
+    ):
+        monkeypatch.setattr(
+            backends.importlib.util, "find_spec", lambda name: None
+        )
+        assert not backend_available("vectorized")
+        with pytest.raises(BackendUnavailableError) as excinfo:
+            require_backend("vectorized")
+        assert "\n" not in str(excinfo.value)
+        assert "numpy" in str(excinfo.value)
+
+    def test_scalar_modules_never_import_numpy(self):
+        # The scalar path must work on a numpy-less interpreter; the
+        # seam probes availability via find_spec only.
+        import ast
+
+        package = Path(backends.__file__).parent
+        for name in ("__init__.py", "scalar.py"):
+            tree = ast.parse((package / name).read_text())
+            imported = set()
+            for node in ast.walk(tree):
+                if isinstance(node, ast.Import):
+                    imported.update(alias.name for alias in node.names)
+                elif isinstance(node, ast.ImportFrom):
+                    imported.add(node.module or "")
+            assert not any(
+                mod == "numpy" or mod.startswith("numpy.")
+                for mod in imported
+            ), f"backends/{name} must not import numpy"
+
+
+class TestSchemeFlags:
+    def test_vectorized_schemes_matches_registry_flags(self):
+        declared = {
+            name
+            for name in available_schemes()
+            if get_scheme(name).supports_backend("vectorized")
+        }
+        assert declared == set(VECTORIZED_SCHEMES)
+
+    def test_every_scheme_supports_scalar(self):
+        for name in available_schemes():
+            assert get_scheme(name).supports_backend("scalar")
+
+
+class TestDriveResultExport:
+    def test_scalar_result_omits_backend_keys(self):
+        _, result = _snapshot("alloy", backend="scalar")
+        out = result.to_dict()
+        assert "backend" not in out
+        assert "backend_fallbacks" not in out
+
+    def test_vectorized_result_exports_backend_keys(self):
+        _, result = _snapshot("alloy", backend="vectorized")
+        assert result.backend == "vectorized"
+        out = result.to_dict()
+        assert out["backend"] == "vectorized"
+        assert out["backend_fallbacks"] == 0
+
+
+class TestFallback:
+    def test_non_vectorized_scheme_falls_back_transparently(self):
+        scalar, _ = _snapshot("lohhill", backend="scalar")
+        vector, result = _snapshot("lohhill", backend="vectorized")
+        assert result.backend == "vectorized"
+        assert result.backend_fallbacks == 1
+        assert vector == scalar
+
+    def test_tuple_records_fall_back(self):
+        cache = build_cache("alloy", SETUP.system, scale=SETUP.scale)
+        trace = SETUP.trace("Q1")
+        records = ((r.address, r.is_write, r.icount) for r in trace)
+        result = drive_cache(
+            cache,
+            records,
+            window=16,
+            streams=SETUP.num_cores,
+            backend="vectorized",
+        )
+        assert result.backend_fallbacks == 1
+        assert result.accesses == TOTAL
+
+
+# ----------------------------------------------------------------------
+# byte-identity cross-validation
+# ----------------------------------------------------------------------
+class TestCrossValidation:
+    @pytest.mark.parametrize("scheme", sorted(VECTORIZED_SCHEMES))
+    @pytest.mark.parametrize("mix", ["Q1", "Q2"])
+    @pytest.mark.parametrize("seed", [1, 7])
+    def test_randomized_byte_identity(self, scheme, mix, seed):
+        setup = ExperimentSetup(
+            num_cores=4, accesses_per_core=1_200, seed=seed
+        )
+        scalar, _ = _snapshot(scheme, mix, backend="scalar", setup=setup)
+        vector, result = _snapshot(
+            scheme, mix, backend="vectorized", setup=setup
+        )
+        assert result.backend == "vectorized"
+        assert result.backend_fallbacks == 0
+        assert vector == scalar
+
+    @pytest.mark.parametrize("scheme", ["bimodal", "alloy"])
+    @pytest.mark.parametrize(
+        "chunk", [1, 2, 97, 10**9], ids=["one", "two", "prime", "huge"]
+    )
+    def test_adversarial_chunk_sizes(self, scheme, chunk, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND_CHUNK", raising=False)
+        scalar, _ = _snapshot(scheme, backend="scalar")
+        monkeypatch.setenv("REPRO_BACKEND_CHUNK", str(chunk))
+        vector, _ = _snapshot(scheme, backend="vectorized")
+        assert vector == scalar
+
+    @pytest.mark.parametrize("chunk", [97, 256])
+    def test_mid_chunk_adaptation_transitions(self, chunk, monkeypatch):
+        # A tiny adaptation interval forces (X, Y) reconfigurations to
+        # land inside vectorized sub-chunks, not only at boundaries;
+        # a prime/odd chunk size keeps the boundaries incommensurate
+        # with the interval.
+        scalar, _ = _snapshot(
+            "bimodal", backend="scalar", adaptation_interval=211
+        )
+        monkeypatch.setenv("REPRO_BACKEND_CHUNK", str(chunk))
+        vector, _ = _snapshot(
+            "bimodal", backend="vectorized", adaptation_interval=211
+        )
+        assert vector == scalar
+
+    def test_vectorized_matches_committed_scalar_golden(self):
+        if not GOLDEN_PATH.exists():
+            pytest.skip("golden file not generated yet")
+        golden = json.loads(GOLDEN_PATH.read_text())
+        for scheme in sorted(VECTORIZED_SCHEMES):
+            snapshot, _ = _snapshot(scheme, backend="vectorized")
+            assert snapshot == golden[scheme], (
+                f"vectorized {scheme!r} drifted from the scalar golden "
+                "snapshot"
+            )
