@@ -58,6 +58,13 @@ grep -q '"InjectedFault"' "${SMOKE_DIR}/part.csv.manifest.json" \
 cmp "${SMOKE_DIR}/base.csv" "${SMOKE_DIR}/part.csv" \
     || { echo "resumed CSV differs from uninterrupted run"; exit 1; }
 
+echo "== service smoke (repro serve) =="
+# Boots the daemon on an ephemeral port, drives one grid through the
+# typed client and asserts the export is byte-identical to the CLI
+# path, plus warm-state behavior (trace-cache hits, checkpoint resume).
+# See docs/service.md.
+python scripts/serve_smoke.py
+
 echo "== perf gate =="
 # Fast-path throughput vs the last committed BENCH_perf.json entry for
 # the same mode/scheme/mix/backend; exits 4 when the measured rate

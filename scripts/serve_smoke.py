@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""CI smoke: boot `repro serve`, drive it via the typed client, and
+assert the server's answer is byte-identical to the CLI path.
+
+The byte-identity contract (docs/service.md): the CLI and the daemon
+are both thin adapters over repro.api.facade, so the same GridRequest
+must produce identical exported artifacts whichever entry point ran
+it. This script:
+
+1. runs `python -m repro run <grid> --export cli.json` (cold CLI path);
+2. boots `python -m repro serve` on an ephemeral port as a subprocess;
+3. submits the equivalent GridRequest through ServiceClient, exports
+   the returned rows with the same exporter, and `cmp`s the two files
+   (modulo the manifest-free metadata both paths share);
+4. asserts a second identical request hits the server's warm state
+   (trace-cache memory hits increase, grid resumes from checkpoint).
+
+Exit 0 on success, 1 with a one-line reason on any mismatch.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro import api  # noqa: E402
+from repro.harness.export import export_json  # noqa: E402
+
+EXPERIMENT = "fig10"
+MIXES = ("Q1", "Q2")
+ACCESSES = 1500
+
+
+def fail(reason: str) -> None:
+    print(f"serve_smoke: FAIL: {reason}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def canonical_export(path: str) -> dict:
+    """Export JSON minus fields legitimately differing between runs."""
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    doc.get("metadata", {}).pop("generated_unix", None)
+    return doc
+
+
+def main() -> int:
+    env = dict(os.environ, PYTHONPATH=os.path.join(REPO, "src"))
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
+        env["REPRO_TRACE_CACHE_DIR"] = os.path.join(tmp, "traces")
+        cli_export = os.path.join(tmp, "cli.json")
+
+        # 1. CLI path (cold process).
+        cli_start = time.perf_counter()
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "run", EXPERIMENT,
+             "--mixes", *MIXES, "--accesses", str(ACCESSES),
+             "--export", cli_export],
+            env=env, capture_output=True, text=True,
+        )
+        cli_wall = time.perf_counter() - cli_start
+        if proc.returncode != 0:
+            fail(f"CLI run exited {proc.returncode}: {proc.stderr.strip()}")
+
+        # 2. Boot the daemon.
+        server = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--state-dir", os.path.join(tmp, "state")],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            banner = server.stdout.readline()
+            match = re.search(r"listening on ([\d.]+):(\d+)", banner)
+            if not match:
+                fail(f"no listening banner, got: {banner!r}")
+            host, port = match.group(1), int(match.group(2))
+
+            with api.ServiceClient(host, port, timeout=300) as client:
+                request = api.grid_request(
+                    EXPERIMENT, mixes=MIXES, accesses_per_core=ACCESSES
+                )
+                # 3. Server path, exported through the same exporter.
+                result = client.run_grid(request)
+                if result.status != "ok":
+                    fail(f"server grid status {result.status!r}")
+                server_export = os.path.join(tmp, "server.json")
+                export_json(
+                    list(result.rows), server_export, experiment=EXPERIMENT
+                )
+                cli_doc = canonical_export(cli_export)
+                server_doc = canonical_export(server_export)
+                if cli_doc != server_doc:
+                    fail("server export differs from CLI export")
+
+                # 4. Warm second request: trace-cache memory hits must
+                # grow and the grid must resume fully from checkpoint.
+                before = client.stats().trace_cache.get("memory_hits", 0)
+                warm_start = time.perf_counter()
+                again = client.run_grid(request)
+                warm_wall = time.perf_counter() - warm_start
+                after = client.stats().trace_cache.get("memory_hits", 0)
+                if again.rows != result.rows:
+                    fail("warm re-run changed rows")
+                if again.resumed_cells <= 0:
+                    fail("warm re-run did not resume from checkpoint")
+                if after < before:
+                    fail(f"trace-cache memory hits fell: {before} -> {after}")
+                if warm_wall >= cli_wall:
+                    fail(
+                        f"warm server request ({warm_wall:.2f}s) not faster "
+                        f"than cold CLI run ({cli_wall:.2f}s)"
+                    )
+            print(
+                f"serve_smoke: OK — byte-identical exports; warm request "
+                f"{warm_wall:.2f}s vs cold CLI {cli_wall:.2f}s, "
+                f"resumed {again.resumed_cells} cell(s)"
+            )
+        finally:
+            server.terminate()
+            try:
+                server.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                server.kill()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

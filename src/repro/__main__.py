@@ -1,83 +1,57 @@
-"""Command-line front-end: subcommands over the experiment engine.
+"""Command-line front-end: thin adapters over the ``repro.api`` facade.
 
 Examples::
 
     python -m repro run fig1 --mixes Q2 Q7 --accesses 20000
     python -m repro run fig7 --jobs auto --trace-out fig7.jsonl
     python -m repro run table3 --export out/table3.json
+    python -m repro serve --port 7914 --state-dir .repro-serve
     python -m repro list
     python -m repro list-schemes
     python -m repro bench --repeats 5
 
+Every subcommand builds a typed request through :mod:`repro.api` and
+executes it through the same facade the ``repro serve`` daemon uses, so
+validation, defaulting and backend resolution happen in exactly one
+place and a CLI run is byte-identical to the same request answered by a
+warm server (``scripts/serve_smoke.py`` asserts this in CI).
+
 The pre-subcommand invocation (``python -m repro fig1 ...``) keeps
-working with a deprecation note; it forwards to ``repro run``.
+working with a deprecation note; it forwards to ``repro run``. So does
+configuring ``REPRO_JOBS``/``REPRO_BACKEND`` through the environment
+alone — the facade absorbs them into the request with a one-line
+DeprecationWarning (migration notes in docs/development.md).
 
-Shared flags (``run`` and ``bench``):
-
-* ``--jobs N|auto`` — fan grid cells over worker processes
-  (sets ``REPRO_JOBS`` for every layer below);
-* ``--seed N`` — workload generation seed;
-* ``--trace-out FILE`` — write the observability JSONL trace there and
-  stream per-cell progress to stderr (see docs/observability.md). A
-  run manifest lands next to every trace/export file.
+Exit codes (shared by run/bench/serve and the perfbench gate — see
+:mod:`repro.api.errors`): 0 success; 2 bad request/configuration (one
+clean line on stderr, never a traceback); 3 grid completed but cells
+permanently failed; 4 perf gate regression.
 
 Fault tolerance (see docs/robustness.md): ``run`` always collects
 per-cell failures instead of dying on the first one. A grid that ends
 with failures still prints and exports every completed row, lists the
 failed cells on stderr, records them in the manifest and exits with
-code 3 (config/usage errors exit 2, clean runs 0). ``--export`` keeps a
-crash-safe checkpoint beside the artifact; ``--resume <ckpt>`` skips
-cells the checkpoint already holds.
+code 3. ``--export`` keeps a crash-safe checkpoint beside the artifact;
+``--resume <ckpt>`` skips cells the checkpoint already holds.
 """
 
 from __future__ import annotations
 
 import argparse
-import os
 import sys
 
-import repro.harness.experiments as experiments
-from repro.harness import checkpoint as checkpoint_module
-from repro.harness import faults
-from repro.harness.reporting import print_table
-from repro.harness.runner import ExperimentSetup
+from repro import api
+from repro.api.errors import EXIT_OK, EXIT_PARTIAL, EXIT_USAGE
 
-#: Grid completed but one or more cells permanently failed.
-EXIT_CELL_FAILURES = 3
-#: Bad arguments/configuration (also argparse's own exit code).
-EXIT_USAGE = 2
-
-# name -> (function attr, needs-setup, default core count, description)
+#: Backwards-compatible aliases: scripts and tests import these from
+#: here; the canonical definitions live in :mod:`repro.api`.
+EXIT_CELL_FAILURES = EXIT_PARTIAL
 _EXPERIMENTS: dict[str, tuple[str, bool, int, str]] = {
-    "fig1": ("fig1_miss_rate_vs_block_size", True, 4, "miss rate vs block size"),
-    "fig2": ("fig2_block_utilization", True, 4, "sub-block utilization distribution"),
-    "fig3": ("fig3_latency_breakdown", False, 4, "hit-path latency breakdown"),
-    "fig5": ("fig5_mru_hits", True, 8, "hits by MRU position"),
-    "fig7": ("fig7_antt", True, 4, "ANTT improvement over AlloyCache"),
-    "fig8a": ("fig8a_component_analysis", True, 8, "component ANTT analysis"),
-    "fig8b": ("fig8b_hit_rate", True, 4, "hit rates by scheme"),
-    "fig8c": ("fig8c_access_latency", True, 4, "average LLSC miss penalty"),
-    "fig9a": ("fig9a_wasted_bandwidth", True, 8, "wasted off-chip bandwidth"),
-    "fig9b": ("fig9b_metadata_rbh", True, 4, "metadata RBH separate vs co-located"),
-    "fig9c": ("fig9c_way_locator_hit_rate", True, 4, "way locator hit rate vs K"),
-    "fig10": ("fig10_small_block_fraction", True, 4, "small-block access fraction"),
-    "fig11": ("fig11_energy", True, 8, "memory energy vs AlloyCache"),
-    "fig12": ("fig12_sensitivity", True, 4, "cache/block/assoc sensitivity"),
-    "table1": ("table1_feature_matrix", False, 4, "qualitative feature matrix"),
-    "table3": ("table3_way_locator_storage", False, 4, "way locator storage/latency"),
-    "table6": ("table6_prefetch", True, 4, "interaction with prefetching"),
-    "abl-threshold": ("ablation_threshold", True, 4, "utilization threshold sweep"),
-    "abl-weight": ("ablation_weight", True, 4, "adaptation weight sweep"),
-    "abl-sampling": ("ablation_sampling", True, 4, "tracker sampling sweep"),
-    "abl-parallel": ("ablation_parallel_tag", True, 4, "parallel vs serial tags"),
-    "ext-victim": ("victim_buffer_study", True, 4, "victim-buffer benefit bound"),
-    "ext-dueling": ("controller_comparison", True, 4, "demand vs set-dueling"),
-    "ext-spaceutil": (
-        "space_utilization_comparison", True, 4, "cache space utilization"
-    ),
+    spec.name: (spec.attr, spec.needs_setup, spec.default_cores, spec.description)
+    for spec in api.experiment_catalog().values()
 }
 
-_SUBCOMMANDS = ("run", "list", "list-schemes", "bench", "lint")
+_SUBCOMMANDS = ("run", "list", "list-schemes", "bench", "lint", "serve")
 
 
 def _shared_flags(parser: argparse.ArgumentParser) -> None:
@@ -85,8 +59,7 @@ def _shared_flags(parser: argparse.ArgumentParser) -> None:
         "--jobs",
         default=None,
         metavar="N",
-        help="worker processes for grid cells (a number or 'auto'; "
-        "sets REPRO_JOBS)",
+        help="worker processes for grid cells (a number or 'auto')",
     )
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument(
@@ -94,8 +67,7 @@ def _shared_flags(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="NAME",
         help="drive engine: 'scalar' (default) or 'vectorized' "
-        "(sets REPRO_BACKEND for every layer below; recorded in "
-        "run manifests)",
+        "(recorded in run manifests)",
     )
     parser.add_argument(
         "--trace-out",
@@ -158,6 +130,40 @@ def _build_parser() -> argparse.ArgumentParser:
         add_help=False,
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the simulation service daemon (see docs/service.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (0 binds an ephemeral port, printed on startup)",
+    )
+    serve.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help="persist grid journals/checkpoints here; a restarted server "
+        "resumes unfinished grids from this directory",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=2,
+        metavar="N",
+        help="requests executing concurrently (admission semaphore)",
+    )
+    serve.add_argument(
+        "--max-queued-per-client",
+        type=int,
+        default=8,
+        metavar="N",
+        help="per-client backlog bound; beyond it requests are rejected "
+        "with the typed 'overloaded' error",
+    )
+
     bench = sub.add_parser(
         "bench", help="measure drive-loop throughput (records/sec)"
     )
@@ -179,115 +185,85 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _validate_backend(args: argparse.Namespace) -> str | None:
-    """Reject a bad --backend before any simulation starts.
-
-    Unknown names and a vectorized request without numpy are both
-    one-line usage errors (exit 2), never tracebacks; the scalar path
-    must work on a numpy-less interpreter.
-    """
-    if not args.backend:
-        return None
-    from repro.harness.backends import (
-        BackendUnavailableError,
-        UnknownBackendError,
-        require_backend,
-    )
-
-    try:
-        require_backend(args.backend)
-    except (UnknownBackendError, BackendUnavailableError) as exc:
-        return str(exc)
-    return None
-
-
-def _apply_shared_flags(args: argparse.Namespace) -> None:
-    """Propagate --jobs / --backend / --trace-out to the layers below."""
-    if args.jobs is not None:
-        os.environ["REPRO_JOBS"] = str(args.jobs)
-    if args.backend:
-        # Workers and nested drives resolve the engine from the
-        # environment, so one flag covers the whole process tree.
-        os.environ["REPRO_BACKEND"] = args.backend
-    if args.trace_out:
-        from repro.obs import configure
-
-        configure(args.trace_out, propagate_env=True)
-
-
-def _cmd_list() -> int:
-    for name, (_, _, cores, desc) in _EXPERIMENTS.items():
-        print(f"  {name:14s} ({cores}-core default)  {desc}")
-    return 0
-
-
-def _cmd_list_schemes() -> int:
-    from repro.harness.schemes import scheme_catalog
-
-    for line in scheme_catalog():
-        print(f"  {line}")
-    return 0
-
-
 def _usage_error(message: str) -> int:
     """One clean line on stderr, never a traceback."""
     print(f"error: {message}", file=sys.stderr)
     return EXIT_USAGE
 
 
-def _validate_run_args(args: argparse.Namespace) -> str | None:
-    """Reject bad configuration before any simulation starts."""
-    if args.cores is not None and args.cores not in (4, 8, 16):
-        return f"--cores must be 4, 8 or 16 (got {args.cores})"
-    if args.accesses <= 0:
-        return f"--accesses must be positive (got {args.accesses})"
-    if args.scale < 1:
-        return f"--scale must be >= 1 (got {args.scale})"
-    if args.mixes:
-        from repro.workloads.mixes import mixes_for_cores
+def _configure_tracing(args: argparse.Namespace) -> None:
+    if getattr(args, "trace_out", None):
+        from repro.obs import configure
 
-        _, _, default_cores, _ = _EXPERIMENTS[args.experiment]
-        known = mixes_for_cores(args.cores or default_cores)
-        unknown = [m for m in args.mixes if m not in known]
-        if unknown:
-            return (
-                f"unknown mix(es) {', '.join(unknown)} for "
-                f"{args.cores or default_cores} cores "
-                f"(known: {', '.join(sorted(known))})"
-            )
-    return None
+        configure(args.trace_out, propagate_env=True)
+
+
+def _cmd_list() -> int:
+    for spec in api.experiment_catalog().values():
+        print(
+            f"  {spec.name:14s} ({spec.default_cores}-core default)  "
+            f"{spec.description}"
+        )
+    return EXIT_OK
+
+
+def _cmd_list_schemes() -> int:
+    # Same catalog the facade validator rejects unknown schemes against.
+    from repro.harness.schemes import scheme_catalog
+
+    for line in scheme_catalog():
+        print(f"  {line}")
+    return EXIT_OK
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.max_inflight < 1:
+        return _usage_error(
+            f"max-inflight must be >= 1 (got {args.max_inflight})"
+        )
+    if args.max_queued_per_client < 1:
+        return _usage_error(
+            f"max-queued-per-client must be >= 1 "
+            f"(got {args.max_queued_per_client})"
+        )
+    from repro.server import ServerConfig, serve_forever
+
+    serve_forever(
+        ServerConfig(
+            host=args.host,
+            port=args.port,
+            max_inflight=args.max_inflight,
+            max_queued_per_client=args.max_queued_per_client,
+            state_dir=args.state_dir or "",
+        )
+    )
+    return EXIT_OK
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.harness import perfbench
-    from repro.harness.schemes import UnknownSchemeError, get_scheme
-    from repro.workloads.mixes import mixes_for_cores
 
-    if args.cores not in (4, 8, 16):
-        return _usage_error(f"--cores must be 4, 8 or 16 (got {args.cores})")
     try:
-        get_scheme(args.scheme)
-    except UnknownSchemeError as exc:
-        # The exception text already lists every registered scheme.
-        return _usage_error(f"{exc} (see `python -m repro list-schemes`)")
-    if args.mix not in mixes_for_cores(args.cores):
-        return _usage_error(
-            f"unknown mix {args.mix!r} for {args.cores} cores"
+        request = api.sim_request(
+            args.scheme,
+            args.mix,
+            cores=args.cores,
+            accesses_per_core=args.accesses_per_core,
+            seed=args.seed,
+            backend=args.backend,
         )
-    problem = _validate_backend(args)
-    if problem:
-        return _usage_error(problem)
-    _apply_shared_flags(args)
+    except api.RequestError as exc:
+        return _usage_error(str(exc))
+    _configure_tracing(args)
     forwarded = [
-        "--scheme", args.scheme,
-        "--mix", args.mix,
-        "--cores", str(args.cores),
-        "--accesses-per-core", str(args.accesses_per_core),
+        "--scheme", request.scheme,
+        "--mix", request.mix,
+        "--cores", str(request.cores),
+        "--accesses-per-core", str(request.accesses_per_core),
         "--repeats", str(args.repeats),
         "--modes", args.modes,
+        "--backend", request.backend,
     ]
-    if args.backend:
-        forwarded += ["--backend", args.backend]
     if args.output:
         forwarded += ["--output", args.output]
     return perfbench.main(forwarded)
@@ -300,66 +276,48 @@ def _checkpoint_path(args: argparse.Namespace) -> str | None:
     if args.checkpoint:
         return args.checkpoint
     if args.export:
+        from repro.harness import checkpoint as checkpoint_module
+
         return checkpoint_module.default_path(args.export)
     return None
 
 
 def _cmd_run(args: argparse.Namespace, argv: list[str]) -> int:
-    if args.experiment not in _EXPERIMENTS:
-        print(f"unknown experiment {args.experiment!r}; try `python -m repro list`")
-        return EXIT_USAGE
-    problem = _validate_run_args(args) or _validate_backend(args)
-    if problem:
-        return _usage_error(problem)
-    _apply_shared_flags(args)
-    attr, needs_setup, default_cores, desc = _EXPERIMENTS[args.experiment]
-    fn = getattr(experiments, attr)
-    kwargs: dict = {}
-    setup = None
-    if needs_setup:
-        setup = ExperimentSetup(
-            num_cores=args.cores or default_cores,
-            scale=args.scale,
+    try:
+        request = api.grid_request(
+            args.experiment,
+            mixes=args.mixes or (),
+            cores=args.cores,
             accesses_per_core=args.accesses,
             seed=args.seed,
+            scale=args.scale,
+            backend=args.backend,
+            jobs=args.jobs,
         )
-        kwargs["setup"] = setup
-        if args.mixes and "mix_name" not in fn.__code__.co_varnames:
-            kwargs["mix_names"] = args.mixes
-
-    from contextlib import ExitStack
-
-    from repro.harness.schemes import UnknownSchemeError
-    from repro.obs import get_tracer
-
-    ckpt_path = _checkpoint_path(args)
-    tracer = get_tracer()
-    try:
-        with ExitStack() as stack:
-            collector = stack.enter_context(faults.collect_failures())
-            ckpt = None
-            if ckpt_path:
-                ckpt = stack.enter_context(
-                    checkpoint_module.attach(
-                        ckpt_path, resume=bool(args.resume)
-                    )
-                )
-            span = stack.enter_context(
-                tracer.span("run", experiment=args.experiment)
-            )
-            rows = fn(**kwargs)
-            if tracer.enabled:
-                span["rows"] = len(rows)
-            if ckpt is not None and args.resume and ckpt.hits:
-                print(
-                    f"[repro] resumed {ckpt.hits} cell(s) from {ckpt_path}",
-                    file=sys.stderr,
-                )
-    except (UnknownSchemeError, ValueError) as exc:
-        # Config-shaped errors (unknown scheme/mix, bad parameter) get a
-        # clean one-liner, not a traceback.
+    except api.RequestError as exc:
         return _usage_error(str(exc))
-    print_table(rows, title=f"{args.experiment}: {desc}")
+    _configure_tracing(args)
+    ckpt_path = _checkpoint_path(args)
+    try:
+        result = api.run_grid(
+            request,
+            checkpoint_path=ckpt_path,
+            resume=bool(args.resume),
+        )
+    except ValueError as exc:
+        # Config-shaped errors (unknown scheme/mix, bad parameter) from
+        # inside an experiment get a clean one-liner, not a traceback.
+        return _usage_error(str(exc))
+    if args.resume and result.resumed_cells:
+        print(
+            f"[repro] resumed {result.resumed_cells} cell(s) from {ckpt_path}",
+            file=sys.stderr,
+        )
+    rows = list(result.rows)
+    spec = api.get_experiment(request.experiment)
+    from repro.harness.reporting import print_table
+
+    print_table(rows, title=f"{request.experiment}: {spec.description}")
     if args.chart and rows:
         from repro.harness.figures import bar_chart
 
@@ -373,27 +331,29 @@ def _cmd_run(args: argparse.Namespace, argv: list[str]) -> int:
             if args.export.endswith(".csv"):
                 export_csv(rows, args.export)
             else:
-                export_json(rows, args.export, experiment=args.experiment)
+                export_json(rows, args.export, experiment=request.experiment)
             print(f"\nwrote {args.export}")
         else:
             print(
                 f"[repro] no completed rows; skipping export to {args.export}",
                 file=sys.stderr,
             )
-    _write_manifests(args, argv, setup, collector.as_dicts())
-    if collector:
-        _print_failure_table(collector)
-        return EXIT_CELL_FAILURES
-    return 0
+    _write_manifests(args, argv, api.grid_setup(request), list(result.failures))
+    if result.failures:
+        _print_failure_table(result.failures)
+        return EXIT_PARTIAL
+    return EXIT_OK
 
 
-def _print_failure_table(collector: faults.FailureCollector) -> None:
+def _print_failure_table(failures) -> None:
+    from repro.harness.faults import CellFailure
+
     print(
-        f"\n[repro] grid completed with {len(collector)} failed cell(s):",
+        f"\n[repro] grid completed with {len(failures)} failed cell(s):",
         file=sys.stderr,
     )
-    for failure in collector.failures:
-        print(f"  {failure.describe()}", file=sys.stderr)
+    for record in failures:
+        print(f"  {CellFailure(**dict(record)).describe()}", file=sys.stderr)
     print(
         "[repro] completed rows were kept; failures are recorded in the "
         "run manifest (exit code 3)",
@@ -404,7 +364,7 @@ def _print_failure_table(collector: faults.FailureCollector) -> None:
 def _write_manifests(
     args: argparse.Namespace,
     argv: list[str],
-    setup: ExperimentSetup | None,
+    setup,
     failures: list[dict] | None = None,
 ) -> None:
     """One manifest beside every artifact this invocation produced."""
@@ -445,6 +405,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_list_schemes()
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     return _cmd_run(args, argv)
 
 

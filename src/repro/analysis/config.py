@@ -42,6 +42,11 @@ class LintConfig:
         "common/stats.py",
         "workloads/trace.py",
     )
+    # api-stability: modules holding the frozen wire dataclasses, and
+    # globs where constructing them directly is allowed (the facade and
+    # its codec; everything else must go through the constructors).
+    api_types_modules: tuple[str, ...] = ("api/types.py",)
+    api_construction_allow: tuple[str, ...] = ("api/*",)
     # scheme-registry: the root class every cache organization extends.
     scheme_base: str = "DRAMCacheBase"
     # Baseline filename looked up from the scan root toward the repo root.

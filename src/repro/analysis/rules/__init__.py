@@ -63,6 +63,7 @@ def all_rules(select: Iterable[str] = ()) -> dict[str, Rule]:
 
 # Import rule modules for their registration side effects.
 from repro.analysis.rules import (  # noqa: E402
+    api_stability,
     backend_parity,
     determinism,
     hotpath,
@@ -73,6 +74,7 @@ from repro.analysis.rules import (  # noqa: E402
 )
 
 _ = (
+    api_stability,
     backend_parity,
     determinism,
     hotpath,

@@ -1,0 +1,99 @@
+"""``repro.api``: the typed public facade of the simulator.
+
+Everything outside-world-facing goes through here: the CLI subcommands,
+the ``repro serve`` daemon and library callers all build requests with
+the facade constructors, execute them with the facade runners, and
+exchange them as the frozen wire dataclasses. See ``docs/service.md``
+for the socket protocol built on top.
+
+    from repro import api
+
+    request = api.sim_request("bimodal-cache", "MIX1", backend="numpy")
+    result = api.run_sim(request)          # locally, or
+    result = api.ServiceClient().run_sim(request)   # on a warm daemon
+"""
+
+from repro.api.catalog import (
+    ExperimentSpec,
+    experiment_catalog,
+    experiment_ids,
+    get_experiment,
+)
+from repro.api.client import AsyncServiceClient, ServiceClient
+from repro.api.errors import (
+    ERR_BAD_REQUEST,
+    ERR_BAD_SCHEMA,
+    ERR_INTERNAL,
+    ERR_OVERLOADED,
+    EXIT_OK,
+    EXIT_PARTIAL,
+    EXIT_PERF_GATE,
+    EXIT_USAGE,
+    RequestError,
+    ServiceError,
+)
+from repro.api.facade import (
+    api_error,
+    grid_request,
+    grid_setup,
+    progress_event,
+    run_grid,
+    run_sim,
+    sim_request,
+    stats_result,
+    validate_grid,
+    validate_sim,
+)
+from repro.api.types import (
+    API_SCHEMA,
+    ApiError,
+    GridRequest,
+    GridResult,
+    ProgressEvent,
+    SimRequest,
+    SimResult,
+    StatsResult,
+)
+from repro.api.wire import WireError, decode_line, encode_line, from_wire, to_wire
+
+__all__ = [
+    "API_SCHEMA",
+    "ApiError",
+    "AsyncServiceClient",
+    "ERR_BAD_REQUEST",
+    "ERR_BAD_SCHEMA",
+    "ERR_INTERNAL",
+    "ERR_OVERLOADED",
+    "EXIT_OK",
+    "EXIT_PARTIAL",
+    "EXIT_PERF_GATE",
+    "EXIT_USAGE",
+    "ExperimentSpec",
+    "GridRequest",
+    "GridResult",
+    "ProgressEvent",
+    "RequestError",
+    "ServiceClient",
+    "ServiceError",
+    "SimRequest",
+    "SimResult",
+    "StatsResult",
+    "WireError",
+    "api_error",
+    "decode_line",
+    "encode_line",
+    "experiment_catalog",
+    "experiment_ids",
+    "from_wire",
+    "get_experiment",
+    "grid_request",
+    "grid_setup",
+    "progress_event",
+    "run_grid",
+    "run_sim",
+    "sim_request",
+    "stats_result",
+    "to_wire",
+    "validate_grid",
+    "validate_sim",
+]

@@ -1,0 +1,80 @@
+"""Experiment catalog: the one table of runnable figure/table grids.
+
+Previously a private dict inside ``repro.__main__``; it lives in the
+API layer now so the CLI, the facade validator and the server all
+resolve experiment ids against the same table — ``repro list`` output,
+``GridRequest`` validation and the unknown-experiment error can never
+drift apart (the scheme-side equivalent is
+``repro.harness.schemes.scheme_catalog``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ExperimentSpec", "experiment_catalog", "experiment_ids", "get_experiment"]
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentSpec:
+    """One experiment id: its function plus run defaults."""
+
+    name: str
+    attr: str  # function name on repro.harness.experiments
+    needs_setup: bool
+    default_cores: int
+    description: str
+
+
+def _spec(name, attr, needs_setup, cores, desc) -> ExperimentSpec:
+    return ExperimentSpec(name, attr, needs_setup, cores, desc)
+
+
+_EXPERIMENTS: dict[str, ExperimentSpec] = {
+    spec.name: spec
+    for spec in (
+        _spec("fig1", "fig1_miss_rate_vs_block_size", True, 4, "miss rate vs block size"),
+        _spec("fig2", "fig2_block_utilization", True, 4, "sub-block utilization distribution"),
+        _spec("fig3", "fig3_latency_breakdown", False, 4, "hit-path latency breakdown"),
+        _spec("fig5", "fig5_mru_hits", True, 8, "hits by MRU position"),
+        _spec("fig7", "fig7_antt", True, 4, "ANTT improvement over AlloyCache"),
+        _spec("fig8a", "fig8a_component_analysis", True, 8, "component ANTT analysis"),
+        _spec("fig8b", "fig8b_hit_rate", True, 4, "hit rates by scheme"),
+        _spec("fig8c", "fig8c_access_latency", True, 4, "average LLSC miss penalty"),
+        _spec("fig9a", "fig9a_wasted_bandwidth", True, 8, "wasted off-chip bandwidth"),
+        _spec("fig9b", "fig9b_metadata_rbh", True, 4, "metadata RBH separate vs co-located"),
+        _spec("fig9c", "fig9c_way_locator_hit_rate", True, 4, "way locator hit rate vs K"),
+        _spec("fig10", "fig10_small_block_fraction", True, 4, "small-block access fraction"),
+        _spec("fig11", "fig11_energy", True, 8, "memory energy vs AlloyCache"),
+        _spec("fig12", "fig12_sensitivity", True, 4, "cache/block/assoc sensitivity"),
+        _spec("table1", "table1_feature_matrix", False, 4, "qualitative feature matrix"),
+        _spec("table3", "table3_way_locator_storage", False, 4, "way locator storage/latency"),
+        _spec("table6", "table6_prefetch", True, 4, "interaction with prefetching"),
+        _spec("abl-threshold", "ablation_threshold", True, 4, "utilization threshold sweep"),
+        _spec("abl-weight", "ablation_weight", True, 4, "adaptation weight sweep"),
+        _spec("abl-sampling", "ablation_sampling", True, 4, "tracker sampling sweep"),
+        _spec("abl-parallel", "ablation_parallel_tag", True, 4, "parallel vs serial tags"),
+        _spec("ext-victim", "victim_buffer_study", True, 4, "victim-buffer benefit bound"),
+        _spec("ext-dueling", "controller_comparison", True, 4, "demand vs set-dueling"),
+        _spec("ext-spaceutil", "space_utilization_comparison", True, 4, "cache space utilization"),
+    )
+}
+
+
+def experiment_catalog() -> dict[str, ExperimentSpec]:
+    """Name -> spec, in display order (read-only copy)."""
+    return dict(_EXPERIMENTS)
+
+
+def experiment_ids() -> list[str]:
+    return list(_EXPERIMENTS)
+
+
+def get_experiment(name: str) -> ExperimentSpec:
+    """Spec for ``name``; unknown ids raise a listing ``KeyError``."""
+    try:
+        return _EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; try `python -m repro list`"
+        ) from None

@@ -1,0 +1,218 @@
+"""Clients for the ``repro serve`` daemon.
+
+:class:`ServiceClient` is the blocking client (one request at a time
+over one connection — what the CLI and scripts use);
+:class:`AsyncServiceClient` multiplexes many concurrent requests over
+one connection from asyncio code (what the fair-share tests use).
+
+Both speak the envelope protocol of :mod:`repro.api.protocol` and
+return the same typed objects the facade produces locally, so a caller
+can swap ``facade.run_sim(req)`` for ``client.run_sim(req)`` without
+touching anything downstream — results are byte-identical
+(``scripts/serve_smoke.py`` asserts it in CI). Server-side rejections
+surface as :class:`~repro.api.errors.ServiceError` carrying the typed
+:class:`~repro.api.types.ApiError` envelope.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import socket
+
+from repro.api.errors import ServiceError
+from repro.api.protocol import parse_response_line, request_line
+from repro.api.types import (
+    GridRequest,
+    GridResult,
+    SimRequest,
+    SimResult,
+    StatsResult,
+)
+from repro.api.wire import WireError
+
+__all__ = ["AsyncServiceClient", "ServiceClient"]
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 7914
+
+
+def _finish(kind: str, payload, expect: type):
+    """Map a terminal protocol line to a return value or raised error."""
+    if kind == "error":
+        raise ServiceError(payload)
+    if not isinstance(payload, expect):
+        raise WireError(
+            f"server answered with {type(payload).__name__}, "
+            f"expected {expect.__name__}"
+        )
+    return payload
+
+
+class ServiceClient:
+    """Blocking connection to a ``repro serve`` daemon.
+
+    Usable as a context manager::
+
+        with ServiceClient(port=7914) as client:
+            result = client.run_sim(request)
+    """
+
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        *,
+        timeout: float | None = None,
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+        self._ids = itertools.count(1)
+
+    def close(self) -> None:
+        self._reader.close()
+        self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- verbs ----------------------------------------------------------
+    def run_sim(self, request: SimRequest, *, on_progress=None) -> SimResult:
+        """Run one simulation on the server; blocks until its result."""
+        return self._call("sim", request, SimResult, on_progress)
+
+    def run_grid(self, request: GridRequest, *, on_progress=None) -> GridResult:
+        """Run one experiment grid on the server; blocks until done."""
+        return self._call("grid", request, GridResult, on_progress)
+
+    def stats(self) -> StatsResult:
+        """The server's live telemetry snapshot."""
+        return self._call("stats", None, StatsResult, None)
+
+    def ping(self) -> bool:
+        """True once the server answers (used to wait for startup)."""
+        self._call("ping", None, StatsResult, None)
+        return True
+
+    # -- plumbing -------------------------------------------------------
+    def _call(self, verb, request, expect, on_progress):
+        request_id = f"c{next(self._ids)}"
+        self._sock.sendall(request_line(request_id, verb, request))
+        while True:
+            line = self._reader.readline()
+            if not line:
+                raise ConnectionError("server closed the connection")
+            rid, kind, payload = parse_response_line(line)
+            if rid != request_id:
+                # Blocking client has one request in flight; anything
+                # else is a connection-level error notice.
+                if kind == "error":
+                    raise ServiceError(payload)
+                continue
+            if kind == "event":
+                if on_progress is not None:
+                    on_progress(payload)
+                continue
+            return _finish(kind, payload, expect)
+
+
+class AsyncServiceClient:
+    """Asyncio connection multiplexing concurrent requests.
+
+    Every in-flight request gets its own response queue keyed by
+    envelope id; a single reader task dispatches lines to them, so
+    interleaved server output cannot cross-contaminate requests.
+
+    Use :meth:`connect` (or ``async with AsyncServiceClient.session()``)
+    to open, then issue any number of overlapping awaitable verbs.
+    """
+
+    def __init__(self) -> None:
+        self._reader = None
+        self._writer = None
+        self._ids = itertools.count(1)
+        self._pending: dict[str, asyncio.Queue] = {}
+        self._reader_task = None
+
+    @classmethod
+    async def connect(
+        cls, host: str = DEFAULT_HOST, port: int = DEFAULT_PORT
+    ) -> "AsyncServiceClient":
+        client = cls()
+        client._reader, client._writer = await asyncio.open_connection(host, port)
+        client._reader_task = asyncio.create_task(client._pump())
+        return client
+
+    async def close(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):
+                pass
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except Exception:
+                pass
+
+    async def __aenter__(self) -> "AsyncServiceClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # -- verbs ----------------------------------------------------------
+    async def run_sim(self, request: SimRequest, *, on_progress=None) -> SimResult:
+        return await self._call("sim", request, SimResult, on_progress)
+
+    async def run_grid(
+        self, request: GridRequest, *, on_progress=None
+    ) -> GridResult:
+        return await self._call("grid", request, GridResult, on_progress)
+
+    async def stats(self) -> StatsResult:
+        return await self._call("stats", None, StatsResult, None)
+
+    async def ping(self) -> bool:
+        await self._call("ping", None, StatsResult, None)
+        return True
+
+    # -- plumbing -------------------------------------------------------
+    async def _pump(self) -> None:
+        """Reader task: route every server line to its request queue."""
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                rid, kind, payload = parse_response_line(line)
+                queue = self._pending.get(rid)
+                if queue is not None:
+                    queue.put_nowait((kind, payload))
+        finally:
+            for queue in self._pending.values():
+                queue.put_nowait(("closed", None))
+
+    async def _call(self, verb, request, expect, on_progress):
+        request_id = f"a{next(self._ids)}"
+        queue: asyncio.Queue = asyncio.Queue()
+        self._pending[request_id] = queue
+        try:
+            self._writer.write(request_line(request_id, verb, request))
+            await self._writer.drain()
+            while True:
+                kind, payload = await queue.get()
+                if kind == "closed":
+                    raise ConnectionError("server closed the connection")
+                if kind == "event":
+                    if on_progress is not None:
+                        on_progress(payload)
+                    continue
+                return _finish(kind, payload, expect)
+        finally:
+            self._pending.pop(request_id, None)

@@ -1,0 +1,418 @@
+"""The one place requests are defaulted, validated and executed.
+
+Every entry point — ``repro run``/``repro bench`` on the command line,
+the ``repro serve`` daemon, library callers — goes through this module,
+so backend/scheme/mix/experiment resolution, parameter validation and
+the legacy-environment deprecation shim live exactly once:
+
+* :func:`sim_request` / :func:`grid_request` build validated request
+  objects (rejecting bad ones with :class:`~repro.api.errors.RequestError`,
+  which the CLI maps to exit code 2);
+* :func:`run_sim` / :func:`run_grid` execute them on the harness,
+  returning wire-ready results;
+* :func:`stats_result` snapshots live telemetry (the ``stats``
+  protocol verb).
+
+Legacy configuration shim: ``REPRO_BACKEND`` / ``REPRO_JOBS`` set in
+the environment *without* the corresponding request field still work —
+the constructors absorb them into the request object and emit a
+one-line :class:`DeprecationWarning` (migration notes in
+``docs/development.md``). During execution the request is authoritative:
+``run_grid`` scopes the environment to the request's values (so worker
+processes inherit them) and restores it afterwards — the facade never
+leaks configuration into the calling process.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import warnings
+from contextlib import ExitStack, contextmanager
+
+from repro.api import catalog
+from repro.api.errors import RequestError
+from repro.api.types import (
+    ApiError,
+    GridRequest,
+    GridResult,
+    ProgressEvent,
+    SimRequest,
+    SimResult,
+    StatsResult,
+)
+
+__all__ = [
+    "api_error",
+    "grid_request",
+    "grid_setup",
+    "progress_event",
+    "run_grid",
+    "run_sim",
+    "sim_request",
+    "stats_result",
+    "validate_grid",
+    "validate_sim",
+]
+
+_VALID_CORES = (4, 8, 16)
+
+
+# ----------------------------------------------------------------------
+# construction (defaulting + legacy environment shim)
+# ----------------------------------------------------------------------
+def _legacy_env(name: str, what: str) -> str | None:
+    """Absorb a legacy env-only knob into the request, with a warning."""
+    value = os.environ.get(name, "").strip()
+    if not value:
+        return None
+    warnings.warn(
+        f"configuring {what} through {name} alone is deprecated; set it on "
+        "the repro.api request (or the CLI flag) — see docs/development.md",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return value
+
+
+def _resolve_backend(backend: str | None) -> str:
+    if backend:
+        return backend
+    return _legacy_env("REPRO_BACKEND", "the drive backend") or "scalar"
+
+
+def _resolve_jobs(jobs: int | str | None) -> int:
+    if jobs is None:
+        jobs = _legacy_env("REPRO_JOBS", "the grid worker count")
+        if jobs is None:
+            return 1
+    if isinstance(jobs, str):
+        if jobs.lower() == "auto":
+            return 0
+        try:
+            jobs = int(jobs)
+        except ValueError:
+            raise RequestError(f"jobs must be a number or 'auto' (got {jobs!r})")
+    return jobs
+
+
+def sim_request(
+    scheme: str,
+    mix: str,
+    *,
+    cores: int = 4,
+    accesses_per_core: int = 20_000,
+    seed: int = 1,
+    scale: int = 16,
+    backend: str | None = None,
+    window: int = 16,
+    warmup_fraction: float = 0.5,
+) -> SimRequest:
+    """A validated :class:`SimRequest` (the only sanctioned constructor)."""
+    request = SimRequest(
+        scheme=scheme,
+        mix=mix,
+        cores=cores,
+        accesses_per_core=accesses_per_core,
+        seed=seed,
+        scale=scale,
+        backend=_resolve_backend(backend),
+        window=window,
+        warmup_fraction=warmup_fraction,
+    )
+    validate_sim(request)
+    return request
+
+
+def grid_request(
+    experiment: str,
+    *,
+    mixes=(),
+    cores: int | None = None,
+    accesses_per_core: int = 20_000,
+    seed: int = 1,
+    scale: int = 16,
+    backend: str | None = None,
+    jobs: int | str | None = None,
+) -> GridRequest:
+    """A validated :class:`GridRequest` (the only sanctioned constructor)."""
+    request = GridRequest(
+        experiment=experiment,
+        mixes=tuple(mixes or ()),
+        cores=cores or 0,
+        accesses_per_core=accesses_per_core,
+        seed=seed,
+        scale=scale,
+        backend=_resolve_backend(backend),
+        jobs=_resolve_jobs(jobs),
+    )
+    validate_grid(request)
+    return request
+
+
+# ----------------------------------------------------------------------
+# validation (shared by constructors, server decode path and the CLI)
+# ----------------------------------------------------------------------
+def _check_backend(backend: str) -> None:
+    from repro.harness.backends import (
+        BackendUnavailableError,
+        UnknownBackendError,
+        require_backend,
+    )
+
+    try:
+        require_backend(backend)
+    except (UnknownBackendError, BackendUnavailableError) as exc:
+        raise RequestError(str(exc)) from None
+
+
+def _check_common(request) -> None:
+    if request.accesses_per_core <= 0:
+        raise RequestError(
+            f"accesses_per_core must be positive (got {request.accesses_per_core})"
+        )
+    if request.scale < 1:
+        raise RequestError(f"scale must be >= 1 (got {request.scale})")
+    _check_backend(request.backend)
+
+
+def validate_sim(request: SimRequest) -> None:
+    """Reject a bad :class:`SimRequest` before any simulation starts."""
+    from repro.harness.schemes import UnknownSchemeError, get_scheme
+    from repro.workloads.mixes import mixes_for_cores
+
+    try:
+        get_scheme(request.scheme)
+    except UnknownSchemeError as exc:
+        # The exception text already lists every registered scheme —
+        # the same catalog `repro list-schemes` prints.
+        raise RequestError(
+            f"{exc} (see `python -m repro list-schemes`)"
+        ) from None
+    if request.cores not in _VALID_CORES:
+        raise RequestError(f"cores must be 4, 8 or 16 (got {request.cores})")
+    if request.mix not in mixes_for_cores(request.cores):
+        raise RequestError(
+            f"unknown mix {request.mix!r} for {request.cores} cores"
+        )
+    _check_common(request)
+    if request.window <= 0:
+        raise RequestError(f"window must be positive (got {request.window})")
+    if not 0.0 <= request.warmup_fraction < 1.0:
+        raise RequestError(
+            f"warmup_fraction must be in [0, 1) (got {request.warmup_fraction})"
+        )
+
+
+def validate_grid(request: GridRequest) -> None:
+    """Reject a bad :class:`GridRequest` before any simulation starts."""
+    from repro.workloads.mixes import mixes_for_cores
+
+    try:
+        spec = catalog.get_experiment(request.experiment)
+    except KeyError as exc:
+        raise RequestError(str(exc).strip("'\"")) from None
+    if request.cores and request.cores not in _VALID_CORES:
+        raise RequestError(f"cores must be 4, 8 or 16 (got {request.cores})")
+    if request.jobs < 0:
+        raise RequestError(f"jobs must be >= 0 (got {request.jobs})")
+    _check_common(request)
+    if request.mixes:
+        cores = request.cores or spec.default_cores
+        known = mixes_for_cores(cores)
+        unknown = [m for m in request.mixes if m not in known]
+        if unknown:
+            raise RequestError(
+                f"unknown mix(es) {', '.join(unknown)} for {cores} cores "
+                f"(known: {', '.join(sorted(known))})"
+            )
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+@contextmanager
+def _scoped_env(**values: str):
+    """Set env knobs for the duration of one request, then restore.
+
+    Worker processes and nested drives resolve configuration from the
+    environment; scoping it to the request keeps the facade free of
+    permanent process-state mutation (unlike the pre-API CLI, which
+    leaked ``REPRO_JOBS``/``REPRO_BACKEND`` into the process).
+    """
+    saved = {name: os.environ.get(name) for name in values}
+    os.environ.update(values)
+    try:
+        yield
+    finally:
+        for name, previous in saved.items():
+            if previous is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = previous
+
+
+def run_sim(request: SimRequest) -> SimResult:
+    """Execute one validated simulation request to completion."""
+    from repro.harness.runner import ExperimentSetup, run_scheme_on_mix
+
+    validate_sim(request)
+    setup = ExperimentSetup(
+        num_cores=request.cores,
+        scale=request.scale,
+        accesses_per_core=request.accesses_per_core,
+        seed=request.seed,
+    )
+    start = time.perf_counter()
+    result = run_scheme_on_mix(
+        request.scheme,
+        request.mix,
+        setup=setup,
+        window=request.window,
+        warmup_fraction=request.warmup_fraction,
+        backend=request.backend,
+    )
+    return SimResult(
+        scheme=request.scheme,
+        mix=request.mix,
+        cores=request.cores,
+        seed=request.seed,
+        backend=result.backend,
+        records=result.accesses,
+        end_time=result.end_time,
+        stats=dict(result.stats),
+        wall_s=round(time.perf_counter() - start, 6),
+    )
+
+
+def grid_setup(request: GridRequest):
+    """The :class:`ExperimentSetup` a grid request runs under (or None)."""
+    from repro.harness.runner import ExperimentSetup
+
+    spec = catalog.get_experiment(request.experiment)
+    if not spec.needs_setup:
+        return None
+    return ExperimentSetup(
+        num_cores=request.cores or spec.default_cores,
+        scale=request.scale,
+        accesses_per_core=request.accesses_per_core,
+        seed=request.seed,
+    )
+
+
+def run_grid(
+    request: GridRequest,
+    *,
+    progress=None,
+    checkpoint_path: str | None = None,
+    resume: bool = False,
+) -> GridResult:
+    """Execute one validated experiment grid to completion.
+
+    ``progress`` (optional) receives a :class:`ProgressEvent` per
+    completed grid cell. ``checkpoint_path`` attaches the crash-safe
+    cell checkpoint (``docs/robustness.md``); with ``resume=True``
+    cells already recorded there are served instead of recomputed.
+
+    Cell failures never propagate: they are collected, and a grid that
+    completes with failures comes back with ``status="partial"`` and
+    the structured failure records attached.
+    """
+    import repro.harness.experiments as experiments
+    from repro.harness import checkpoint as checkpoint_module
+    from repro.harness import faults, parallel
+    from repro.obs import get_tracer
+
+    validate_grid(request)
+    spec = catalog.get_experiment(request.experiment)
+    fn = getattr(experiments, spec.attr)
+    setup = grid_setup(request)
+    kwargs: dict = {}
+    if setup is not None:
+        kwargs["setup"] = setup
+        if request.mixes and "mix_name" not in fn.__code__.co_varnames:
+            kwargs["mix_names"] = list(request.mixes)
+
+    tracer = get_tracer()
+    start = time.perf_counter()
+    resumed = 0
+    with ExitStack() as stack:
+        stack.enter_context(
+            _scoped_env(
+                REPRO_JOBS=str(request.jobs), REPRO_BACKEND=request.backend
+            )
+        )
+        collector = stack.enter_context(faults.collect_failures())
+        ckpt = None
+        if checkpoint_path:
+            ckpt = stack.enter_context(
+                checkpoint_module.attach(checkpoint_path, resume=resume)
+            )
+        if progress is not None:
+            stack.enter_context(
+                parallel.progress_scope(_cell_progress(progress))
+            )
+        with tracer.span("run", experiment=request.experiment) as span:
+            rows = fn(**kwargs)
+            if tracer.enabled:
+                span["rows"] = len(rows)
+        if ckpt is not None:
+            resumed = ckpt.hits
+    failures = tuple(collector.as_dicts())
+    return GridResult(
+        experiment=request.experiment,
+        status="partial" if failures else "ok",
+        rows=tuple(rows),
+        failures=failures,
+        resumed_cells=resumed,
+        wall_s=round(time.perf_counter() - start, 6),
+    )
+
+
+def _cell_progress(emit):
+    """Adapt the grid engine's per-cell hook to ProgressEvent emission."""
+
+    def hook(done: int, total: int, attrs: dict) -> None:
+        detail = " ".join(f"{k}={v}" for k, v in attrs.items())
+        emit(progress_event("cell", completed=done, total=total, detail=detail))
+
+    return hook
+
+
+def stats_result(server: dict | None = None) -> StatsResult:
+    """Live telemetry snapshot (the ``stats`` protocol verb)."""
+    from repro.obs import get_metrics
+    from repro.workloads.trace_cache import cache_stats
+
+    return StatsResult(
+        metrics=dict(get_metrics().snapshot()),
+        trace_cache=dict(cache_stats()),
+        server=dict(server or {}),
+    )
+
+
+# ----------------------------------------------------------------------
+# factories for the remaining wire types
+# ----------------------------------------------------------------------
+# The server and clients build events/errors through these, never by
+# instantiating the dataclasses directly (the api-stability simlint
+# rule enforces it), so any future defaulting has one home.
+def progress_event(
+    stage: str,
+    *,
+    request_id: str = "",
+    completed: int = 0,
+    total: int = 0,
+    detail: str = "",
+) -> ProgressEvent:
+    return ProgressEvent(
+        stage=stage,
+        request_id=request_id,
+        completed=completed,
+        total=total,
+        detail=detail,
+    )
+
+
+def api_error(code: str, message: str) -> ApiError:
+    return ApiError(code=code, message=message)

@@ -1,0 +1,119 @@
+"""Envelope framing for the ``repro serve`` socket protocol.
+
+One connection carries many concurrent requests, so every protocol
+line wraps a :mod:`repro.api.wire` payload in a correlation envelope
+(``docs/service.md`` has the full spec and wire examples):
+
+Request lines (client -> server)::
+
+    {"id": "r1", "verb": "sim",  "request": {"type": "SimRequest", ...}}
+    {"id": "r2", "verb": "grid", "request": {"type": "GridRequest", ...}}
+    {"id": "r3", "verb": "stats"}
+    {"id": "r4", "verb": "ping"}
+
+Response lines (server -> client), always echoing the request ``id``::
+
+    {"id": "r1", "kind": "event",  "payload": {"type": "ProgressEvent", ...}}
+    {"id": "r1", "kind": "result", "payload": {"type": "SimResult", ...}}
+    {"id": "r1", "kind": "error",  "payload": {"type": "ApiError", ...}}
+
+A request produces zero or more ``event`` lines followed by exactly one
+``result`` or ``error`` line. Lines the server cannot attribute to a
+request (unparseable JSON, missing ``id``) come back with ``id": ""``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.api.wire import WireError, from_wire, to_wire
+
+__all__ = [
+    "VERBS",
+    "parse_request_line",
+    "parse_response_line",
+    "request_line",
+    "response_line",
+]
+
+#: Every request verb the protocol defines. ``sim`` and ``grid`` carry
+#: a ``request`` payload; ``stats`` and ``ping`` are bare.
+VERBS = ("sim", "grid", "stats", "ping")
+
+_REQUEST_VERBS = {"sim": "SimRequest", "grid": "GridRequest"}
+_RESPONSE_KINDS = ("event", "result", "error")
+
+
+def request_line(request_id: str, verb: str, request=None) -> bytes:
+    """One client->server protocol line (compact JSON + newline)."""
+    envelope: dict = {"id": request_id, "verb": verb}
+    if request is not None:
+        envelope["request"] = to_wire(request)
+    return (json.dumps(envelope, separators=(",", ":")) + "\n").encode()
+
+
+def response_line(request_id: str, kind: str, payload) -> bytes:
+    """One server->client protocol line (compact JSON + newline)."""
+    if kind not in _RESPONSE_KINDS:
+        raise WireError(f"unknown response kind {kind!r}")
+    envelope = {"id": request_id, "kind": kind, "payload": to_wire(payload)}
+    return (json.dumps(envelope, separators=(",", ":")) + "\n").encode()
+
+
+def _load(line: str | bytes) -> dict:
+    if isinstance(line, bytes):
+        line = line.decode()
+    try:
+        envelope = json.loads(line)
+    except ValueError as exc:
+        raise WireError(f"not JSON: {exc}") from None
+    if not isinstance(envelope, dict):
+        raise WireError(
+            f"protocol line must be an object, got {type(envelope).__name__}"
+        )
+    return envelope
+
+
+def parse_request_line(line: str | bytes):
+    """``(request_id, verb, typed request or None)`` for one client line."""
+    envelope = _load(line)
+    request_id = envelope.get("id")
+    if not isinstance(request_id, str) or not request_id:
+        raise WireError("request envelope needs a non-empty string 'id'")
+    verb = envelope.get("verb")
+    if verb not in VERBS:
+        raise WireError(
+            f"unknown verb {verb!r} (known: {', '.join(VERBS)})"
+        )
+    expected = _REQUEST_VERBS.get(verb)
+    if expected is None:
+        if "request" in envelope:
+            raise WireError(f"verb {verb!r} takes no request payload")
+        return request_id, verb, None
+    payload = envelope.get("request")
+    if payload is None:
+        raise WireError(f"verb {verb!r} needs a request payload")
+    request = from_wire(payload)
+    if type(request).__name__ != expected:
+        raise WireError(
+            f"verb {verb!r} expects a {expected}, got {type(request).__name__}"
+        )
+    return request_id, verb, request
+
+
+def parse_response_line(line: str | bytes):
+    """``(request_id, kind, typed payload)`` for one server line."""
+    envelope = _load(line)
+    request_id = envelope.get("id")
+    if not isinstance(request_id, str):
+        raise WireError("response envelope needs a string 'id'")
+    kind = envelope.get("kind")
+    if kind not in _RESPONSE_KINDS:
+        raise WireError(
+            f"unknown response kind {kind!r} "
+            f"(known: {', '.join(_RESPONSE_KINDS)})"
+        )
+    payload = envelope.get("payload")
+    if payload is None:
+        raise WireError("response envelope needs a 'payload'")
+    return request_id, kind, from_wire(payload)

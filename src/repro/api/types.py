@@ -1,0 +1,167 @@
+"""Wire types of the ``repro.api`` facade: the service's stable surface.
+
+Every request/response exchanged between clients, the CLI and the
+``repro serve`` daemon is one of the frozen, slotted dataclasses below.
+They are deliberately dumb records:
+
+* **frozen + slots** — a request cannot be mutated after validation, so
+  a value the facade accepted is the value the engine runs;
+* **schema-versioned** — every instance carries ``schema``
+  (:data:`API_SCHEMA`); decoders reject other versions instead of
+  guessing (see :mod:`repro.api.wire`);
+* **constructed only via the facade** — :mod:`repro.api.facade` is the
+  single place validation and defaulting happen, enforced by the
+  ``api-stability`` simlint rule (``docs/static-analysis.md``).
+
+Field values are restricted to JSON scalars, tuples and flat dicts so
+instances round-trip bit-identically through the newline-delimited JSON
+protocol (``docs/service.md``). Sequence-valued stats follow the
+repo-wide convention of tuples, never lists (see
+``repro.harness.checkpoint``); the wire codec revives them on decode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "API_SCHEMA",
+    "ApiError",
+    "GridRequest",
+    "GridResult",
+    "ProgressEvent",
+    "SimRequest",
+    "SimResult",
+    "StatsResult",
+]
+
+#: Version of the request/response schema. Bump on any incompatible
+#: change to the dataclasses below; decoders reject other versions.
+API_SCHEMA = 1
+
+
+@dataclass(frozen=True, slots=True)
+class SimRequest:
+    """One trace-driven simulation: scheme x mix under a configuration.
+
+    Mirrors :class:`~repro.harness.runner.ExperimentSetup` plus the
+    drive parameters of ``run_scheme_on_mix``; the facade validates
+    every field against the same catalogs the CLI uses.
+    """
+
+    scheme: str
+    mix: str
+    cores: int = 4
+    accesses_per_core: int = 20_000
+    seed: int = 1
+    scale: int = 16
+    backend: str = "scalar"
+    window: int = 16
+    warmup_fraction: float = 0.5
+    schema: int = API_SCHEMA
+
+
+@dataclass(frozen=True, slots=True)
+class GridRequest:
+    """One experiment grid (a figure/table id), optionally restricted.
+
+    ``mixes=()`` means the experiment's full mix set; ``cores=0`` means
+    the experiment's default core count; ``jobs=0`` means one worker
+    per CPU (same convention as ``REPRO_JOBS=auto``).
+    """
+
+    experiment: str
+    mixes: tuple[str, ...] = ()
+    cores: int = 0
+    accesses_per_core: int = 20_000
+    seed: int = 1
+    scale: int = 16
+    backend: str = "scalar"
+    jobs: int = 1
+    schema: int = API_SCHEMA
+
+
+@dataclass(frozen=True, slots=True)
+class ProgressEvent:
+    """One progress notification streamed while a request runs.
+
+    ``stage`` is one of ``queued`` / ``started`` / ``cell`` /
+    ``attached`` / ``recovered``; ``completed``/``total`` count grid
+    cells when known (0/0 otherwise).
+    """
+
+    stage: str
+    request_id: str = ""
+    completed: int = 0
+    total: int = 0
+    detail: str = ""
+    schema: int = API_SCHEMA
+
+
+@dataclass(frozen=True, slots=True)
+class SimResult:
+    """Final stats of one simulation (the drive's stats snapshot).
+
+    ``stats`` holds the flat stats-protocol keys
+    (``docs/observability.md``); ``wall_s`` is server/facade wall time
+    and is excluded from byte-identity comparisons.
+    """
+
+    scheme: str
+    mix: str
+    cores: int
+    seed: int
+    backend: str
+    records: int
+    end_time: int
+    stats: dict
+    wall_s: float = 0.0
+    schema: int = API_SCHEMA
+
+
+@dataclass(frozen=True, slots=True)
+class GridResult:
+    """Completed experiment grid: its rows plus the failure record.
+
+    ``status`` is ``ok`` or ``partial`` (some cells permanently failed;
+    the CLI maps ``partial`` to exit code 3). ``resumed_cells`` counts
+    cells served from a checkpoint instead of recomputed.
+    """
+
+    experiment: str
+    status: str
+    rows: tuple
+    failures: tuple = ()
+    resumed_cells: int = 0
+    wall_s: float = 0.0
+    schema: int = API_SCHEMA
+
+
+@dataclass(frozen=True, slots=True)
+class StatsResult:
+    """Live telemetry: the metrics registry plus service counters.
+
+    ``metrics`` is ``MetricsRegistry.snapshot()`` of the serving
+    process, ``trace_cache`` the materialization-cache hit/miss
+    counters, ``server`` the daemon's own bookkeeping (queue depths,
+    jobs done, recoveries) — empty when queried outside ``repro serve``.
+    """
+
+    metrics: dict
+    trace_cache: dict
+    server: dict
+    schema: int = API_SCHEMA
+
+
+@dataclass(frozen=True, slots=True)
+class ApiError:
+    """Typed error envelope; ``code`` is machine-readable.
+
+    Codes: ``bad-request`` (validation), ``bad-schema`` (version or
+    malformed wire payload), ``overloaded`` (admission control),
+    ``internal`` (unexpected server-side failure).
+    """
+
+    code: str
+    message: str
+    schema: int = API_SCHEMA

@@ -1,0 +1,160 @@
+"""Wire codec: ``repro.api`` dataclasses <-> newline-delimited JSON.
+
+One dict shape per type::
+
+    {"type": "SimRequest", "schema": 1, "scheme": "bimodal", ...}
+
+``to_wire``/``from_wire`` convert between instances and those dicts;
+``encode_line``/``decode_line`` add the JSON + newline framing the
+socket protocol uses (``docs/service.md``). Decoding is strict:
+
+* unknown ``type`` names, missing required fields and unexpected
+  fields are :class:`WireError`\\ s (a typo'd request must fail loudly,
+  not half-apply);
+* a ``schema`` other than :data:`~repro.api.types.API_SCHEMA` is
+  rejected — version skew between client and server surfaces as a
+  clean error instead of silently misread fields.
+
+Byte-identity through the wire: JSON maps tuples to arrays, so decode
+revives arrays as *tuples* — recursively, inside dict-valued fields too
+— matching the grid/checkpoint convention that sequence-valued stats
+are tuples, never lists (see ``repro.harness.checkpoint``). Ints and
+floats round-trip exactly (``repr`` round trip), so a result decoded
+from the wire compares equal to the instance the server encoded.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import fields, is_dataclass
+
+from repro.api.types import (
+    API_SCHEMA,
+    ApiError,
+    GridRequest,
+    GridResult,
+    ProgressEvent,
+    SimRequest,
+    SimResult,
+    StatsResult,
+)
+
+__all__ = [
+    "WIRE_TYPES",
+    "WireError",
+    "decode_line",
+    "encode_line",
+    "from_wire",
+    "to_wire",
+]
+
+
+class WireError(ValueError):
+    """Malformed or version-incompatible wire payload."""
+
+
+#: Every encodable/decodable dataclass, by wire ``type`` name.
+WIRE_TYPES: dict[str, type] = {
+    cls.__name__: cls
+    for cls in (
+        SimRequest,
+        GridRequest,
+        ProgressEvent,
+        SimResult,
+        GridResult,
+        StatsResult,
+        ApiError,
+    )
+}
+
+# Fields revived tuple-wise on decode (annotation says tuple).
+_TUPLE_FIELDS: dict[str, set[str]] = {
+    name: {
+        f.name
+        for f in fields(cls)
+        if str(f.type).startswith("tuple")
+    }
+    for name, cls in WIRE_TYPES.items()
+}
+# dict-valued fields get the recursive list->tuple revive as well,
+# because stats/rows payloads may carry tuple-valued entries.
+_DICT_FIELDS: dict[str, set[str]] = {
+    name: {f.name for f in fields(cls) if str(f.type) == "dict"}
+    for name, cls in WIRE_TYPES.items()
+}
+
+
+def _revive(value):
+    """Undo JSON's lossy sequence mapping: arrays come back as tuples."""
+    if isinstance(value, list):
+        return tuple(_revive(v) for v in value)
+    if isinstance(value, dict):
+        return {k: _revive(v) for k, v in value.items()}
+    return value
+
+
+def _plain(value):
+    """Dataclass-free, JSON-encodable view of one field value."""
+    if isinstance(value, tuple):
+        return [_plain(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _plain(v) for k, v in value.items()}
+    return value
+
+
+def to_wire(obj) -> dict:
+    """One JSON-ready dict (``type`` tag + every field) for ``obj``."""
+    name = type(obj).__name__
+    if name not in WIRE_TYPES or not is_dataclass(obj):
+        raise WireError(f"not a wire type: {type(obj)!r}")
+    out: dict = {"type": name}
+    for f in fields(obj):
+        out[f.name] = _plain(getattr(obj, f.name))
+    return out
+
+
+def from_wire(payload: dict):
+    """Validate and instantiate the typed object ``payload`` describes."""
+    if not isinstance(payload, dict):
+        raise WireError(f"wire payload must be an object, got {type(payload).__name__}")
+    name = payload.get("type")
+    cls = WIRE_TYPES.get(name)
+    if cls is None:
+        known = ", ".join(sorted(WIRE_TYPES))
+        raise WireError(f"unknown wire type {name!r} (known: {known})")
+    schema = payload.get("schema", None)
+    if schema != API_SCHEMA:
+        raise WireError(
+            f"unsupported {name} schema {schema!r} "
+            f"(this build speaks schema {API_SCHEMA})"
+        )
+    spec = {f.name: f for f in fields(cls)}
+    kwargs = {}
+    for key, value in payload.items():
+        if key == "type":
+            continue
+        if key not in spec:
+            raise WireError(f"unexpected field {key!r} for {name}")
+        if key in _TUPLE_FIELDS[name] or key in _DICT_FIELDS[name]:
+            value = _revive(value)
+        kwargs[key] = value
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:  # missing required field
+        raise WireError(f"bad {name} payload: {exc}") from None
+
+
+def encode_line(obj) -> bytes:
+    """One protocol line: compact JSON + ``\\n`` (UTF-8)."""
+    return (json.dumps(to_wire(obj), separators=(",", ":")) + "\n").encode()
+
+
+def decode_line(line: str | bytes):
+    """Parse one protocol line back into its typed object."""
+    if isinstance(line, bytes):
+        line = line.decode()
+    try:
+        payload = json.loads(line)
+    except ValueError as exc:
+        raise WireError(f"not JSON: {exc}") from None
+    return from_wire(payload)

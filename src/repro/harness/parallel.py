@@ -42,6 +42,7 @@ import sys
 import tempfile
 import time
 from collections.abc import Callable, Iterable
+from contextlib import contextmanager
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
@@ -64,12 +65,38 @@ from repro.workloads.mixes import mixes_for_cores
 __all__ = [
     "resolve_jobs",
     "run_grid",
+    "progress_scope",
     "complete_groups",
     "GridCell",
     "AnttCell",
     "drive_cell",
     "antt_cell",
 ]
+
+# Per-cell completion hook installed by progress_scope(); the hardened
+# engine calls it as hook(done, total, attrs) after every finished cell
+# (including checkpoint hits). One scope at a time — the facade only
+# streams progress for one grid per process at once (grids serialize in
+# the server), so a simple module global is enough.
+_progress_hook = None
+
+
+@contextmanager
+def progress_scope(hook):
+    """Route per-cell completion events to ``hook`` while active.
+
+    ``hook(done, total, attrs)`` is invoked from the grid engine after
+    each cell completes (``attrs`` carries scheme/mix labels when the
+    cell exposes them). Hook exceptions are swallowed — progress
+    reporting must never fail a simulation.
+    """
+    global _progress_hook
+    previous = _progress_hook
+    _progress_hook = hook
+    try:
+        yield
+    finally:
+        _progress_hook = previous
 
 _Cell = TypeVar("_Cell")
 _Result = TypeVar("_Result")
@@ -346,6 +373,11 @@ class _GridEngine:
         )
         self.registry.add("grid.cells")
         self.registry.observe("grid.cell_wall_s", wall)
+        if _progress_hook is not None:
+            try:
+                _progress_hook(sum(self.done), self.total, attrs)
+            except Exception:
+                pass
         if self.tracer.enabled:
             label = " ".join(f"{k}={v}" for k, v in attrs.items())
             print(

@@ -39,6 +39,8 @@ import tracemalloc
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.api.errors import EXIT_OK, EXIT_PERF_GATE, EXIT_USAGE
+
 from repro.harness.runner import ExperimentSetup, build_cache, drive_cache
 from repro.harness.schemes import available_schemes
 from repro.obs import Tracer, install
@@ -304,7 +306,7 @@ def gate_against_history(
                 " --gate-allow-missing for a new cell's first run)",
                 file=sys.stderr,
             )
-            return 2
+            return EXIT_USAGE
         ratio = result.records_per_second / committed
         verdict = "ok" if ratio >= threshold else "REGRESSION"
         print(
@@ -314,7 +316,7 @@ def gate_against_history(
         )
         if ratio < threshold:
             failed = True
-    return 4 if failed else 0
+    return EXIT_PERF_GATE if failed else EXIT_OK
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -390,7 +392,7 @@ def main(argv: list[str] | None = None) -> int:
     # usage error (exit 2), not a traceback from deep inside a build.
     def usage_error(message: str) -> int:
         print(f"perfbench: error: {message}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
 
     if args.cores not in (4, 8, 16):
         return usage_error(f"--cores must be 4, 8 or 16 (got {args.cores})")
@@ -445,7 +447,7 @@ def main(argv: list[str] | None = None) -> int:
     for b in backends:
         if not backend_available(b):
             print(f"perfbench: error: {NUMPY_MISSING_MESSAGE}", file=sys.stderr)
-            return 2
+            return EXIT_USAGE
     # A gate comparison must never be set or tripped by a single noisy
     # sample: gated cells always take best-of-3 or better.
     repeats = max(3, args.repeats) if args.gate else args.repeats
@@ -487,7 +489,7 @@ def main(argv: list[str] | None = None) -> int:
                 threshold=args.gate_threshold,
                 allow_missing=args.gate_allow_missing,
             )
-        return 0
+        return EXIT_OK
     results = []
     reference: dict | None = None
     backend = backends[0]
@@ -524,7 +526,7 @@ def main(argv: list[str] | None = None) -> int:
             threshold=args.gate_threshold,
             allow_missing=args.gate_allow_missing,
         )
-    return 0
+    return EXIT_OK
 
 
 if __name__ == "__main__":

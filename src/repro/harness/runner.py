@@ -441,8 +441,15 @@ def run_scheme_on_mix(
     bimodal_config: BiModalConfig | None = None,
     window: int = 16,
     warmup_fraction: float = 0.5,
+    backend: str | None = None,
 ) -> DriveResult:
-    """Build scheme + mix trace, drive to completion, return the result."""
+    """Build scheme + mix trace, drive to completion, return the result.
+
+    ``backend`` selects the drive engine explicitly (``scalar`` |
+    ``vectorized``); ``None`` defers to ``REPRO_BACKEND``/scalar, same
+    as :func:`drive_cache`. The API facade always passes it explicitly
+    so a request's backend cannot depend on ambient process state.
+    """
     setup = setup or ExperimentSetup()
     if mix_name not in setup.mixes():
         raise ValueError(
@@ -473,6 +480,7 @@ def run_scheme_on_mix(
                 window=window,
                 streams=setup.num_cores,
                 warmup=int(total * warmup_fraction),
+                backend=backend,
             )
         if tracer.enabled:
             span.update(timer.as_attrs())

@@ -1,0 +1,18 @@
+"""``repro.server``: the ``repro serve`` daemon behind :mod:`repro.api`.
+
+:class:`~repro.server.daemon.ReproServer` is the asyncio service;
+:class:`~repro.server.state.ServerConfig` its knobs. Protocol spec and
+operational notes live in ``docs/service.md``.
+"""
+
+from repro.server.daemon import ReproServer, serve_forever
+from repro.server.state import GridStore, ServerConfig, ServerStats, grid_key
+
+__all__ = [
+    "GridStore",
+    "ReproServer",
+    "ServerConfig",
+    "ServerStats",
+    "grid_key",
+    "serve_forever",
+]

@@ -1,0 +1,419 @@
+"""``repro serve``: the simulation-as-a-service daemon.
+
+One asyncio process keeps the expensive state warm across requests —
+the in-process trace cache (``repro.workloads.trace_cache``), the
+worker thread pool and the metrics registry — so a client pays trace
+materialization once, not per invocation. Clients speak the
+newline-delimited JSON envelope protocol of :mod:`repro.api.protocol`
+over a TCP socket; many clients, many concurrent requests per client.
+
+Structure (all simulation semantics live in :mod:`repro.api.facade` —
+this module is scheduling and sockets only):
+
+* every connection gets a **writer task** draining a per-connection
+  queue, so interleaved jobs can never corrupt each other's lines;
+* ``sim``/``grid`` requests are validated immediately, then admitted
+  into a **per-client queue** (bounded by ``max_queued_per_client``;
+  past that the client gets the typed ``overloaded`` error);
+* a scheduler task **round-robins across clients** whenever one of the
+  ``max_inflight`` execution slots frees, so a client queueing fifty
+  grids cannot starve the client queueing one;
+* grid requests are **content-addressed** (:func:`~repro.server.state.
+  grid_key`): identical in-flight grids are joined rather than re-run,
+  every grid journals its request and attaches a keyed checkpoint with
+  ``resume=True``, and on startup journaled-but-unfinished grids are
+  re-queued — a killed daemon resumes mid-grid work instead of
+  recomputing it (``docs/service.md`` walks through the recovery flow).
+
+Grids execute one at a time (the harness failure collector and
+checkpoint attachment are process-global); sims from different
+requests run concurrently on the pool.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from functools import partial
+from itertools import count
+
+from repro.api import facade
+from repro.api.errors import (
+    ERR_BAD_REQUEST,
+    ERR_BAD_SCHEMA,
+    ERR_INTERNAL,
+    ERR_OVERLOADED,
+    RequestError,
+)
+from repro.api.protocol import parse_request_line, response_line
+from repro.api.wire import WireError
+from repro.server.state import GridStore, ServerConfig, ServerStats, grid_key
+
+__all__ = ["ReproServer", "serve_forever"]
+
+
+class _Connection:
+    """One client socket plus its interleaving-proof writer queue."""
+
+    def __init__(self, conn_id: str, writer: asyncio.StreamWriter) -> None:
+        self.id = conn_id
+        self.writer = writer
+        self.queue: asyncio.Queue = asyncio.Queue()
+        self.closed = False
+        self.writer_task: asyncio.Task | None = None
+
+    def send(self, request_id: str, kind: str, payload) -> None:
+        """Queue one response line (event-loop thread only)."""
+        if not self.closed:
+            self.queue.put_nowait(response_line(request_id, kind, payload))
+
+    async def run_writer(self) -> None:
+        try:
+            while True:
+                item = await self.queue.get()
+                if item is None:
+                    break
+                self.writer.write(item)
+                await self.writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+
+    async def close(self) -> None:
+        self.closed = True
+        self.queue.put_nowait(None)
+        if self.writer_task is not None:
+            await self.writer_task
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+@dataclass(slots=True)
+class _Job:
+    """One admitted request waiting for (or holding) an execution slot."""
+
+    conn: _Connection | None  # None for startup-recovery jobs
+    request_id: str
+    verb: str
+    request: object
+
+    def send(self, kind: str, payload) -> None:
+        if self.conn is not None:
+            self.conn.send(self.request_id, kind, payload)
+
+
+class ReproServer:
+    """The daemon: admission control, fair-share scheduling, recovery."""
+
+    def __init__(self, config: ServerConfig) -> None:
+        self.config = config
+        self.stats = ServerStats()
+        self.store = GridStore(config.state_dir)
+        self._queues: dict[str, deque] = {}
+        self._rr: deque[str] = deque()
+        self._work = asyncio.Condition()
+        self._slots = asyncio.Semaphore(max(1, config.max_inflight))
+        self._grid_lock = asyncio.Lock()
+        self._grid_futures: dict[str, asyncio.Future] = {}
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(2, config.max_inflight),
+            thread_name_prefix="repro-serve",
+        )
+        self._conn_ids = count(1)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: asyncio.Server | None = None
+        self._scheduler_task: asyncio.Task | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Bind, start the scheduler, queue crash recovery; return address."""
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self._scheduler_task = asyncio.create_task(self._scheduler())
+        await self._queue_recovery()
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        if self._scheduler_task is not None:
+            self._scheduler_task.cancel()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
+    async def _queue_recovery(self) -> None:
+        """Re-admit journaled grids a previous process never finished."""
+        for key, request in self.store.incomplete():
+            self.stats.recovered_grids += 1
+            self._admit(
+                _Job(conn=None, request_id=f"recover-{key[:8]}", verb="grid",
+                     request=request),
+                client="__recovery__",
+                unbounded=True,
+            )
+        if self.stats.recovered_grids:
+            print(
+                f"[repro-serve] resuming {self.stats.recovered_grids} "
+                "unfinished grid(s) from checkpoints",
+                file=sys.stderr,
+                flush=True,
+            )
+        async with self._work:
+            self._work.notify_all()
+
+    # ------------------------------------------------------------------
+    # connections
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        conn = _Connection(f"conn{next(self._conn_ids)}", writer)
+        conn.writer_task = asyncio.create_task(conn.run_writer())
+        self.stats.connections += 1
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                await self._handle_line(conn, line)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            await conn.close()
+
+    async def _handle_line(self, conn: _Connection, line: bytes) -> None:
+        self.stats.requests += 1
+        try:
+            request_id, verb, request = parse_request_line(line)
+        except WireError as exc:
+            rid = _best_effort_id(line)
+            conn.send(rid, "error", facade.api_error(ERR_BAD_SCHEMA, str(exc)))
+            return
+        if verb in ("ping", "stats"):
+            conn.send(request_id, "result", self._stats_result())
+            return
+        try:
+            if verb == "sim":
+                facade.validate_sim(request)
+            else:
+                facade.validate_grid(request)
+        except RequestError as exc:
+            conn.send(request_id, "error", facade.api_error(exc.code, str(exc)))
+            return
+        job = _Job(conn=conn, request_id=request_id, verb=verb, request=request)
+        if not self._admit(job, client=conn.id):
+            self.stats.overload_rejections += 1
+            conn.send(
+                request_id,
+                "error",
+                facade.api_error(
+                    ERR_OVERLOADED,
+                    f"client queue full "
+                    f"(max_queued_per_client={self.config.max_queued_per_client})",
+                ),
+            )
+            return
+        job.send(
+            "event",
+            facade.progress_event("queued", request_id=request_id),
+        )
+        async with self._work:
+            self._work.notify_all()
+
+    def _stats_result(self):
+        return facade.stats_result(server=self.stats.snapshot())
+
+    # ------------------------------------------------------------------
+    # admission + fair-share scheduling
+    # ------------------------------------------------------------------
+    def _admit(self, job: _Job, *, client: str, unbounded: bool = False) -> bool:
+        queue = self._queues.get(client)
+        if queue is None:
+            queue = self._queues[client] = deque()
+            self._rr.append(client)
+        if not unbounded and len(queue) >= self.config.max_queued_per_client:
+            return False
+        queue.append(job)
+        self.stats.queued += 1
+        return True
+
+    async def _next_job(self) -> _Job:
+        """Round-robin over clients that currently have queued work."""
+        async with self._work:
+            while True:
+                for _ in range(len(self._rr)):
+                    client = self._rr[0]
+                    self._rr.rotate(-1)
+                    queue = self._queues[client]
+                    if queue:
+                        self.stats.queued -= 1
+                        return queue.popleft()
+                await self._work.wait()
+
+    async def _scheduler(self) -> None:
+        while True:
+            await self._slots.acquire()
+            try:
+                job = await self._next_job()
+            except asyncio.CancelledError:
+                self._slots.release()
+                raise
+            self.stats.inflight += 1
+            asyncio.create_task(self._execute(job))
+
+    async def _execute(self, job: _Job) -> None:
+        try:
+            if job.verb == "sim":
+                await self._run_sim_job(job)
+            else:
+                await self._run_grid_job(job)
+        except RequestError as exc:
+            job.send("error", facade.api_error(exc.code, str(exc)))
+        except Exception as exc:  # noqa: BLE001 — must never kill the daemon
+            self.stats.failures += 1
+            job.send(
+                "error",
+                facade.api_error(ERR_INTERNAL, f"{type(exc).__name__}: {exc}"),
+            )
+        finally:
+            self.stats.inflight -= 1
+            self._slots.release()
+
+    # ------------------------------------------------------------------
+    # job execution
+    # ------------------------------------------------------------------
+    async def _run_sim_job(self, job: _Job) -> None:
+        job.send("event", facade.progress_event("started", request_id=job.request_id))
+        result = await self._loop.run_in_executor(
+            self._pool, facade.run_sim, job.request
+        )
+        self.stats.sims_done += 1
+        job.send("result", result)
+
+    async def _run_grid_job(self, job: _Job) -> None:
+        key = grid_key(job.request)
+        existing = self._grid_futures.get(key)
+        if existing is not None:
+            # Identical grid already executing: join it instead of
+            # re-running — both requesters get the same result object.
+            self.stats.grids_joined += 1
+            job.send(
+                "event",
+                facade.progress_event(
+                    "attached", request_id=job.request_id, detail=f"grid {key}"
+                ),
+            )
+            result = await existing
+            job.send("result", result)
+            return
+
+        future = self._loop.create_future()
+        future.add_done_callback(lambda f: f.exception())  # joiner-less errors
+        self._grid_futures[key] = future
+        try:
+            self.store.journal(key, job.request)
+            job.send(
+                "event", facade.progress_event("started", request_id=job.request_id)
+            )
+            emit = self._cell_emitter(job)
+            checkpoint_path = (
+                self.store.checkpoint_path(key) if self.store.enabled else None
+            )
+            # Grids serialize: collector/checkpoint/progress attachments
+            # are process-global in the harness.
+            async with self._grid_lock:
+                result = await self._loop.run_in_executor(
+                    self._pool,
+                    partial(
+                        facade.run_grid,
+                        job.request,
+                        progress=emit,
+                        checkpoint_path=checkpoint_path,
+                        resume=True,
+                    ),
+                )
+            if result.resumed_cells:
+                job.send(
+                    "event",
+                    facade.progress_event(
+                        "recovered",
+                        request_id=job.request_id,
+                        completed=result.resumed_cells,
+                        detail="cells served from checkpoint",
+                    ),
+                )
+            self.store.complete(key, result)
+            self.stats.grids_done += 1
+            future.set_result(result)
+            job.send("result", result)
+        except BaseException as exc:
+            future.set_exception(exc)
+            raise
+        finally:
+            self._grid_futures.pop(key, None)
+
+    def _cell_emitter(self, job: _Job):
+        """Thread-safe per-cell progress forwarder for one grid job."""
+
+        def emit(event) -> None:  # called from a pool thread
+            tagged = facade.progress_event(
+                event.stage,
+                request_id=job.request_id,
+                completed=event.completed,
+                total=event.total,
+                detail=event.detail,
+            )
+            self._loop.call_soon_threadsafe(job.send, "event", tagged)
+
+        return emit
+
+
+def _best_effort_id(line: bytes) -> str:
+    """The envelope id of an unparseable line, when salvageable."""
+    import json
+
+    try:
+        envelope = json.loads(line.decode())
+        rid = envelope.get("id", "")
+        return rid if isinstance(rid, str) else ""
+    except (ValueError, AttributeError, UnicodeDecodeError):
+        return ""
+
+
+async def _serve(config: ServerConfig) -> None:
+    server = ReproServer(config)
+    host, port = await server.start()
+    print(
+        f"repro-serve listening on {host}:{port} "
+        f"(max-inflight={config.max_inflight}, "
+        f"max-queued-per-client={config.max_queued_per_client}, "
+        f"state-dir={config.state_dir or '<none>'})",
+        flush=True,
+    )
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.aclose()
+
+
+def serve_forever(config: ServerConfig) -> None:
+    """Blocking entry point used by ``python -m repro serve``."""
+    try:
+        asyncio.run(_serve(config))
+    except KeyboardInterrupt:
+        print("repro-serve: interrupted, shutting down", file=sys.stderr)

@@ -1,0 +1,168 @@
+"""Server-side state: configuration, counters and the grid store.
+
+The daemon itself (:mod:`repro.server.daemon`) is connection plumbing;
+everything it needs to remember lives here so it can be exercised
+without sockets:
+
+* :class:`ServerConfig` — the admission-control and persistence knobs
+  (``docs/service.md`` documents each one);
+* :class:`ServerStats` — the daemon's own counters, exported under the
+  ``server`` key of the ``stats`` verb;
+* :class:`GridStore` — content-addressed persistence for grid requests.
+
+Grid persistence is what makes the daemon crash-safe. Every grid
+request is keyed by the SHA-256 of its canonical wire JSON (pure data,
+so identical requests collide by construction) and owns three files in
+the state directory::
+
+    <key>.request.json   journal: the request, written before it runs
+    <key>.ckpt.jsonl     per-cell checkpoint (repro.harness.checkpoint)
+    <key>.result.json    the final GridResult, written on completion
+
+Because every grid run attaches its keyed checkpoint with
+``resume=True``, recovery and dedupe are the same mechanism: a
+resubmitted or crash-recovered grid replays finished cells from the
+checkpoint (surfacing as ``resumed_cells`` in the result) and computes
+only what is missing. On startup the daemon asks
+:meth:`GridStore.incomplete` for journaled requests that never produced
+a result and re-runs them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+
+from repro.api.types import GridRequest, GridResult
+from repro.api.wire import from_wire, to_wire
+
+__all__ = ["GridStore", "ServerConfig", "ServerStats", "grid_key"]
+
+
+@dataclass(frozen=True, slots=True)
+class ServerConfig:
+    """Tunables of one ``repro serve`` daemon.
+
+    ``max_inflight`` bounds concurrently *executing* requests (the
+    admission semaphore); ``max_queued_per_client`` bounds each
+    client's backlog — submissions past it are rejected with the
+    ``overloaded`` error instead of queued, so one greedy client
+    cannot monopolise memory. ``port=0`` binds an ephemeral port
+    (printed on startup). ``state_dir=""`` disables grid persistence
+    (no journal, no checkpoint, no crash recovery).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_inflight: int = 2
+    max_queued_per_client: int = 8
+    state_dir: str = ""
+
+
+def grid_key(request: GridRequest) -> str:
+    """Content hash identifying a grid request (dedupe + persistence)."""
+    payload = json.dumps(to_wire(request), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+
+class GridStore:
+    """Journal/checkpoint/result files for grid requests, by key."""
+
+    def __init__(self, state_dir: str) -> None:
+        self.state_dir = state_dir
+        if state_dir:
+            os.makedirs(state_dir, exist_ok=True)
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.state_dir)
+
+    # -- paths ----------------------------------------------------------
+    def _path(self, key: str, suffix: str) -> str:
+        return os.path.join(self.state_dir, f"{key}.{suffix}")
+
+    def checkpoint_path(self, key: str) -> str:
+        return self._path(key, "ckpt.jsonl")
+
+    # -- journal --------------------------------------------------------
+    def journal(self, key: str, request: GridRequest) -> None:
+        """Record the request durably *before* it starts executing."""
+        if not self.enabled:
+            return
+        path = self._path(key, "request.json")
+        if os.path.exists(path):
+            return
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(to_wire(request), fh, sort_keys=True)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+
+    def complete(self, key: str, result: GridResult) -> None:
+        """Mark the journaled request finished by persisting its result."""
+        if not self.enabled:
+            return
+        path = self._path(key, "result.json")
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(to_wire(result), fh, sort_keys=True)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+
+    # -- recovery -------------------------------------------------------
+    def incomplete(self) -> list[tuple[str, GridRequest]]:
+        """Journaled requests that never produced a result (crash scan)."""
+        if not self.enabled or not os.path.isdir(self.state_dir):
+            return []
+        found: list[tuple[str, GridRequest]] = []
+        for name in sorted(os.listdir(self.state_dir)):
+            if not name.endswith(".request.json"):
+                continue
+            key = name[: -len(".request.json")]
+            if os.path.exists(self._path(key, "result.json")):
+                continue
+            try:
+                with open(os.path.join(self.state_dir, name), encoding="utf-8") as fh:
+                    request = from_wire(json.load(fh))
+            except (OSError, ValueError):
+                continue  # unreadable journal: skip, never crash startup
+            if isinstance(request, GridRequest):
+                found.append((key, request))
+        return found
+
+
+@dataclass(slots=True)
+class ServerStats:
+    """The daemon's own bookkeeping (the ``server`` dict of ``stats``)."""
+
+    connections: int = 0
+    requests: int = 0
+    sims_done: int = 0
+    grids_done: int = 0
+    grids_joined: int = 0
+    failures: int = 0
+    overload_rejections: int = 0
+    recovered_grids: int = 0
+    inflight: int = 0
+    queued: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def snapshot(self) -> dict:
+        out = {
+            "connections": self.connections,
+            "requests": self.requests,
+            "sims_done": self.sims_done,
+            "grids_done": self.grids_done,
+            "grids_joined": self.grids_joined,
+            "failures": self.failures,
+            "overload_rejections": self.overload_rejections,
+            "recovered_grids": self.recovered_grids,
+            "inflight": self.inflight,
+            "queued": self.queued,
+        }
+        out.update(self.extra)
+        return out

@@ -22,10 +22,15 @@ def lint(tmp_path):
     ``config`` overrides the strict default.
     """
 
+    def write(name, text):
+        path = tmp_path / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(text))
+
     def run(source, *, rules, filename="mod.py", config=STRICT, extra=None):
-        (tmp_path / filename).write_text(textwrap.dedent(source))
+        write(filename, source)
         for name, text in (extra or {}).items():
-            (tmp_path / name).write_text(textwrap.dedent(text))
+            write(name, text)
         return run_lint(
             [tmp_path], config=config, root=tmp_path, rules=all_rules(rules)
         )

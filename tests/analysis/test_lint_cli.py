@@ -17,9 +17,20 @@ PYPROJECT = """
     [tool.simlint]
     determinism-allow = []
     slots-modules = ["*.py"]
+    api-types-modules = ["mod.py"]
+    api-construction-allow = []
 """
 
 INJECTED = {
+    "api-stability": """
+        from dataclasses import dataclass
+
+        API_SCHEMA = 1
+
+        @dataclass
+        class LooseRequest:
+            value: int = 0
+        """,
     "determinism": """
         import time
 

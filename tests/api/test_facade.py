@@ -1,0 +1,152 @@
+"""The repro.api facade: validation, execution, env scoping, legacy shim."""
+
+import os
+import warnings
+
+import pytest
+
+from repro import api
+
+
+class TestValidation:
+    def test_unknown_scheme(self):
+        with pytest.raises(api.RequestError, match="unknown scheme 'nope'"):
+            api.sim_request("nope", "Q1")
+
+    def test_unknown_mix(self):
+        with pytest.raises(api.RequestError, match="unknown mix 'Z9' for 4 cores"):
+            api.sim_request("alloy", "Z9")
+
+    def test_bad_cores(self):
+        with pytest.raises(api.RequestError, match=r"cores must be 4, 8 or 16 \(got 5\)"):
+            api.sim_request("alloy", "Q1", cores=5)
+
+    def test_bad_accesses(self):
+        with pytest.raises(api.RequestError, match="accesses_per_core must be positive"):
+            api.sim_request("alloy", "Q1", accesses_per_core=0)
+
+    def test_bad_backend(self):
+        with pytest.raises(api.RequestError, match="backend"):
+            api.sim_request("alloy", "Q1", backend="turbo")
+
+    def test_bad_warmup_fraction(self):
+        with pytest.raises(api.RequestError, match="warmup_fraction"):
+            api.sim_request("alloy", "Q1", warmup_fraction=1.5)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(api.RequestError, match="unknown experiment 'nope'"):
+            api.grid_request("nope")
+
+    def test_unknown_grid_mixes_listed(self):
+        with pytest.raises(
+            api.RequestError, match=r"unknown mix\(es\) NOPE for 4 cores"
+        ):
+            api.grid_request("fig10", mixes=("Q1", "NOPE"))
+
+    def test_negative_jobs(self):
+        with pytest.raises(api.RequestError, match="jobs must be >= 0"):
+            api.grid_request("fig10", jobs=-1)
+
+    def test_jobs_auto_resolves_to_zero(self):
+        assert api.grid_request("fig10", jobs="auto").jobs == 0
+
+    def test_experiment_catalog_backs_validation(self):
+        # Every catalogued id must build a valid request with defaults.
+        for name in api.experiment_ids():
+            assert api.grid_request(name).experiment == name
+
+
+class TestLegacyEnvShim:
+    def test_env_only_backend_warns_and_applies(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "scalar")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            request = api.sim_request("alloy", "Q1")
+        assert request.backend == "scalar"
+        assert any(
+            issubclass(w.category, DeprecationWarning)
+            and "REPRO_BACKEND" in str(w.message)
+            for w in caught
+        )
+
+    def test_env_only_jobs_warns_and_applies(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            request = api.grid_request("fig10")
+        assert request.jobs == 3
+        assert any(
+            issubclass(w.category, DeprecationWarning)
+            and "REPRO_JOBS" in str(w.message)
+            for w in caught
+        )
+
+    def test_explicit_argument_wins_without_warning(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "vectorized")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            request = api.sim_request("alloy", "Q1", backend="scalar")
+        assert request.backend == "scalar"
+        assert not [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+
+
+class TestExecution:
+    def test_run_sim_matches_direct_runner(self):
+        from repro.harness.runner import ExperimentSetup, run_scheme_on_mix
+
+        request = api.sim_request("alloy", "Q1", accesses_per_core=1500)
+        result = api.run_sim(request)
+        direct = run_scheme_on_mix(
+            "alloy",
+            "Q1",
+            setup=ExperimentSetup(num_cores=4, accesses_per_core=1500, seed=1),
+        )
+        assert result.records == direct.accesses
+        assert result.end_time == direct.end_time
+        assert result.stats == dict(direct.stats)
+        assert result.backend == "scalar"
+
+    def test_run_sim_is_deterministic(self):
+        request = api.sim_request("bimodal", "Q1", accesses_per_core=1200)
+        assert api.run_sim(request).stats == api.run_sim(request).stats
+
+    def test_run_grid_and_progress_events(self):
+        request = api.grid_request("fig10", mixes=("Q1",), accesses_per_core=800)
+        events = []
+        result = api.run_grid(request, progress=events.append)
+        assert result.status == "ok"
+        assert result.failures == ()
+        assert result.rows
+        assert events, "expected per-cell progress events"
+        assert all(e.stage == "cell" for e in events)
+        assert events[-1].completed == events[-1].total
+
+    def test_run_grid_scopes_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        request = api.grid_request("fig10", mixes=("Q1",), accesses_per_core=600)
+        api.run_grid(request)
+        assert "REPRO_JOBS" not in os.environ
+        assert "REPRO_BACKEND" not in os.environ
+
+    def test_run_grid_checkpoint_resume(self, tmp_path):
+        path = str(tmp_path / "grid.ckpt.jsonl")
+        request = api.grid_request("fig10", mixes=("Q1",), accesses_per_core=600)
+        first = api.run_grid(request, checkpoint_path=path)
+        assert first.resumed_cells == 0
+        second = api.run_grid(request, checkpoint_path=path, resume=True)
+        assert second.resumed_cells > 0
+        assert second.rows == first.rows
+
+    def test_grid_result_survives_the_wire(self):
+        request = api.grid_request("fig10", mixes=("Q1",), accesses_per_core=600)
+        result = api.run_grid(request)
+        assert api.decode_line(api.encode_line(result)).rows == result.rows
+
+    def test_stats_result_shape(self):
+        stats = api.stats_result(server={"jobs": 1})
+        assert stats.server == {"jobs": 1}
+        assert "memory_hits" in stats.trace_cache
+        assert isinstance(stats.metrics, dict)

@@ -1,0 +1,91 @@
+"""Envelope framing: request/response lines and their strictness."""
+
+import pytest
+
+from repro.api import facade
+from repro.api.protocol import (
+    VERBS,
+    parse_request_line,
+    parse_response_line,
+    request_line,
+    response_line,
+)
+from repro.api.wire import WireError
+
+
+def _sim_request():
+    return facade.sim_request("alloy", "Q1", accesses_per_core=1000)
+
+
+class TestRequestLines:
+    def test_sim_round_trip(self):
+        request = _sim_request()
+        rid, verb, decoded = parse_request_line(request_line("r1", "sim", request))
+        assert (rid, verb, decoded) == ("r1", "sim", request)
+
+    def test_grid_round_trip(self):
+        request = facade.grid_request("fig10", mixes=("Q1",))
+        rid, verb, decoded = parse_request_line(
+            request_line("g1", "grid", request)
+        )
+        assert (rid, verb, decoded) == ("g1", "grid", request)
+
+    @pytest.mark.parametrize("verb", ["stats", "ping"])
+    def test_bare_verbs_round_trip(self, verb):
+        rid, parsed_verb, decoded = parse_request_line(request_line("s1", verb))
+        assert (rid, parsed_verb, decoded) == ("s1", verb, None)
+
+    def test_unknown_verb_rejected(self):
+        with pytest.raises(WireError, match="unknown verb"):
+            parse_request_line(b'{"id": "r1", "verb": "explode"}\n')
+
+    def test_missing_id_rejected(self):
+        with pytest.raises(WireError, match="'id'"):
+            parse_request_line(b'{"verb": "ping"}\n')
+
+    def test_sim_without_payload_rejected(self):
+        with pytest.raises(WireError, match="needs a request payload"):
+            parse_request_line(b'{"id": "r1", "verb": "sim"}\n')
+
+    def test_bare_verb_with_payload_rejected(self):
+        line = request_line("r1", "sim", _sim_request())
+        tampered = line.replace(b'"verb":"sim"', b'"verb":"ping"')
+        with pytest.raises(WireError, match="takes no request payload"):
+            parse_request_line(tampered)
+
+    def test_wrong_payload_type_for_verb_rejected(self):
+        line = request_line("r1", "grid", _sim_request())
+        with pytest.raises(WireError, match="expects a GridRequest"):
+            parse_request_line(line)
+
+    def test_verb_table_is_closed(self):
+        assert VERBS == ("sim", "grid", "stats", "ping")
+
+
+class TestResponseLines:
+    def test_event_round_trip(self):
+        event = facade.progress_event("cell", request_id="r1", completed=2, total=5)
+        rid, kind, payload = parse_response_line(
+            response_line("r1", "event", event)
+        )
+        assert (rid, kind, payload) == ("r1", "event", event)
+
+    def test_error_round_trip(self):
+        error = facade.api_error("overloaded", "queue full")
+        rid, kind, payload = parse_response_line(
+            response_line("r9", "error", error)
+        )
+        assert (rid, kind) == ("r9", "error")
+        assert payload.code == "overloaded"
+
+    def test_unknown_kind_rejected_on_encode(self):
+        with pytest.raises(WireError, match="unknown response kind"):
+            response_line("r1", "banter", facade.api_error("x", "y"))
+
+    def test_unknown_kind_rejected_on_decode(self):
+        with pytest.raises(WireError, match="unknown response kind"):
+            parse_response_line(b'{"id": "r1", "kind": "banter", "payload": {}}\n')
+
+    def test_payload_required(self):
+        with pytest.raises(WireError, match="payload"):
+            parse_response_line(b'{"id": "r1", "kind": "result"}\n')

@@ -1,0 +1,192 @@
+"""Wire codec: property-based round trips and strict decode failures.
+
+Every api dataclass must survive ``to_wire`` -> JSON text -> ``from_wire``
+bit-identically (tuples revived, numbers exact), and the decoder must
+reject anything it does not fully understand — unknown types, version
+skew, unexpected or missing fields."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.types import (
+    API_SCHEMA,
+    ApiError,
+    GridRequest,
+    GridResult,
+    ProgressEvent,
+    SimRequest,
+    SimResult,
+    StatsResult,
+)
+from repro.api.wire import (
+    WIRE_TYPES,
+    WireError,
+    decode_line,
+    encode_line,
+    from_wire,
+    to_wire,
+)
+
+# JSON-representable scalars whose round trip is exact.
+_scalars = st.one_of(
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.text(max_size=16),
+    st.booleans(),
+    st.none(),
+)
+# Stats-style payload dicts; sequence values follow the repo-wide
+# tuple convention (the codec revives JSON arrays back into tuples).
+_values = st.one_of(
+    _scalars,
+    st.lists(_scalars, max_size=3).map(tuple),
+)
+_dicts = st.dictionaries(st.text(max_size=8), _values, max_size=4)
+_names = st.text(min_size=1, max_size=12)
+
+sim_requests = st.builds(
+    SimRequest,
+    scheme=_names,
+    mix=_names,
+    cores=st.integers(0, 64),
+    accesses_per_core=st.integers(-10, 10**6),
+    seed=st.integers(-(2**31), 2**31),
+    scale=st.integers(0, 64),
+    backend=_names,
+    window=st.integers(0, 256),
+    warmup_fraction=st.floats(0, 1, allow_nan=False),
+)
+grid_requests = st.builds(
+    GridRequest,
+    experiment=_names,
+    mixes=st.lists(_names, max_size=4).map(tuple),
+    cores=st.integers(0, 64),
+    accesses_per_core=st.integers(-10, 10**6),
+    seed=st.integers(-(2**31), 2**31),
+    scale=st.integers(0, 64),
+    backend=_names,
+    jobs=st.integers(0, 64),
+)
+progress_events = st.builds(
+    ProgressEvent,
+    stage=_names,
+    request_id=st.text(max_size=12),
+    completed=st.integers(0, 10**6),
+    total=st.integers(0, 10**6),
+    detail=st.text(max_size=32),
+)
+sim_results = st.builds(
+    SimResult,
+    scheme=_names,
+    mix=_names,
+    cores=st.integers(0, 64),
+    seed=st.integers(-(2**31), 2**31),
+    backend=_names,
+    records=st.integers(0, 10**9),
+    end_time=st.integers(0, 10**12),
+    stats=_dicts,
+    wall_s=st.floats(0, 10**6, allow_nan=False),
+)
+grid_results = st.builds(
+    GridResult,
+    experiment=_names,
+    status=st.sampled_from(["ok", "partial"]),
+    rows=st.lists(_dicts, max_size=3).map(tuple),
+    failures=st.lists(_dicts, max_size=2).map(tuple),
+    resumed_cells=st.integers(0, 10**6),
+    wall_s=st.floats(0, 10**6, allow_nan=False),
+)
+stats_results = st.builds(
+    StatsResult, metrics=_dicts, trace_cache=_dicts, server=_dicts
+)
+api_errors = st.builds(
+    ApiError, code=_names, message=st.text(max_size=64)
+)
+
+any_wire_object = st.one_of(
+    sim_requests,
+    grid_requests,
+    progress_events,
+    sim_results,
+    grid_results,
+    stats_results,
+    api_errors,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(any_wire_object)
+def test_every_type_round_trips_bit_identically(obj):
+    assert from_wire(json.loads(json.dumps(to_wire(obj)))) == obj
+
+
+@settings(max_examples=100, deadline=None)
+@given(any_wire_object)
+def test_line_framing_round_trips(obj):
+    line = encode_line(obj)
+    assert line.endswith(b"\n")
+    assert b"\n" not in line[:-1]  # one object, one line
+    assert decode_line(line) == obj
+
+
+@settings(max_examples=50, deadline=None)
+@given(grid_results)
+def test_tuples_survive_decode(result):
+    revived = decode_line(encode_line(result))
+    assert isinstance(revived.rows, tuple)
+    assert isinstance(revived.failures, tuple)
+    for row in revived.rows:
+        for value in row.values():
+            assert not isinstance(value, list)
+
+
+class TestStrictDecode:
+    def test_unknown_type_rejected(self):
+        with pytest.raises(WireError, match="unknown wire type"):
+            from_wire({"type": "EvilRequest", "schema": API_SCHEMA})
+
+    @pytest.mark.parametrize("schema", [0, API_SCHEMA + 1, "1", None])
+    def test_other_schema_versions_rejected(self, schema):
+        payload = {"type": "ApiError", "code": "x", "message": "y"}
+        if schema is not None:
+            payload["schema"] = schema
+        with pytest.raises(WireError, match="schema"):
+            from_wire(payload)
+
+    def test_unexpected_field_rejected(self):
+        payload = to_wire(ApiError(code="x", message="y"))
+        payload["surprise"] = 1
+        with pytest.raises(WireError, match="unexpected field"):
+            from_wire(payload)
+
+    def test_missing_required_field_rejected(self):
+        payload = to_wire(ApiError(code="x", message="y"))
+        del payload["message"]
+        with pytest.raises(WireError, match="bad ApiError payload"):
+            from_wire(payload)
+
+    def test_non_object_rejected(self):
+        with pytest.raises(WireError):
+            from_wire(["SimRequest"])
+
+    def test_non_json_line_rejected(self):
+        with pytest.raises(WireError, match="not JSON"):
+            decode_line(b"{nope\n")
+
+    def test_every_public_type_is_registered(self):
+        assert set(WIRE_TYPES) == {
+            "SimRequest",
+            "GridRequest",
+            "ProgressEvent",
+            "SimResult",
+            "GridResult",
+            "StatsResult",
+            "ApiError",
+        }
+
+    def test_schema_field_travels_on_the_wire(self):
+        payload = to_wire(ApiError(code="x", message="y"))
+        assert payload["schema"] == API_SCHEMA

@@ -20,7 +20,7 @@ def test_every_listed_experiment_exists():
 
 def test_unknown_experiment(capsys):
     assert main(["figure99"]) == 2
-    assert "unknown experiment" in capsys.readouterr().out
+    assert "unknown experiment" in capsys.readouterr().err
 
 
 def test_static_experiment_prints_table(capsys):
@@ -51,7 +51,8 @@ class TestSubcommands:
 
     def test_run_unknown_experiment(self, capsys):
         assert main(["run", "figure99"]) == 2
-        assert "unknown experiment" in capsys.readouterr().out
+        err = capsys.readouterr().err
+        assert "error: unknown experiment" in err
 
     def test_list_schemes(self, capsys):
         assert main(["list-schemes"]) == 0
@@ -94,12 +95,14 @@ class TestSubcommands:
             assert manifest["seed"] == 1
             assert manifest["config_hash"]
 
-    def test_jobs_flag_sets_env(self, monkeypatch, capsys):
+    def test_jobs_flag_does_not_leak_env(self, monkeypatch, capsys):
+        # The api facade scopes REPRO_JOBS/REPRO_BACKEND to the request
+        # (workers inherit them) and restores the environment after.
         monkeypatch.delenv("REPRO_JOBS", raising=False)
         import os
 
         assert main(["run", "table1", "--jobs", "2"]) == 0
-        assert os.environ.pop("REPRO_JOBS") == "2"
+        assert "REPRO_JOBS" not in os.environ
         capsys.readouterr()
 
 
@@ -115,7 +118,7 @@ class TestConfigValidation:
 
     def test_bad_core_count(self, capsys):
         rc = main(["run", "fig10", "--cores", "5"])
-        self._assert_usage_error(capsys, rc, "--cores must be 4, 8 or 16")
+        self._assert_usage_error(capsys, rc, "cores must be 4, 8 or 16")
 
     def test_unknown_mix_for_cores(self, capsys):
         rc = main(["run", "fig10", "--mixes", "Q1", "NOPE"])
@@ -128,11 +131,11 @@ class TestConfigValidation:
 
     def test_negative_accesses(self, capsys):
         rc = main(["run", "fig10", "--accesses", "-5"])
-        self._assert_usage_error(capsys, rc, "--accesses must be positive")
+        self._assert_usage_error(capsys, rc, "accesses_per_core must be positive")
 
     def test_bad_scale(self, capsys):
         rc = main(["run", "fig10", "--scale", "0"])
-        self._assert_usage_error(capsys, rc, "--scale must be >= 1")
+        self._assert_usage_error(capsys, rc, "scale must be >= 1")
 
     def test_bench_unknown_scheme(self, capsys):
         rc = main(["bench", "--scheme", "turbocache"])
@@ -140,7 +143,7 @@ class TestConfigValidation:
 
     def test_bench_bad_cores(self, capsys):
         rc = main(["bench", "--cores", "3"])
-        self._assert_usage_error(capsys, rc, "--cores must be 4, 8 or 16")
+        self._assert_usage_error(capsys, rc, "cores must be 4, 8 or 16")
 
     def test_bench_unknown_mix(self, capsys):
         rc = main(["bench", "--mix", "Z9"])
