@@ -65,6 +65,18 @@ echo "== service smoke (repro serve) =="
 # See docs/service.md.
 python scripts/serve_smoke.py
 
+echo "== chaos suite =="
+# The chaos-marked tests (disk + wire fault injection, see
+# docs/robustness.md) run inside tier-1 above; this pass re-runs them
+# under pytest-timeout so a hung drain or reconnect fails fast instead
+# of wedging the job. Skipped where the plugin is not installed (the
+# offline container) — coverage is unchanged, only the hang cap is.
+if python -c "import pytest_timeout" >/dev/null 2>&1; then
+    python -m pytest -m chaos -q --timeout=120
+else
+    echo "pytest-timeout not on PATH; chaos tests already ran in tier-1"
+fi
+
 echo "== perf gate =="
 # Fast-path throughput vs the last committed BENCH_perf.json entry for
 # the same mode/scheme/mix/backend; exits 4 when the measured rate

@@ -52,6 +52,34 @@ def canonical_export(path: str) -> dict:
     return doc
 
 
+def connect_when_ready(host: str, port: int, budget_s: float = 20.0):
+    """Bounded ping-retry loop instead of trusting the banner's timing.
+
+    The banner prints when the listener binds, but the first connect can
+    still race process scheduling; retry with short connect timeouts
+    until the server answers a ping or the budget is spent.
+    """
+    deadline = time.perf_counter() + budget_s
+    last_error: Exception | None = None
+    while time.perf_counter() < deadline:
+        try:
+            client = api.ServiceClient(
+                host, port, timeout=300, connect_timeout=2.0
+            )
+        except (OSError, TimeoutError) as exc:
+            last_error = exc
+            time.sleep(0.1)
+            continue
+        try:
+            client.ping()
+            return client
+        except Exception as exc:  # noqa: BLE001 — retry until budget
+            last_error = exc
+            client.close()
+            time.sleep(0.1)
+    fail(f"server not ready within {budget_s:g}s: {last_error}")
+
+
 def main() -> int:
     env = dict(os.environ, PYTHONPATH=os.path.join(REPO, "src"))
     with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
@@ -84,7 +112,7 @@ def main() -> int:
                 fail(f"no listening banner, got: {banner!r}")
             host, port = match.group(1), int(match.group(2))
 
-            with api.ServiceClient(host, port, timeout=300) as client:
+            with connect_when_ready(host, port) as client:
                 request = api.grid_request(
                     EXPERIMENT, mixes=MIXES, accesses_per_core=ACCESSES
                 )
@@ -127,9 +155,14 @@ def main() -> int:
         finally:
             server.terminate()
             try:
-                server.wait(timeout=10)
+                rc = server.wait(timeout=15)
+                # SIGTERM now triggers a graceful drain; an idle server
+                # must exit 0 (the drain contract, docs/robustness.md).
+                if rc != 0:
+                    fail(f"SIGTERM drain exited {rc}, expected 0")
             except subprocess.TimeoutExpired:
                 server.kill()
+                fail("server did not drain within 15s of SIGTERM")
     return 0
 
 

@@ -118,6 +118,28 @@ def _build_parser() -> argparse.ArgumentParser:
         help="resume from a checkpoint file: cells already recorded there "
         "are served from it, only the missing ones run",
     )
+    run.add_argument(
+        "--server",
+        default=None,
+        metavar="HOST:PORT",
+        help="run on a warm `repro serve` daemon instead of locally "
+        "(results are byte-identical; retries/reconnects transparently)",
+    )
+    run.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="bound on establishing the server connection (default 10)",
+    )
+    run.add_argument(
+        "--deadline",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="wall-clock budget for the whole run; past it the request "
+        "fails with the typed deadline_exceeded error (0 = none)",
+    )
     _shared_flags(run)
 
     sub.add_parser("list", help="list experiment ids")
@@ -162,6 +184,15 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="per-client backlog bound; beyond it requests are rejected "
         "with the typed 'overloaded' error",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="graceful-drain budget after SIGTERM/SIGINT: in-flight work "
+        "gets this long to finish (checkpointing as it goes) before the "
+        "process force-exits (still status 0)",
     )
 
     bench = sub.add_parser(
@@ -226,6 +257,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"max-queued-per-client must be >= 1 "
             f"(got {args.max_queued_per_client})"
         )
+    if args.drain_timeout < 0:
+        return _usage_error(
+            f"drain-timeout must be >= 0 (got {args.drain_timeout})"
+        )
     from repro.server import ServerConfig, serve_forever
 
     serve_forever(
@@ -235,6 +270,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_inflight=args.max_inflight,
             max_queued_per_client=args.max_queued_per_client,
             state_dir=args.state_dir or "",
+            drain_timeout_s=args.drain_timeout,
         )
     )
     return EXIT_OK
@@ -282,6 +318,16 @@ def _checkpoint_path(args: argparse.Namespace) -> str | None:
     return None
 
 
+def _parse_hostport(value: str) -> tuple[str, int] | None:
+    host, sep, port = value.rpartition(":")
+    if not sep or not host:
+        return None
+    try:
+        return host, int(port)
+    except ValueError:
+        return None
+
+
 def _cmd_run(args: argparse.Namespace, argv: list[str]) -> int:
     try:
         request = api.grid_request(
@@ -293,21 +339,42 @@ def _cmd_run(args: argparse.Namespace, argv: list[str]) -> int:
             scale=args.scale,
             backend=args.backend,
             jobs=args.jobs,
+            deadline_s=args.deadline,
         )
     except api.RequestError as exc:
         return _usage_error(str(exc))
     _configure_tracing(args)
     ckpt_path = _checkpoint_path(args)
     try:
-        result = api.run_grid(
-            request,
-            checkpoint_path=ckpt_path,
-            resume=bool(args.resume),
-        )
+        if args.server:
+            address = _parse_hostport(args.server)
+            if address is None:
+                return _usage_error(
+                    f"--server needs HOST:PORT (got {args.server!r})"
+                )
+            if ckpt_path:
+                print(
+                    "[repro] --server runs checkpoint on the daemon "
+                    "(its keyed state dir); local checkpoint flags ignored",
+                    file=sys.stderr,
+                )
+            result = _run_on_server(args, address, request)
+        else:
+            result = api.run_grid(
+                request,
+                checkpoint_path=ckpt_path,
+                resume=bool(args.resume),
+            )
     except ValueError as exc:
         # Config-shaped errors (unknown scheme/mix, bad parameter) from
         # inside an experiment get a clean one-liner, not a traceback.
         return _usage_error(str(exc))
+    except api.ServiceError as exc:
+        return _usage_error(str(exc))
+    except (OSError, TimeoutError) as exc:
+        if args.server:
+            return _usage_error(f"cannot reach server {args.server}: {exc}")
+        raise
     if args.resume and result.resumed_cells:
         print(
             f"[repro] resumed {result.resumed_cells} cell(s) from {ckpt_path}",
@@ -343,6 +410,20 @@ def _cmd_run(args: argparse.Namespace, argv: list[str]) -> int:
         _print_failure_table(result.failures)
         return EXIT_PARTIAL
     return EXIT_OK
+
+
+def _run_on_server(args: argparse.Namespace, address, request):
+    """Run the grid on a warm daemon, with reconnect-and-resume retries."""
+    from repro.api.retry import RetryPolicy
+
+    host, port = address
+    with api.ServiceClient(
+        host,
+        port,
+        connect_timeout=args.connect_timeout,
+        retry=RetryPolicy(),
+    ) as client:
+        return client.run_grid(request)
 
 
 def _print_failure_table(failures) -> None:

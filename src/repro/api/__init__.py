@@ -23,12 +23,15 @@ from repro.api.client import AsyncServiceClient, ServiceClient
 from repro.api.errors import (
     ERR_BAD_REQUEST,
     ERR_BAD_SCHEMA,
+    ERR_DEADLINE,
+    ERR_DRAINING,
     ERR_INTERNAL,
     ERR_OVERLOADED,
     EXIT_OK,
     EXIT_PARTIAL,
     EXIT_PERF_GATE,
     EXIT_USAGE,
+    RETRYABLE_CODES,
     RequestError,
     ServiceError,
 )
@@ -36,6 +39,7 @@ from repro.api.facade import (
     api_error,
     grid_request,
     grid_setup,
+    health_result,
     progress_event,
     run_grid,
     run_sim,
@@ -44,24 +48,38 @@ from repro.api.facade import (
     validate_grid,
     validate_sim,
 )
+from repro.api.retry import RetryPolicy
 from repro.api.types import (
     API_SCHEMA,
+    API_SCHEMA_MIN,
     ApiError,
     GridRequest,
     GridResult,
+    HealthResult,
     ProgressEvent,
     SimRequest,
     SimResult,
     StatsResult,
 )
-from repro.api.wire import WireError, decode_line, encode_line, from_wire, to_wire
+from repro.api.wire import (
+    WireError,
+    decode_line,
+    dumps_strict,
+    encode_line,
+    from_wire,
+    loads_strict,
+    to_wire,
+)
 
 __all__ = [
     "API_SCHEMA",
+    "API_SCHEMA_MIN",
     "ApiError",
     "AsyncServiceClient",
     "ERR_BAD_REQUEST",
     "ERR_BAD_SCHEMA",
+    "ERR_DEADLINE",
+    "ERR_DRAINING",
     "ERR_INTERNAL",
     "ERR_OVERLOADED",
     "EXIT_OK",
@@ -71,8 +89,11 @@ __all__ = [
     "ExperimentSpec",
     "GridRequest",
     "GridResult",
+    "HealthResult",
     "ProgressEvent",
+    "RETRYABLE_CODES",
     "RequestError",
+    "RetryPolicy",
     "ServiceClient",
     "ServiceError",
     "SimRequest",
@@ -81,6 +102,7 @@ __all__ = [
     "WireError",
     "api_error",
     "decode_line",
+    "dumps_strict",
     "encode_line",
     "experiment_catalog",
     "experiment_ids",
@@ -88,6 +110,8 @@ __all__ = [
     "get_experiment",
     "grid_request",
     "grid_setup",
+    "health_result",
+    "loads_strict",
     "progress_event",
     "run_grid",
     "run_sim",

@@ -12,6 +12,15 @@ touching anything downstream — results are byte-identical
 (``scripts/serve_smoke.py`` asserts it in CI). Server-side rejections
 surface as :class:`~repro.api.errors.ServiceError` carrying the typed
 :class:`~repro.api.types.ApiError` envelope.
+
+Resilience (``docs/robustness.md``): connecting is always bounded by
+``connect_timeout`` (a daemon that never answers must not hang the
+caller forever), and attaching a :class:`~repro.api.retry.RetryPolicy`
+makes each verb survive dropped connections and retryable server
+errors by reconnecting and resubmitting. Resubmitting is idempotent:
+sims are deterministic, and grids are content-addressed server-side
+(``grid_key``), so a retried grid joins or resumes the original run
+and returns byte-identical rows.
 """
 
 from __future__ import annotations
@@ -19,12 +28,15 @@ from __future__ import annotations
 import asyncio
 import itertools
 import socket
+import time
 
 from repro.api.errors import ServiceError
 from repro.api.protocol import parse_response_line, request_line
+from repro.api.retry import RetryPolicy, request_key
 from repro.api.types import (
     GridRequest,
     GridResult,
+    HealthResult,
     SimRequest,
     SimResult,
     StatsResult,
@@ -35,6 +47,12 @@ __all__ = ["AsyncServiceClient", "ServiceClient"]
 
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 7914
+
+#: Bound on establishing the TCP connection. Finite by default: an
+#: unreachable or wedged daemon should fail the caller in seconds, not
+#: block forever (reads stay unbounded unless ``timeout`` is set —
+#: grids legitimately run for minutes between protocol lines).
+DEFAULT_CONNECT_TIMEOUT_S = 10.0
 
 
 def _finish(kind: str, payload, expect: type):
@@ -56,6 +74,11 @@ class ServiceClient:
 
         with ServiceClient(port=7914) as client:
             result = client.run_sim(request)
+
+    With ``retry=RetryPolicy()``, a verb that dies mid-stream (killed
+    server, dropped connection, read timeout) reconnects and resubmits
+    the same request; see :mod:`repro.api.retry` for why the answer is
+    unchanged by the retry.
     """
 
     def __init__(
@@ -64,14 +87,34 @@ class ServiceClient:
         port: int = DEFAULT_PORT,
         *,
         timeout: float | None = None,
+        connect_timeout: float | None = DEFAULT_CONNECT_TIMEOUT_S,
+        retry: RetryPolicy | None = None,
     ) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._reader = self._sock.makefile("rb")
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._connect_timeout = connect_timeout
+        self._retry = retry
         self._ids = itertools.count(1)
+        self._sock: socket.socket | None = None
+        self._reader = None
+        self._connect()
+
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(
+            (self._host, self._port), timeout=self._connect_timeout
+        )
+        # Connect bound and read bound are different budgets.
+        self._sock.settimeout(self._timeout)
+        self._reader = self._sock.makefile("rb")
 
     def close(self) -> None:
-        self._reader.close()
-        self._sock.close()
+        if self._reader is not None:
+            self._reader.close()
+            self._reader = None
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -97,14 +140,42 @@ class ServiceClient:
         self._call("ping", None, StatsResult, None)
         return True
 
+    def health(self) -> HealthResult:
+        """Lifecycle state + queue depths (``starting|serving|draining``)."""
+        return self._call("health", None, HealthResult, None)
+
     # -- plumbing -------------------------------------------------------
     def _call(self, verb, request, expect, on_progress):
+        if self._retry is None:
+            return self._attempt(verb, request, expect, on_progress)
+        key = request_key(verb, request)
+        for attempt in itertools.count(1):
+            try:
+                if self._sock is None:
+                    self._connect()
+                return self._attempt(verb, request, expect, on_progress)
+            except (ServiceError, OSError, TimeoutError) as exc:
+                if attempt >= self._retry.attempts or not self._retry.should_retry(exc):
+                    raise
+                if not isinstance(exc, ServiceError):
+                    # Transport died: drop it so the next attempt
+                    # reconnects. A retryable *server* answer keeps the
+                    # (healthy) connection.
+                    self.close()
+                time.sleep(self._retry.delay_s(key, attempt))
+
+    def _attempt(self, verb, request, expect, on_progress):
         request_id = f"c{next(self._ids)}"
         self._sock.sendall(request_line(request_id, verb, request))
         while True:
             line = self._reader.readline()
             if not line:
                 raise ConnectionError("server closed the connection")
+            if not line.endswith(b"\n"):
+                # EOF mid-line: a dropped connection truncated the
+                # frame. That is a transport failure (retryable), not a
+                # malformed frame from a healthy server.
+                raise ConnectionError("connection dropped mid-frame")
             rid, kind, payload = parse_response_line(line)
             if rid != request_id:
                 # Blocking client has one request in flight; anything
@@ -128,37 +199,77 @@ class AsyncServiceClient:
 
     Use :meth:`connect` (or ``async with AsyncServiceClient.session()``)
     to open, then issue any number of overlapping awaitable verbs.
+    With a :class:`~repro.api.retry.RetryPolicy`, concurrent requests
+    that lose the connection race to reconnect exactly once (a lock and
+    generation counter serialize it) and then each resubmit.
     """
 
     def __init__(self) -> None:
+        self._host = DEFAULT_HOST
+        self._port = DEFAULT_PORT
+        self._connect_timeout = DEFAULT_CONNECT_TIMEOUT_S
+        self._retry: RetryPolicy | None = None
         self._reader = None
         self._writer = None
         self._ids = itertools.count(1)
         self._pending: dict[str, asyncio.Queue] = {}
         self._reader_task = None
+        self._conn_lock: asyncio.Lock | None = None
+        self._generation = 0
 
     @classmethod
     async def connect(
-        cls, host: str = DEFAULT_HOST, port: int = DEFAULT_PORT
+        cls,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        *,
+        connect_timeout: float | None = DEFAULT_CONNECT_TIMEOUT_S,
+        retry: RetryPolicy | None = None,
     ) -> "AsyncServiceClient":
         client = cls()
-        client._reader, client._writer = await asyncio.open_connection(host, port)
-        client._reader_task = asyncio.create_task(client._pump())
+        client._host = host
+        client._port = port
+        client._connect_timeout = connect_timeout
+        client._retry = retry
+        client._conn_lock = asyncio.Lock()
+        await client._open()
         return client
 
-    async def close(self) -> None:
+    async def _open(self) -> None:
+        self._reader, self._writer = await asyncio.wait_for(
+            asyncio.open_connection(self._host, self._port),
+            self._connect_timeout,
+        )
+        self._reader_task = asyncio.create_task(self._pump())
+
+    async def _teardown(self) -> None:
         if self._reader_task is not None:
             self._reader_task.cancel()
             try:
                 await self._reader_task
             except (asyncio.CancelledError, Exception):
                 pass
+            self._reader_task = None
         if self._writer is not None:
             self._writer.close()
             try:
                 await self._writer.wait_closed()
             except Exception:
                 pass
+            self._writer = None
+        self._reader = None
+
+    async def _reconnect(self, seen_generation: int) -> None:
+        """Re-open the transport once, however many requests ask for it."""
+        async with self._conn_lock:
+            if self._generation != seen_generation:
+                return  # a sibling request already reconnected
+            await self._teardown()
+            await self._open()
+            self._generation += 1
+
+    async def close(self) -> None:
+        await self._teardown()
 
     async def __aenter__(self) -> "AsyncServiceClient":
         return self
@@ -182,15 +293,24 @@ class AsyncServiceClient:
         await self._call("ping", None, StatsResult, None)
         return True
 
+    async def health(self) -> HealthResult:
+        return await self._call("health", None, HealthResult, None)
+
     # -- plumbing -------------------------------------------------------
     async def _pump(self) -> None:
         """Reader task: route every server line to its request queue."""
         try:
             while True:
                 line = await self._reader.readline()
-                if not line:
+                if not line or not line.endswith(b"\n"):
+                    break  # EOF (possibly mid-frame): connection is gone
+                try:
+                    rid, kind, payload = parse_response_line(line)
+                except WireError:
+                    # A poisoned stream cannot be attributed to any one
+                    # request; drop the connection so every pending
+                    # request fails (and retries) uniformly.
                     break
-                rid, kind, payload = parse_response_line(line)
                 queue = self._pending.get(rid)
                 if queue is not None:
                     queue.put_nowait((kind, payload))
@@ -199,10 +319,27 @@ class AsyncServiceClient:
                 queue.put_nowait(("closed", None))
 
     async def _call(self, verb, request, expect, on_progress):
+        if self._retry is None:
+            return await self._attempt(verb, request, expect, on_progress)
+        key = request_key(verb, request)
+        for attempt in itertools.count(1):
+            generation = self._generation
+            try:
+                return await self._attempt(verb, request, expect, on_progress)
+            except (ServiceError, OSError, TimeoutError) as exc:
+                if attempt >= self._retry.attempts or not self._retry.should_retry(exc):
+                    raise
+                await asyncio.sleep(self._retry.delay_s(key, attempt))
+                if not isinstance(exc, ServiceError):
+                    await self._reconnect(generation)
+
+    async def _attempt(self, verb, request, expect, on_progress):
         request_id = f"a{next(self._ids)}"
         queue: asyncio.Queue = asyncio.Queue()
         self._pending[request_id] = queue
         try:
+            if self._writer is None:
+                raise ConnectionError("client is not connected")
             self._writer.write(request_line(request_id, verb, request))
             await self._writer.drain()
             while True:

@@ -29,8 +29,11 @@ __all__ = [
     "EXIT_PERF_GATE",
     "ERR_BAD_REQUEST",
     "ERR_BAD_SCHEMA",
+    "ERR_DEADLINE",
+    "ERR_DRAINING",
     "ERR_OVERLOADED",
     "ERR_INTERNAL",
+    "RETRYABLE_CODES",
     "RequestError",
     "ServiceError",
 ]
@@ -44,6 +47,17 @@ ERR_BAD_REQUEST = "bad-request"
 ERR_BAD_SCHEMA = "bad-schema"
 ERR_OVERLOADED = "overloaded"
 ERR_INTERNAL = "internal"
+#: The request's ``deadline_s`` wall-clock budget elapsed before it
+#: finished. Completed grid cells stay checkpointed, so a resubmit
+#: (with a larger budget) resumes rather than recomputes.
+ERR_DEADLINE = "deadline_exceeded"
+#: The server is draining (SIGTERM/SIGINT received): no new work is
+#: admitted; resubmit after the restart — journaled grids recover.
+ERR_DRAINING = "draining"
+
+#: Error codes a client may safely retry against the same request:
+#: transient server conditions, not properties of the request itself.
+RETRYABLE_CODES = (ERR_OVERLOADED, ERR_DRAINING)
 
 
 class RequestError(ValueError):

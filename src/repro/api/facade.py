@@ -31,11 +31,12 @@ import warnings
 from contextlib import ExitStack, contextmanager
 
 from repro.api import catalog
-from repro.api.errors import RequestError
+from repro.api.errors import ERR_DEADLINE, RequestError
 from repro.api.types import (
     ApiError,
     GridRequest,
     GridResult,
+    HealthResult,
     ProgressEvent,
     SimRequest,
     SimResult,
@@ -46,6 +47,7 @@ __all__ = [
     "api_error",
     "grid_request",
     "grid_setup",
+    "health_result",
     "progress_event",
     "run_grid",
     "run_sim",
@@ -107,6 +109,7 @@ def sim_request(
     backend: str | None = None,
     window: int = 16,
     warmup_fraction: float = 0.5,
+    deadline_s: float = 0.0,
 ) -> SimRequest:
     """A validated :class:`SimRequest` (the only sanctioned constructor)."""
     request = SimRequest(
@@ -119,6 +122,7 @@ def sim_request(
         backend=_resolve_backend(backend),
         window=window,
         warmup_fraction=warmup_fraction,
+        deadline_s=deadline_s,
     )
     validate_sim(request)
     return request
@@ -134,6 +138,7 @@ def grid_request(
     scale: int = 16,
     backend: str | None = None,
     jobs: int | str | None = None,
+    deadline_s: float = 0.0,
 ) -> GridRequest:
     """A validated :class:`GridRequest` (the only sanctioned constructor)."""
     request = GridRequest(
@@ -145,6 +150,7 @@ def grid_request(
         scale=scale,
         backend=_resolve_backend(backend),
         jobs=_resolve_jobs(jobs),
+        deadline_s=deadline_s,
     )
     validate_grid(request)
     return request
@@ -173,6 +179,11 @@ def _check_common(request) -> None:
         )
     if request.scale < 1:
         raise RequestError(f"scale must be >= 1 (got {request.scale})")
+    if request.deadline_s < 0:
+        raise RequestError(
+            f"deadline_s must be >= 0 (got {request.deadline_s}); "
+            "0 means no deadline"
+        )
     _check_backend(request.backend)
 
 
@@ -253,7 +264,15 @@ def _scoped_env(**values: str):
 
 
 def run_sim(request: SimRequest) -> SimResult:
-    """Execute one validated simulation request to completion."""
+    """Execute one validated simulation request to completion.
+
+    ``deadline_s > 0`` bounds the wall-clock budget: on the main thread
+    the SIGALRM cell timeout interrupts an overrunning simulation; on
+    worker threads (the server pool) the daemon enforces the budget by
+    abandoning the wait instead. Either way the caller sees a typed
+    ``deadline_exceeded`` :class:`~repro.api.errors.RequestError`.
+    """
+    from repro.harness import faults
     from repro.harness.runner import ExperimentSetup, run_scheme_on_mix
 
     validate_sim(request)
@@ -264,14 +283,22 @@ def run_sim(request: SimRequest) -> SimResult:
         seed=request.seed,
     )
     start = time.perf_counter()
-    result = run_scheme_on_mix(
-        request.scheme,
-        request.mix,
-        setup=setup,
-        window=request.window,
-        warmup_fraction=request.warmup_fraction,
-        backend=request.backend,
-    )
+    try:
+        with faults.cell_timeout(request.deadline_s or None):
+            result = run_scheme_on_mix(
+                request.scheme,
+                request.mix,
+                setup=setup,
+                window=request.window,
+                warmup_fraction=request.warmup_fraction,
+                backend=request.backend,
+            )
+    except faults.CellTimeoutError:
+        raise RequestError(
+            f"deadline of {request.deadline_s:g}s exceeded before the "
+            "simulation finished",
+            code=ERR_DEADLINE,
+        ) from None
     return SimResult(
         scheme=request.scheme,
         mix=request.mix,
@@ -336,28 +363,41 @@ def run_grid(
     tracer = get_tracer()
     start = time.perf_counter()
     resumed = 0
-    with ExitStack() as stack:
-        stack.enter_context(
-            _scoped_env(
-                REPRO_JOBS=str(request.jobs), REPRO_BACKEND=request.backend
-            )
-        )
-        collector = stack.enter_context(faults.collect_failures())
-        ckpt = None
-        if checkpoint_path:
-            ckpt = stack.enter_context(
-                checkpoint_module.attach(checkpoint_path, resume=resume)
-            )
-        if progress is not None:
+    try:
+        with ExitStack() as stack:
             stack.enter_context(
-                parallel.progress_scope(_cell_progress(progress))
+                _scoped_env(
+                    REPRO_JOBS=str(request.jobs), REPRO_BACKEND=request.backend
+                )
             )
-        with tracer.span("run", experiment=request.experiment) as span:
-            rows = fn(**kwargs)
-            if tracer.enabled:
-                span["rows"] = len(rows)
-        if ckpt is not None:
-            resumed = ckpt.hits
+            stack.enter_context(
+                faults.deadline_scope(request.deadline_s or None)
+            )
+            collector = stack.enter_context(faults.collect_failures())
+            ckpt = None
+            if checkpoint_path:
+                ckpt = stack.enter_context(
+                    checkpoint_module.attach(checkpoint_path, resume=resume)
+                )
+            if progress is not None:
+                stack.enter_context(
+                    parallel.progress_scope(_cell_progress(progress))
+                )
+            with tracer.span("run", experiment=request.experiment) as span:
+                rows = fn(**kwargs)
+                if tracer.enabled:
+                    span["rows"] = len(rows)
+            if ckpt is not None:
+                resumed = ckpt.hits
+    except faults.DeadlineExceededError:
+        # Cells finished before the budget ran out are checkpointed
+        # (when a checkpoint is attached), so resubmitting the same
+        # request resumes where this attempt stopped.
+        raise RequestError(
+            f"deadline of {request.deadline_s:g}s exceeded before the "
+            "grid finished",
+            code=ERR_DEADLINE,
+        ) from None
     failures = tuple(collector.as_dicts())
     return GridResult(
         experiment=request.experiment,
@@ -416,3 +456,23 @@ def progress_event(
 
 def api_error(code: str, message: str) -> ApiError:
     return ApiError(code=code, message=message)
+
+
+def health_result(
+    state: str,
+    *,
+    queued: int = 0,
+    inflight: int = 0,
+    connections: int = 0,
+    detail: str = "",
+) -> HealthResult:
+    """The ``health`` verb's answer (``starting``/``serving``/``draining``)."""
+    if state not in ("starting", "serving", "draining"):
+        raise RequestError(f"unknown health state {state!r}")
+    return HealthResult(
+        state=state,
+        queued=queued,
+        inflight=inflight,
+        connections=connections,
+        detail=detail,
+    )

@@ -10,6 +10,7 @@ Request lines (client -> server)::
     {"id": "r2", "verb": "grid", "request": {"type": "GridRequest", ...}}
     {"id": "r3", "verb": "stats"}
     {"id": "r4", "verb": "ping"}
+    {"id": "r5", "verb": "health"}
 
 Response lines (server -> client), always echoing the request ``id``::
 
@@ -24,9 +25,7 @@ request (unparseable JSON, missing ``id``) come back with ``id": ""``.
 
 from __future__ import annotations
 
-import json
-
-from repro.api.wire import WireError, from_wire, to_wire
+from repro.api.wire import WireError, dumps_strict, from_wire, loads_strict, to_wire
 
 __all__ = [
     "VERBS",
@@ -37,8 +36,8 @@ __all__ = [
 ]
 
 #: Every request verb the protocol defines. ``sim`` and ``grid`` carry
-#: a ``request`` payload; ``stats`` and ``ping`` are bare.
-VERBS = ("sim", "grid", "stats", "ping")
+#: a ``request`` payload; ``stats``, ``ping`` and ``health`` are bare.
+VERBS = ("sim", "grid", "stats", "ping", "health")
 
 _REQUEST_VERBS = {"sim": "SimRequest", "grid": "GridRequest"}
 _RESPONSE_KINDS = ("event", "result", "error")
@@ -49,7 +48,7 @@ def request_line(request_id: str, verb: str, request=None) -> bytes:
     envelope: dict = {"id": request_id, "verb": verb}
     if request is not None:
         envelope["request"] = to_wire(request)
-    return (json.dumps(envelope, separators=(",", ":")) + "\n").encode()
+    return (dumps_strict(envelope) + "\n").encode()
 
 
 def response_line(request_id: str, kind: str, payload) -> bytes:
@@ -57,16 +56,13 @@ def response_line(request_id: str, kind: str, payload) -> bytes:
     if kind not in _RESPONSE_KINDS:
         raise WireError(f"unknown response kind {kind!r}")
     envelope = {"id": request_id, "kind": kind, "payload": to_wire(payload)}
-    return (json.dumps(envelope, separators=(",", ":")) + "\n").encode()
+    return (dumps_strict(envelope) + "\n").encode()
 
 
 def _load(line: str | bytes) -> dict:
     if isinstance(line, bytes):
         line = line.decode()
-    try:
-        envelope = json.loads(line)
-    except ValueError as exc:
-        raise WireError(f"not JSON: {exc}") from None
+    envelope = loads_strict(line)
     if not isinstance(envelope, dict):
         raise WireError(
             f"protocol line must be an object, got {type(envelope).__name__}"

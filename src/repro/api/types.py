@@ -26,18 +26,30 @@ from dataclasses import dataclass
 
 __all__ = [
     "API_SCHEMA",
+    "API_SCHEMA_MIN",
     "ApiError",
     "GridRequest",
     "GridResult",
+    "HealthResult",
     "ProgressEvent",
     "SimRequest",
     "SimResult",
     "StatsResult",
 ]
 
-#: Version of the request/response schema. Bump on any incompatible
-#: change to the dataclasses below; decoders reject other versions.
-API_SCHEMA = 1
+#: Version of the request/response schema. Bump on any change to the
+#: dataclasses below; decoders reject versions outside
+#: [:data:`API_SCHEMA_MIN`, :data:`API_SCHEMA`].
+#:
+#: v2 (additive over v1): ``deadline_s`` on SimRequest/GridRequest,
+#: the ``HealthResult`` type and the ``health`` protocol verb.
+API_SCHEMA = 2
+
+#: Oldest wire schema this build still decodes. Every field added
+#: since it has a default, so a v1 payload decodes into the current
+#: dataclass with the new fields defaulted (skew-tolerant decode —
+#: old clients keep working against a new server and vice versa).
+API_SCHEMA_MIN = 1
 
 
 @dataclass(frozen=True, slots=True)
@@ -47,6 +59,9 @@ class SimRequest:
     Mirrors :class:`~repro.harness.runner.ExperimentSetup` plus the
     drive parameters of ``run_scheme_on_mix``; the facade validates
     every field against the same catalogs the CLI uses.
+    ``deadline_s`` (0 = none) is a wall-clock budget enforced by the
+    server/facade; past it the request fails with the typed
+    ``deadline_exceeded`` error instead of running open-endedly.
     """
 
     scheme: str
@@ -58,6 +73,7 @@ class SimRequest:
     backend: str = "scalar"
     window: int = 16
     warmup_fraction: float = 0.5
+    deadline_s: float = 0.0
     schema: int = API_SCHEMA
 
 
@@ -67,7 +83,10 @@ class GridRequest:
 
     ``mixes=()`` means the experiment's full mix set; ``cores=0`` means
     the experiment's default core count; ``jobs=0`` means one worker
-    per CPU (same convention as ``REPRO_JOBS=auto``).
+    per CPU (same convention as ``REPRO_JOBS=auto``). ``deadline_s``
+    (0 = none) is a wall-clock budget checked at grid-cell boundaries;
+    a grid that blows it fails with ``deadline_exceeded`` — cells
+    already checkpointed stay durable, so a resubmit resumes.
     """
 
     experiment: str
@@ -78,6 +97,7 @@ class GridRequest:
     scale: int = 16
     backend: str = "scalar"
     jobs: int = 1
+    deadline_s: float = 0.0
     schema: int = API_SCHEMA
 
 
@@ -154,11 +174,33 @@ class StatsResult:
 
 
 @dataclass(frozen=True, slots=True)
+class HealthResult:
+    """Liveness/readiness snapshot (the ``health`` protocol verb).
+
+    ``state`` is the daemon's lifecycle phase — ``starting`` (bound,
+    still re-queueing crash-recovery work), ``serving`` (accepting
+    requests) or ``draining`` (shutdown requested: no new work
+    admitted, in-flight work finishing or checkpointing). ``queued``/
+    ``inflight`` are live queue depths, ``connections`` the number of
+    client connections accepted so far.
+    """
+
+    state: str
+    queued: int = 0
+    inflight: int = 0
+    connections: int = 0
+    detail: str = ""
+    schema: int = API_SCHEMA
+
+
+@dataclass(frozen=True, slots=True)
 class ApiError:
     """Typed error envelope; ``code`` is machine-readable.
 
     Codes: ``bad-request`` (validation), ``bad-schema`` (version or
     malformed wire payload), ``overloaded`` (admission control),
+    ``deadline_exceeded`` (the request's ``deadline_s`` elapsed),
+    ``draining`` (server is shutting down; resubmit after restart),
     ``internal`` (unexpected server-side failure).
     """
 

@@ -2,7 +2,7 @@
 
 One dict shape per type::
 
-    {"type": "SimRequest", "schema": 1, "scheme": "bimodal", ...}
+    {"type": "SimRequest", "schema": 2, "scheme": "bimodal", ...}
 
 ``to_wire``/``from_wire`` convert between instances and those dicts;
 ``encode_line``/``decode_line`` add the JSON + newline framing the
@@ -11,28 +11,40 @@ socket protocol uses (``docs/service.md``). Decoding is strict:
 * unknown ``type`` names, missing required fields and unexpected
   fields are :class:`WireError`\\ s (a typo'd request must fail loudly,
   not half-apply);
-* a ``schema`` other than :data:`~repro.api.types.API_SCHEMA` is
-  rejected — version skew between client and server surfaces as a
-  clean error instead of silently misread fields.
+* a ``schema`` outside [:data:`~repro.api.types.API_SCHEMA_MIN`,
+  :data:`~repro.api.types.API_SCHEMA`] is rejected. Older schemas in
+  that range decode *skew-tolerantly*: every field added since them
+  has a default, so a v1 payload instantiates the current dataclass
+  with the new fields defaulted and its ``schema`` normalized to the
+  current version (re-encoding, content-addressing and equality all
+  see one canonical form);
+* non-finite floats (NaN/Infinity) are rejected in both directions —
+  they are not representable in interoperable JSON, so a stats payload
+  carrying one fails with a typed error instead of emitting a frame
+  only Python's parser can read back.
 
 Byte-identity through the wire: JSON maps tuples to arrays, so decode
 revives arrays as *tuples* — recursively, inside dict-valued fields too
 — matching the grid/checkpoint convention that sequence-valued stats
 are tuples, never lists (see ``repro.harness.checkpoint``). Ints and
-floats round-trip exactly (``repr`` round trip), so a result decoded
-from the wire compares equal to the instance the server encoded.
+finite floats round-trip exactly (``repr`` round trip), so a result
+decoded from the wire compares equal to the instance the server
+encoded.
 """
 
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import fields, is_dataclass
 
 from repro.api.types import (
     API_SCHEMA,
+    API_SCHEMA_MIN,
     ApiError,
     GridRequest,
     GridResult,
+    HealthResult,
     ProgressEvent,
     SimRequest,
     SimResult,
@@ -43,8 +55,10 @@ __all__ = [
     "WIRE_TYPES",
     "WireError",
     "decode_line",
+    "dumps_strict",
     "encode_line",
     "from_wire",
+    "loads_strict",
     "to_wire",
 ]
 
@@ -63,6 +77,7 @@ WIRE_TYPES: dict[str, type] = {
         SimResult,
         GridResult,
         StatsResult,
+        HealthResult,
         ApiError,
     )
 }
@@ -102,6 +117,46 @@ def _plain(value):
     return value
 
 
+def _reject_constant(token: str):
+    raise WireError(
+        f"non-finite float {token} is not valid wire JSON "
+        "(NaN/Infinity are rejected, not guessed at)"
+    )
+
+
+def dumps_strict(payload) -> str:
+    """Compact JSON refusing NaN/Infinity with a :class:`WireError`."""
+    try:
+        return json.dumps(payload, separators=(",", ":"), allow_nan=False)
+    except ValueError as exc:
+        if _contains_non_finite(payload):
+            raise WireError(
+                "payload carries a non-finite float (NaN/Infinity); "
+                "such values do not survive interoperable JSON"
+            ) from None
+        raise WireError(f"unencodable payload: {exc}") from None
+
+
+def loads_strict(text: str):
+    """``json.loads`` that rejects NaN/Infinity literals."""
+    try:
+        return json.loads(text, parse_constant=_reject_constant)
+    except WireError:
+        raise
+    except ValueError as exc:
+        raise WireError(f"not JSON: {exc}") from None
+
+
+def _contains_non_finite(value) -> bool:
+    if isinstance(value, float):
+        return not math.isfinite(value)
+    if isinstance(value, (list, tuple)):
+        return any(_contains_non_finite(v) for v in value)
+    if isinstance(value, dict):
+        return any(_contains_non_finite(v) for v in value.values())
+    return False
+
+
 def to_wire(obj) -> dict:
     """One JSON-ready dict (``type`` tag + every field) for ``obj``."""
     name = type(obj).__name__
@@ -123,10 +178,14 @@ def from_wire(payload: dict):
         known = ", ".join(sorted(WIRE_TYPES))
         raise WireError(f"unknown wire type {name!r} (known: {known})")
     schema = payload.get("schema", None)
-    if schema != API_SCHEMA:
+    if (
+        isinstance(schema, bool)
+        or not isinstance(schema, int)
+        or not API_SCHEMA_MIN <= schema <= API_SCHEMA
+    ):
         raise WireError(
             f"unsupported {name} schema {schema!r} "
-            f"(this build speaks schema {API_SCHEMA})"
+            f"(this build speaks schemas {API_SCHEMA_MIN}..{API_SCHEMA})"
         )
     spec = {f.name: f for f in fields(cls)}
     kwargs = {}
@@ -138,6 +197,9 @@ def from_wire(payload: dict):
         if key in _TUPLE_FIELDS[name] or key in _DICT_FIELDS[name]:
             value = _revive(value)
         kwargs[key] = value
+    # Skew-tolerant normalization: an accepted older-schema payload
+    # becomes a current-schema instance (new fields defaulted above).
+    kwargs["schema"] = API_SCHEMA
     try:
         return cls(**kwargs)
     except TypeError as exc:  # missing required field
@@ -146,15 +208,11 @@ def from_wire(payload: dict):
 
 def encode_line(obj) -> bytes:
     """One protocol line: compact JSON + ``\\n`` (UTF-8)."""
-    return (json.dumps(to_wire(obj), separators=(",", ":")) + "\n").encode()
+    return (dumps_strict(to_wire(obj)) + "\n").encode()
 
 
 def decode_line(line: str | bytes):
     """Parse one protocol line back into its typed object."""
     if isinstance(line, bytes):
         line = line.decode()
-    try:
-        payload = json.loads(line)
-    except ValueError as exc:
-        raise WireError(f"not JSON: {exc}") from None
-    return from_wire(payload)
+    return from_wire(loads_strict(line))

@@ -47,6 +47,7 @@ __all__ = [
     "INJECT_ENV",
     "CellFailure",
     "CellTimeoutError",
+    "DeadlineExceededError",
     "WorkerCrashError",
     "InjectedFault",
     "FatalInjectedFault",
@@ -55,6 +56,9 @@ __all__ = [
     "collect_failures",
     "active_collector",
     "cell_timeout",
+    "deadline_scope",
+    "deadline_remaining",
+    "check_deadline",
     "InjectionPlan",
     "inject",
     "injection_env",
@@ -72,6 +76,17 @@ _BACKOFF_CAP_S = 5.0
 
 class CellTimeoutError(Exception):
     """A cell exceeded its wall-clock budget (``REPRO_CELL_TIMEOUT_S``)."""
+
+
+class DeadlineExceededError(CellTimeoutError):
+    """A whole-request deadline (:func:`deadline_scope`) elapsed.
+
+    Distinct from a per-cell timeout: the grid engine *aborts* the run
+    (it does not record a cell failure and move on), because the budget
+    belongs to the request, not to any one cell. Cells finished before
+    the abort are already checkpointed, so resubmitting the request
+    resumes instead of recomputing.
+    """
 
 
 class WorkerCrashError(Exception):
@@ -280,6 +295,60 @@ def cell_timeout(seconds: float | None):
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
+
+
+# ----------------------------------------------------------------------
+# whole-request deadlines
+# ----------------------------------------------------------------------
+# Thread-local because the server runs each request on a pool thread:
+# a deadline installed around one request must never leak into another
+# request executing concurrently on a sibling thread.
+_deadline = threading.local()
+
+
+@contextmanager
+def deadline_scope(seconds: float | None):
+    """Install a wall-clock budget covering the whole enclosed request.
+
+    The scope records an absolute monotonic expiry; the grid engine
+    consults it between cells (:func:`check_deadline`) and folds the
+    remaining budget into its pool waits, so both serial and parallel
+    grids stop promptly once the budget is gone. Nested scopes take the
+    tighter expiry. A falsy ``seconds`` is a no-op.
+    """
+    if not seconds or seconds <= 0:
+        yield
+        return
+    previous = getattr(_deadline, "expires_at", None)
+    expires_at = time.monotonic() + seconds
+    if previous is not None:
+        expires_at = min(expires_at, previous)
+    _deadline.expires_at = expires_at
+    try:
+        yield
+    finally:
+        _deadline.expires_at = previous
+
+
+def deadline_remaining() -> float | None:
+    """Seconds left in the active deadline scope (None: no deadline).
+
+    May be <= 0 once the budget is spent; callers that only need a
+    go/no-go check should use :func:`check_deadline` instead.
+    """
+    expires_at = getattr(_deadline, "expires_at", None)
+    if expires_at is None:
+        return None
+    return expires_at - time.monotonic()
+
+
+def check_deadline() -> None:
+    """Raise :class:`DeadlineExceededError` if the scope's budget is gone."""
+    remaining = deadline_remaining()
+    if remaining is not None and remaining <= 0:
+        raise DeadlineExceededError(
+            "request deadline exceeded (budget spent before completion)"
+        )
 
 
 # ----------------------------------------------------------------------

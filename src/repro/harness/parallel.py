@@ -169,6 +169,7 @@ def run_grid(
         and collector is None
         and ckpt is None
         and plan is None
+        and faults.deadline_remaining() is None
     )
     if plain:
         if workers <= 1 or len(cell_list) <= 1:
@@ -411,19 +412,47 @@ def _run_grid_engine(
     return engine.results
 
 
+def _effective_timeout(policy_timeout: float | None) -> float | None:
+    """Per-cell wait budget: the policy timeout capped by any deadline.
+
+    With a :func:`~repro.harness.faults.deadline_scope` active, no
+    single cell may wait past the request's remaining budget — the
+    deadline degrades gracefully into a (shrinking) per-cell timeout.
+    """
+    remaining = faults.deadline_remaining()
+    if remaining is None:
+        return policy_timeout
+    remaining = max(0.001, remaining)
+    if policy_timeout is None:
+        return remaining
+    return min(policy_timeout, remaining)
+
+
 def _serial_cells(engine: _GridEngine, pending: list[int]) -> None:
-    """In-process execution with per-cell SIGALRM timeout and retries."""
+    """In-process execution with per-cell SIGALRM timeout and retries.
+
+    An active deadline scope is checked before every attempt (and after
+    a timeout) so an exhausted budget aborts the grid with
+    :class:`~repro.harness.faults.DeadlineExceededError` instead of
+    grinding through the remaining cells.
+    """
     for i in pending:
         while True:
+            faults.check_deadline()
             engine.attempts[i] += 1
             start = time.perf_counter()
             try:
-                with faults.cell_timeout(engine.policy.timeout_s):
+                with faults.cell_timeout(
+                    _effective_timeout(engine.policy.timeout_s)
+                ):
                     value, wall = engine.call(
                         (i, engine.attempts[i], engine.cells[i])
                     )
             except Exception as exc:
                 wall = time.perf_counter() - start
+                # A timeout caused by the deadline, not the per-cell
+                # policy, aborts the request rather than failing the cell.
+                faults.check_deadline()
                 if engine.should_retry(i, exc):
                     continue
                 engine.fail(i, exc, wall)
@@ -504,12 +533,15 @@ def _pool_cells(engine: _GridEngine, pending: list[int], max_workers: int) -> No
         for i in pending:
             while i in unfinished:
                 wait_start = time.perf_counter()
+                wait_s = _effective_timeout(engine.policy.timeout_s)
                 try:
-                    value, wall = futures[i].result(timeout=engine.policy.timeout_s)
+                    value, wall = futures[i].result(timeout=wait_s)
                 except FuturesTimeoutError:
+                    # Deadline spent (not a slow cell): abort the grid —
+                    # the finally block below kills the pool and workers.
+                    faults.check_deadline()
                     exc = CellTimeoutError(
-                        f"no result within {engine.policy.timeout_s:g}s "
-                        "wall-clock budget"
+                        f"no result within {wait_s:g}s wall-clock budget"
                     )
                     retry = engine.should_retry(i, exc)
                     if retry:

@@ -1,16 +1,28 @@
 """``repro.server``: the ``repro serve`` daemon behind :mod:`repro.api`.
 
 :class:`~repro.server.daemon.ReproServer` is the asyncio service;
-:class:`~repro.server.state.ServerConfig` its knobs. Protocol spec and
-operational notes live in ``docs/service.md``.
+:class:`~repro.server.state.ServerConfig` its knobs;
+:class:`~repro.server.lifecycle.Lifecycle` the graceful-drain state
+machine; :mod:`repro.server.chaos` the fault-injection harness the
+resilience tests drive. Protocol spec and operational notes live in
+``docs/service.md``; drain/deadline/chaos semantics in
+``docs/robustness.md``.
 """
 
+from repro.server.chaos import ChaosProxy, ProxyPlan
 from repro.server.daemon import ReproServer, serve_forever
+from repro.server.lifecycle import DRAINING, SERVING, STARTING, Lifecycle
 from repro.server.state import GridStore, ServerConfig, ServerStats, grid_key
 
 __all__ = [
+    "ChaosProxy",
+    "DRAINING",
     "GridStore",
+    "Lifecycle",
+    "ProxyPlan",
     "ReproServer",
+    "SERVING",
+    "STARTING",
     "ServerConfig",
     "ServerStats",
     "grid_key",

@@ -1,0 +1,306 @@
+"""Chaos harness: deterministic fault injection for the daemon.
+
+Two independent tools, both off unless explicitly armed, both fully
+deterministic (no randomness — the determinism lint and reproducible
+failures demand scripted chaos, not dice):
+
+**Disk chaos** (``REPRO_CHAOS``). The grid store routes its durable
+writes through :func:`take_fault`; setting the environment variable to
+a JSON plan makes selected operations misbehave::
+
+    REPRO_CHAOS='{"journal": {"action": "enospc", "times": 1}}'
+    REPRO_CHAOS='{"result": {"action": "torn"}}'
+
+Operations are ``journal`` (the request journal) and ``result`` (the
+final result file). Actions:
+
+* ``enospc`` — the write raises ``OSError(ENOSPC)`` (disk full); the
+  store degrades to non-persistent operation for that write and counts
+  it, the request itself still completes correctly;
+* ``torn`` — the write bypasses the tmp+fsync+rename discipline and
+  leaves a *truncated* file at the final path, simulating a crash
+  mid-write; recovery must detect and quarantine it, never trust it.
+
+``times`` bounds how many writes misbehave (default: every one). The
+plan is parsed once per distinct environment value, mirroring
+``repro.harness.faults.active_plan``.
+
+**Wire chaos** (:class:`ChaosProxy`). An asyncio TCP interposer the
+chaos tests put between client and server to exercise transport
+failure modes on an otherwise healthy daemon: delaying traffic,
+dropping the connection after N payload bytes, flipping a byte inside
+a frame, going half-open (silently swallowing server output while the
+connection stays up), trickling request bytes one at a time
+(slow-loris), and truncating a request mid-line. Every behaviour is a
+scripted :class:`ProxyPlan` field.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import errno
+import json
+import os
+from dataclasses import dataclass, field
+
+__all__ = [
+    "CHAOS_ENV",
+    "ChaosProxy",
+    "ProxyPlan",
+    "chaos_counters",
+    "reset_chaos",
+    "take_fault",
+]
+
+CHAOS_ENV = "REPRO_CHAOS"
+
+_OPS = ("journal", "result")
+_ACTIONS = ("enospc", "torn")
+
+# Memoized parse of the last-seen env value, plus the mutable
+# per-process countdowns ("times" budgets) derived from it.
+_parsed: tuple[str, dict] | None = None
+_remaining: dict[str, int] = {}
+_counters: dict[str, int] = {}
+
+
+def _plan() -> dict:
+    """The active disk-chaos plan (memoized per distinct env value)."""
+    global _parsed
+    raw = os.environ.get(CHAOS_ENV, "").strip()
+    if _parsed is not None and _parsed[0] == raw:
+        return _parsed[1]
+    plan: dict = {}
+    if raw:
+        try:
+            data = json.loads(raw)
+        except ValueError:
+            data = None
+        if isinstance(data, dict):
+            for op, spec in data.items():
+                if op not in _OPS or not isinstance(spec, dict):
+                    continue
+                action = spec.get("action")
+                if action not in _ACTIONS:
+                    continue
+                times = spec.get("times", -1)
+                if not isinstance(times, int) or isinstance(times, bool):
+                    times = -1
+                plan[op] = {"action": action, "times": times}
+    _parsed = (raw, plan)
+    _remaining.clear()
+    for op, spec in plan.items():
+        _remaining[op] = spec["times"]
+    return plan
+
+
+def take_fault(op: str) -> str | None:
+    """Consume one injected fault for ``op`` (None when healthy)."""
+    spec = _plan().get(op)
+    if spec is None:
+        return None
+    left = _remaining.get(op, 0)
+    if left == 0:
+        return None
+    if left > 0:
+        _remaining[op] = left - 1
+    _counters[op] = _counters.get(op, 0) + 1
+    return spec["action"]
+
+
+def chaos_counters() -> dict[str, int]:
+    """How many faults each operation has consumed (for assertions)."""
+    return dict(_counters)
+
+
+def reset_chaos() -> None:
+    """Forget memoized plan and counters (test isolation)."""
+    global _parsed
+    _parsed = None
+    _remaining.clear()
+    _counters.clear()
+
+
+def raise_enospc(path: str) -> None:
+    """The canonical injected disk-full error."""
+    raise OSError(errno.ENOSPC, "injected chaos: no space left on device", path)
+
+
+# ----------------------------------------------------------------------
+# wire chaos: the TCP interposer
+# ----------------------------------------------------------------------
+@dataclass
+class ProxyPlan:
+    """Scripted misbehaviour of one :class:`ChaosProxy`.
+
+    Byte offsets count *payload* bytes in the affected direction since
+    the connection opened; ``-1`` disables a behaviour.
+    """
+
+    #: Sleep this long before forwarding each chunk (either direction).
+    delay_s: float = 0.0
+    #: server->client: hard-close both sides after forwarding N bytes.
+    drop_after_bytes: int = -1
+    #: server->client: XOR 0xFF into the payload byte at offset N.
+    garble_at: int = -1
+    #: server->client: silently stop forwarding after N bytes while the
+    #: connection stays open (half-open peer; client must time out).
+    half_open_after_bytes: int = -1
+    #: client->server: forward one byte at a time (slow-loris).
+    trickle: bool = False
+    #: client->server: forward only the first N bytes, then close the
+    #: upstream write side (truncated frame arrives at the server).
+    truncate_request_at: int = -1
+    #: Apply the behaviours above only to the first N connections; later
+    #: ones pass through clean (-1: chaos for every connection). This is
+    #: how reconnect tests script "fail once, then heal".
+    only_first_connections: int = -1
+
+
+@dataclass
+class ProxyStats:
+    connections: int = 0
+    to_server_bytes: int = 0
+    to_client_bytes: int = 0
+    dropped: int = 0
+    garbled: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+class ChaosProxy:
+    """TCP interposer applying a :class:`ProxyPlan` to each connection."""
+
+    def __init__(
+        self, upstream_host: str, upstream_port: int, plan: ProxyPlan | None = None
+    ) -> None:
+        self.upstream_host = upstream_host
+        self.upstream_port = upstream_port
+        self.plan = plan or ProxyPlan()
+        self.stats = ProxyStats()
+        self._server: asyncio.Server | None = None
+        self._tasks: set[asyncio.Task] = set()
+
+    async def start(self) -> tuple[str, int]:
+        self._server = await asyncio.start_server(
+            self._handle, "127.0.0.1", 0
+        )
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._tasks):
+            task.cancel()
+        for task in list(self._tasks):
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+
+    async def _handle(self, client_reader, client_writer) -> None:
+        self.stats.connections += 1
+        plan = self.plan
+        if (
+            plan.only_first_connections >= 0
+            and self.stats.connections > plan.only_first_connections
+        ):
+            plan = ProxyPlan()  # healed: clean pass-through
+        try:
+            server_reader, server_writer = await asyncio.open_connection(
+                self.upstream_host, self.upstream_port
+            )
+        except OSError:
+            client_writer.close()
+            return
+        up = asyncio.create_task(
+            self._pump_to_server(client_reader, server_writer, plan)
+        )
+        down = asyncio.create_task(
+            self._pump_to_client(server_reader, client_writer, server_writer, plan)
+        )
+        self._tasks.update((up, down))
+        up.add_done_callback(self._tasks.discard)
+        down.add_done_callback(self._tasks.discard)
+
+    async def _pump_to_server(self, client_reader, server_writer, plan) -> None:
+        sent = 0
+        try:
+            while True:
+                chunk = await client_reader.read(4096)
+                if not chunk:
+                    break
+                if plan.delay_s:
+                    await asyncio.sleep(plan.delay_s)
+                if plan.truncate_request_at >= 0:
+                    budget = plan.truncate_request_at - sent
+                    if budget <= 0:
+                        break
+                    chunk = chunk[:budget]
+                if plan.trickle:
+                    for i in range(len(chunk)):
+                        server_writer.write(chunk[i : i + 1])
+                        await server_writer.drain()
+                        if plan.delay_s:
+                            await asyncio.sleep(plan.delay_s)
+                else:
+                    server_writer.write(chunk)
+                    await server_writer.drain()
+                sent += len(chunk)
+                self.stats.to_server_bytes += len(chunk)
+                if plan.truncate_request_at >= 0 and sent >= plan.truncate_request_at:
+                    break
+        except (ConnectionError, asyncio.CancelledError, OSError):
+            pass
+        finally:
+            try:
+                server_writer.close()
+            except Exception:
+                pass
+
+    async def _pump_to_client(
+        self, server_reader, client_writer, server_writer, plan
+    ) -> None:
+        sent = 0
+        try:
+            while True:
+                chunk = await server_reader.read(4096)
+                if not chunk:
+                    break
+                if plan.delay_s:
+                    await asyncio.sleep(plan.delay_s)
+                if plan.half_open_after_bytes >= 0 and sent >= plan.half_open_after_bytes:
+                    # Swallow everything; never close. The client sees
+                    # a connection that is up but says nothing.
+                    continue
+                if plan.garble_at >= 0 and sent <= plan.garble_at < sent + len(chunk):
+                    offset = plan.garble_at - sent
+                    chunk = (
+                        chunk[:offset]
+                        + bytes([chunk[offset] ^ 0xFF])
+                        + chunk[offset + 1 :]
+                    )
+                    self.stats.garbled += 1
+                if plan.drop_after_bytes >= 0 and sent + len(chunk) > plan.drop_after_bytes:
+                    chunk = chunk[: max(0, plan.drop_after_bytes - sent)]
+                    if chunk:
+                        client_writer.write(chunk)
+                        await client_writer.drain()
+                        self.stats.to_client_bytes += len(chunk)
+                    self.stats.dropped += 1
+                    client_writer.close()
+                    server_writer.close()
+                    break
+                client_writer.write(chunk)
+                await client_writer.drain()
+                sent += len(chunk)
+                self.stats.to_client_bytes += len(chunk)
+        except (ConnectionError, asyncio.CancelledError, OSError):
+            pass
+        finally:
+            if plan.half_open_after_bytes < 0:
+                try:
+                    client_writer.close()
+                except Exception:
+                    pass

@@ -33,10 +33,11 @@ requests run concurrently on the pool.
 from __future__ import annotations
 
 import asyncio
+import os
 import sys
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import partial
 from itertools import count
 
@@ -44,12 +45,19 @@ from repro.api import facade
 from repro.api.errors import (
     ERR_BAD_REQUEST,
     ERR_BAD_SCHEMA,
+    ERR_DEADLINE,
+    ERR_DRAINING,
     ERR_INTERNAL,
     ERR_OVERLOADED,
     RequestError,
 )
 from repro.api.protocol import parse_request_line, response_line
 from repro.api.wire import WireError
+from repro.server.lifecycle import (
+    Lifecycle,
+    await_quiesced,
+    install_signal_handlers,
+)
 from repro.server.state import GridStore, ServerConfig, ServerStats, grid_key
 
 __all__ = ["ReproServer", "serve_forever"]
@@ -101,6 +109,9 @@ class _Job:
     request_id: str
     verb: str
     request: object
+    #: Event-loop clock at admission; a request deadline covers queue
+    #: time too, so the budget starts counting here, not at execution.
+    admitted_at: float = field(default=0.0)
 
     def send(self, kind: str, payload) -> None:
         if self.conn is not None:
@@ -114,6 +125,8 @@ class ReproServer:
         self.config = config
         self.stats = ServerStats()
         self.store = GridStore(config.state_dir)
+        self.lifecycle = Lifecycle()
+        self._connections: set[_Connection] = set()
         self._queues: dict[str, deque] = {}
         self._rr: deque[str] = deque()
         self._work = asyncio.Condition()
@@ -141,6 +154,7 @@ class ReproServer:
         self._scheduler_task = asyncio.create_task(self._scheduler())
         await self._queue_recovery()
         host, port = self._server.sockets[0].getsockname()[:2]
+        self.lifecycle.mark_serving()
         return host, port
 
     async def serve_forever(self) -> None:
@@ -148,13 +162,49 @@ class ReproServer:
         async with self._server:
             await self._server.serve_forever()
 
-    async def aclose(self) -> None:
+    def _idle(self) -> bool:
+        return self.stats.queued == 0 and self.stats.inflight == 0
+
+    async def drain(self) -> bool:
+        """Stop accepting, let admitted work finish within the budget.
+
+        The listener closes immediately (``lifecycle`` is already
+        ``draining``, so connected clients get ``draining`` rejections
+        for new work while keeping ping/stats/health). Returns True if
+        the server went quiescent inside ``drain_timeout_s``, False if
+        the budget ran out with work still in flight — in which case
+        everything durable (journals, per-cell checkpoints) is already
+        on disk and the next start resumes it.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        return await await_quiesced(self._idle, self.config.drain_timeout_s)
+
+    async def aclose(self, *, graceful: bool = True) -> None:
+        """Tear down. ``graceful`` waits for already-running pool work.
+
+        The historical bug here was ``shutdown(wait=False)`` on the
+        *clean* path too: a sim still finishing in a pool thread lost
+        the race with interpreter teardown. Clean exits now wait for
+        running futures (queued ones are cancelled either way); only
+        the forced drain-timeout path skips the wait.
+        """
         if self._scheduler_task is not None:
             self._scheduler_task.cancel()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        self._pool.shutdown(wait=False, cancel_futures=True)
+            self._server = None
+        for conn in list(self._connections):
+            await conn.close()
+        if graceful:
+            await asyncio.to_thread(
+                self._pool.shutdown, wait=True, cancel_futures=True
+            )
+        else:
+            self._pool.shutdown(wait=False, cancel_futures=True)
 
     async def _queue_recovery(self) -> None:
         """Re-admit journaled grids a previous process never finished."""
@@ -162,7 +212,7 @@ class ReproServer:
             self.stats.recovered_grids += 1
             self._admit(
                 _Job(conn=None, request_id=f"recover-{key[:8]}", verb="grid",
-                     request=request),
+                     request=request, admitted_at=self._loop.time()),
                 client="__recovery__",
                 unbounded=True,
             )
@@ -183,6 +233,7 @@ class ReproServer:
         conn = _Connection(f"conn{next(self._conn_ids)}", writer)
         conn.writer_task = asyncio.create_task(conn.run_writer())
         self.stats.connections += 1
+        self._connections.add(conn)
         try:
             while True:
                 line = await reader.readline()
@@ -192,6 +243,7 @@ class ReproServer:
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
         finally:
+            self._connections.discard(conn)
             await conn.close()
 
     async def _handle_line(self, conn: _Connection, line: bytes) -> None:
@@ -202,8 +254,26 @@ class ReproServer:
             rid = _best_effort_id(line)
             conn.send(rid, "error", facade.api_error(ERR_BAD_SCHEMA, str(exc)))
             return
+        if verb == "health":
+            conn.send(request_id, "result", self._health_result())
+            return
         if verb in ("ping", "stats"):
             conn.send(request_id, "result", self._stats_result())
+            return
+        if self.lifecycle.draining:
+            # Observability verbs above still answer during a drain;
+            # new work does not start. The code is retryable: a client
+            # with a RetryPolicy resubmits against the restarted server
+            # and joins/resumes via the grid journal.
+            conn.send(
+                request_id,
+                "error",
+                facade.api_error(
+                    ERR_DRAINING,
+                    "server is draining (shutdown requested); "
+                    "resubmit after restart — journaled grids resume",
+                ),
+            )
             return
         try:
             if verb == "sim":
@@ -213,7 +283,13 @@ class ReproServer:
         except RequestError as exc:
             conn.send(request_id, "error", facade.api_error(exc.code, str(exc)))
             return
-        job = _Job(conn=conn, request_id=request_id, verb=verb, request=request)
+        job = _Job(
+            conn=conn,
+            request_id=request_id,
+            verb=verb,
+            request=request,
+            admitted_at=self._loop.time(),
+        )
         if not self._admit(job, client=conn.id):
             self.stats.overload_rejections += 1
             conn.send(
@@ -234,7 +310,20 @@ class ReproServer:
             self._work.notify_all()
 
     def _stats_result(self):
-        return facade.stats_result(server=self.stats.snapshot())
+        snapshot = self.stats.snapshot()
+        snapshot["lifecycle"] = self.lifecycle.state
+        snapshot["store_io_errors"] = self.store.io_errors
+        snapshot["store_quarantined"] = self.store.quarantined
+        return facade.stats_result(server=snapshot)
+
+    def _health_result(self):
+        return facade.health_result(
+            self.lifecycle.state,
+            queued=self.stats.queued,
+            inflight=self.stats.inflight,
+            connections=len(self._connections),
+            detail=self.lifecycle.reason,
+        )
 
     # ------------------------------------------------------------------
     # admission + fair-share scheduling
@@ -274,12 +363,31 @@ class ReproServer:
             self.stats.inflight += 1
             asyncio.create_task(self._execute(job))
 
+    def _deadline_remaining(self, job: _Job) -> float | None:
+        """Budget left of the request's deadline, queue time included."""
+        deadline = getattr(job.request, "deadline_s", 0.0) or 0.0
+        if deadline <= 0:
+            return None
+        return deadline - (self._loop.time() - job.admitted_at)
+
+    @staticmethod
+    def _deadline_error(job: _Job, where: str) -> RequestError:
+        budget = getattr(job.request, "deadline_s", 0.0)
+        return RequestError(
+            f"deadline of {budget:g}s exceeded {where}; completed grid "
+            "cells are checkpointed — resubmit to resume",
+            code=ERR_DEADLINE,
+        )
+
     async def _execute(self, job: _Job) -> None:
         try:
+            remaining = self._deadline_remaining(job)
+            if remaining is not None and remaining <= 0:
+                raise self._deadline_error(job, "while queued")
             if job.verb == "sim":
-                await self._run_sim_job(job)
+                await self._run_sim_job(job, remaining)
             else:
-                await self._run_grid_job(job)
+                await self._run_grid_job(job, remaining)
         except RequestError as exc:
             job.send("error", facade.api_error(exc.code, str(exc)))
         except Exception as exc:  # noqa: BLE001 — must never kill the daemon
@@ -295,15 +403,26 @@ class ReproServer:
     # ------------------------------------------------------------------
     # job execution
     # ------------------------------------------------------------------
-    async def _run_sim_job(self, job: _Job) -> None:
+    async def _run_sim_job(self, job: _Job, remaining: float | None) -> None:
         job.send("event", facade.progress_event("started", request_id=job.request_id))
-        result = await self._loop.run_in_executor(
+        call = self._loop.run_in_executor(
             self._pool, facade.run_sim, job.request
         )
+        if remaining is None:
+            result = await call
+        else:
+            # The pool thread cannot be interrupted (SIGALRM is a no-op
+            # off the main thread), so the budget bounds the *wait*:
+            # the abandoned sim finishes in the background and only
+            # wastes its own slot, never blocking the response.
+            try:
+                result = await asyncio.wait_for(call, timeout=remaining)
+            except asyncio.TimeoutError:
+                raise self._deadline_error(job, "before the sim finished") from None
         self.stats.sims_done += 1
         job.send("result", result)
 
-    async def _run_grid_job(self, job: _Job) -> None:
+    async def _run_grid_job(self, job: _Job, remaining: float | None) -> None:
         key = grid_key(job.request)
         existing = self._grid_futures.get(key)
         if existing is not None:
@@ -316,7 +435,17 @@ class ReproServer:
                     "attached", request_id=job.request_id, detail=f"grid {key}"
                 ),
             )
-            result = await existing
+            if remaining is None:
+                result = await asyncio.shield(existing)
+            else:
+                try:
+                    result = await asyncio.wait_for(
+                        asyncio.shield(existing), timeout=remaining
+                    )
+                except asyncio.TimeoutError:
+                    raise self._deadline_error(
+                        job, "while joined to the running grid"
+                    ) from None
             job.send("result", result)
             return
 
@@ -332,18 +461,25 @@ class ReproServer:
             checkpoint_path = (
                 self.store.checkpoint_path(key) if self.store.enabled else None
             )
+            runner = partial(
+                facade.run_grid,
+                job.request,
+                progress=emit,
+                checkpoint_path=checkpoint_path,
+                resume=True,
+            )
             # Grids serialize: collector/checkpoint/progress attachments
             # are process-global in the harness.
             async with self._grid_lock:
+                # Re-derive the budget after the queue + grid-lock wait;
+                # the scope is entered *inside* the worker thread (it is
+                # thread-local) and takes the min with the facade's own
+                # request-level scope, so queue time counts too.
+                remaining = self._deadline_remaining(job)
+                if remaining is not None and remaining <= 0:
+                    raise self._deadline_error(job, "while queued")
                 result = await self._loop.run_in_executor(
-                    self._pool,
-                    partial(
-                        facade.run_grid,
-                        job.request,
-                        progress=emit,
-                        checkpoint_path=checkpoint_path,
-                        resume=True,
-                    ),
+                    self._pool, partial(_run_scoped, runner, remaining)
                 )
             if result.resumed_cells:
                 job.send(
@@ -381,6 +517,14 @@ class ReproServer:
         return emit
 
 
+def _run_scoped(runner, remaining: float | None):
+    """Run a facade call on a pool thread under a deadline scope."""
+    from repro.harness import faults
+
+    with faults.deadline_scope(remaining):
+        return runner()
+
+
 def _best_effort_id(line: bytes) -> str:
     """The envelope id of an unparseable line, when salvageable."""
     import json
@@ -396,19 +540,65 @@ def _best_effort_id(line: bytes) -> str:
 async def _serve(config: ServerConfig) -> None:
     server = ReproServer(config)
     host, port = await server.start()
+    install_signal_handlers(asyncio.get_running_loop(), server.lifecycle)
     print(
         f"repro-serve listening on {host}:{port} "
         f"(max-inflight={config.max_inflight}, "
         f"max-queued-per-client={config.max_queued_per_client}, "
-        f"state-dir={config.state_dir or '<none>'})",
+        f"state-dir={config.state_dir or '<none>'}, "
+        f"drain-timeout={config.drain_timeout_s:g}s)",
         flush=True,
     )
+    serve_task = asyncio.create_task(server.serve_forever())
+    drain_task = asyncio.create_task(server.lifecycle.wait_drain_requested())
     try:
-        await server.serve_forever()
+        done, _ = await asyncio.wait(
+            {serve_task, drain_task}, return_when=asyncio.FIRST_COMPLETED
+        )
     except asyncio.CancelledError:
-        pass
-    finally:
+        serve_task.cancel()
+        drain_task.cancel()
         await server.aclose()
+        return
+    if drain_task not in done:
+        # serve_forever ended on its own (socket error); surface it.
+        drain_task.cancel()
+        try:
+            await server.aclose()
+        finally:
+            serve_task.result()
+        return
+    serve_task.cancel()
+    try:
+        await serve_task
+    except (asyncio.CancelledError, Exception):
+        pass
+    print(
+        f"repro-serve: drain requested ({server.lifecycle.reason}); "
+        "finishing in-flight work",
+        file=sys.stderr,
+        flush=True,
+    )
+    quiesced = await server.drain()
+    if quiesced:
+        await server.aclose(graceful=True)
+        print("repro-serve: drained cleanly", file=sys.stderr, flush=True)
+        return
+    # Budget spent with work still running. Everything durable is
+    # already fsync'd (journals, per-cell checkpoints), and the pool's
+    # non-daemon threads would block a normal interpreter exit — so
+    # flush and leave immediately. An orderly-but-forced drain is
+    # still a success: exit 0, work resumes on the next start.
+    print(
+        f"repro-serve: drain timeout ({config.drain_timeout_s:g}s) hit "
+        "with work in flight; forcing exit — journaled grids resume "
+        "on restart",
+        file=sys.stderr,
+        flush=True,
+    )
+    sys.stdout.flush()
+    sys.stderr.flush()
+    os._exit(0)
 
 
 def serve_forever(config: ServerConfig) -> None:
@@ -416,4 +606,6 @@ def serve_forever(config: ServerConfig) -> None:
     try:
         asyncio.run(_serve(config))
     except KeyboardInterrupt:
+        # Platforms without loop signal handlers (Windows) land here;
+        # with handlers installed SIGINT drains gracefully instead.
         print("repro-serve: interrupted, shutting down", file=sys.stderr)

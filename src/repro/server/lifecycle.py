@@ -1,0 +1,114 @@
+"""Graceful-drain lifecycle for the ``repro serve`` daemon.
+
+A daemon is ``starting`` while it binds and re-queues crash-recovery
+work, ``serving`` once it accepts requests, and ``draining`` after
+SIGTERM/SIGINT (or an explicit :meth:`Lifecycle.request_drain`). The
+drain contract (``docs/robustness.md``):
+
+* the listener closes — no new connections;
+* already-connected clients keep their ``ping``/``stats``/``health``
+  verbs, but new ``sim``/``grid`` submissions are rejected with the
+  typed retryable ``draining`` error;
+* queued and in-flight work keeps executing until the server is
+  quiescent or the ``drain_timeout_s`` budget runs out — whichever
+  comes first. Grids checkpoint per cell, so work cut off by the
+  budget resumes from its journal on the next start;
+* the process exits 0 either way (an orderly drain is a success, not
+  a crash).
+
+The state machine is deliberately monotonic: ``starting -> serving ->
+draining``. There is no un-drain; a drained server restarts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+
+__all__ = [
+    "DRAINING",
+    "SERVING",
+    "STARTING",
+    "Lifecycle",
+    "await_quiesced",
+    "install_signal_handlers",
+]
+
+STARTING = "starting"
+SERVING = "serving"
+DRAINING = "draining"
+
+#: Signals that request an orderly drain (when the platform has them).
+DRAIN_SIGNALS = ("SIGTERM", "SIGINT")
+
+
+class Lifecycle:
+    """Monotonic server state + the event the serve loop waits on."""
+
+    def __init__(self) -> None:
+        self.state = STARTING
+        self.reason = ""
+        self._drain_requested = asyncio.Event()
+
+    # -- transitions ----------------------------------------------------
+    def mark_serving(self) -> None:
+        if self.state == STARTING:
+            self.state = SERVING
+
+    def request_drain(self, reason: str = "requested") -> None:
+        """Enter ``draining`` (idempotent; safe from a signal callback)."""
+        if self.state != DRAINING:
+            self.state = DRAINING
+            self.reason = reason
+        self._drain_requested.set()
+
+    # -- observation ----------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        return self.state == DRAINING
+
+    async def wait_drain_requested(self) -> None:
+        await self._drain_requested.wait()
+
+
+def install_signal_handlers(
+    loop: asyncio.AbstractEventLoop, lifecycle: Lifecycle
+) -> bool:
+    """Route SIGTERM/SIGINT into ``lifecycle.request_drain``.
+
+    Returns False where the event loop cannot handle signals (Windows,
+    non-main threads) — the caller then keeps the KeyboardInterrupt
+    fallback instead.
+    """
+    installed = False
+    for name in DRAIN_SIGNALS:
+        signum = getattr(signal, name, None)
+        if signum is None:
+            continue
+        try:
+            loop.add_signal_handler(
+                signum, lifecycle.request_drain, name.lower()
+            )
+        except (NotImplementedError, RuntimeError, ValueError):
+            continue
+        installed = True
+    return installed
+
+
+async def await_quiesced(
+    is_idle, timeout_s: float, *, poll_s: float = 0.05
+) -> bool:
+    """Poll ``is_idle()`` until it holds or ``timeout_s`` elapses.
+
+    Event-loop clock based (monotonic); returns True on quiescence,
+    False when the budget ran out first. ``timeout_s <= 0`` means
+    "check once, never wait".
+    """
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + max(0.0, timeout_s)
+    while True:
+        if is_idle():
+            return True
+        if loop.time() >= deadline:
+            return False
+        await asyncio.sleep(poll_s)

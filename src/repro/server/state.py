@@ -25,7 +25,17 @@ resubmitted or crash-recovered grid replays finished cells from the
 checkpoint (surfacing as ``resumed_cells`` in the result) and computes
 only what is missing. On startup the daemon asks
 :meth:`GridStore.incomplete` for journaled requests that never produced
-a result and re-runs them.
+a result and re-runs them. A result file that *exists but does not
+parse* (torn write, crashed mid-``complete``) is quarantined as
+``<key>.result.json.corrupt`` and the grid re-runs from its checkpoint
+— existence of a file is never trusted as proof of completion.
+
+Durability failures degrade, never corrupt: a store write that raises
+``OSError`` (disk full, permissions) is counted in ``io_errors`` and
+the request proceeds without persistence — the client still gets a
+correct result, only crash recovery for that grid is lost. The chaos
+harness (:mod:`repro.server.chaos`, ``REPRO_CHAOS``) injects exactly
+these failures in tests.
 """
 
 from __future__ import annotations
@@ -37,6 +47,7 @@ from dataclasses import dataclass, field
 
 from repro.api.types import GridRequest, GridResult
 from repro.api.wire import from_wire, to_wire
+from repro.server import chaos
 
 __all__ = ["GridStore", "ServerConfig", "ServerStats", "grid_key"]
 
@@ -52,6 +63,9 @@ class ServerConfig:
     cannot monopolise memory. ``port=0`` binds an ephemeral port
     (printed on startup). ``state_dir=""`` disables grid persistence
     (no journal, no checkpoint, no crash recovery).
+    ``drain_timeout_s`` bounds the graceful drain after SIGTERM/SIGINT:
+    in-flight work gets that long to finish (checkpointing as it goes)
+    before the process force-exits — still with status 0.
     """
 
     host: str = "127.0.0.1"
@@ -59,19 +73,34 @@ class ServerConfig:
     max_inflight: int = 2
     max_queued_per_client: int = 8
     state_dir: str = ""
+    drain_timeout_s: float = 10.0
 
 
 def grid_key(request: GridRequest) -> str:
-    """Content hash identifying a grid request (dedupe + persistence)."""
-    payload = json.dumps(to_wire(request), sort_keys=True, separators=(",", ":"))
+    """Content hash identifying a grid request (dedupe + persistence).
+
+    ``deadline_s`` is excluded: it is execution metadata, not grid
+    content. A request resubmitted with a larger (or no) budget after a
+    ``deadline_exceeded`` must hash to the same key so it resumes the
+    journaled checkpoint instead of recomputing from scratch.
+    """
+    wire = to_wire(request)
+    wire.pop("deadline_s", None)
+    payload = json.dumps(wire, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(payload.encode()).hexdigest()[:24]
 
 
 class GridStore:
-    """Journal/checkpoint/result files for grid requests, by key."""
+    """Journal/checkpoint/result files for grid requests, by key.
+
+    Writes degrade on ``OSError`` (counted in ``io_errors``) instead of
+    failing the request; reads never trust an unparseable file.
+    """
 
     def __init__(self, state_dir: str) -> None:
         self.state_dir = state_dir
+        self.io_errors = 0
+        self.quarantined = 0
         if state_dir:
             os.makedirs(state_dir, exist_ok=True)
 
@@ -86,34 +115,88 @@ class GridStore:
     def checkpoint_path(self, key: str) -> str:
         return self._path(key, "ckpt.jsonl")
 
+    # -- durable writes -------------------------------------------------
+    def _write(self, path: str, payload: dict, op: str) -> bool:
+        """tmp + fsync + rename write, subject to injected chaos."""
+        action = chaos.take_fault(op)
+        if action == "enospc":
+            chaos.raise_enospc(path)
+        if action == "torn":
+            # Simulate a crash mid-write: half the serialized payload
+            # lands at the *final* path, no fsync, no rename barrier.
+            text = json.dumps(payload, sort_keys=True)
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(text[: len(text) // 2])
+            return True
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, sort_keys=True)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        return True
+
     # -- journal --------------------------------------------------------
-    def journal(self, key: str, request: GridRequest) -> None:
-        """Record the request durably *before* it starts executing."""
+    def journal(self, key: str, request: GridRequest) -> bool:
+        """Record the request durably *before* it starts executing.
+
+        Returns False when persistence failed (disk trouble): the grid
+        still runs, it just cannot be crash-recovered.
+        """
         if not self.enabled:
-            return
+            return False
         path = self._path(key, "request.json")
         if os.path.exists(path):
-            return
-        tmp = path + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(to_wire(request), fh, sort_keys=True)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, path)
+            return True
+        try:
+            return self._write(path, to_wire(request), "journal")
+        except OSError:
+            self.io_errors += 1
+            return False
 
-    def complete(self, key: str, result: GridResult) -> None:
+    def complete(self, key: str, result: GridResult) -> bool:
         """Mark the journaled request finished by persisting its result."""
         if not self.enabled:
-            return
+            return False
         path = self._path(key, "result.json")
-        tmp = path + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(to_wire(result), fh, sort_keys=True)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, path)
+        try:
+            return self._write(path, to_wire(result), "result")
+        except OSError:
+            self.io_errors += 1
+            return False
 
     # -- recovery -------------------------------------------------------
+    def result(self, key: str) -> GridResult | None:
+        """The persisted result for ``key``, or None if absent/corrupt."""
+        path = self._path(key, "result.json")
+        try:
+            with open(path, encoding="utf-8") as fh:
+                result = from_wire(json.load(fh))
+        except (OSError, ValueError):
+            return None
+        return result if isinstance(result, GridResult) else None
+
+    def _result_is_trustworthy(self, key: str) -> bool:
+        """Validate (not merely stat) the result file; quarantine liars.
+
+        A crash or torn write can leave a present-but-unparseable
+        result file. Trusting its existence would silently mark the
+        grid complete and *lose journaled work* — so the file must
+        parse as a GridResult to count, and anything else is renamed
+        to ``.corrupt`` (kept for forensics) so the grid re-runs.
+        """
+        path = self._path(key, "result.json")
+        if not os.path.exists(path):
+            return False
+        if self.result(key) is not None:
+            return True
+        try:
+            os.replace(path, path + ".corrupt")
+            self.quarantined += 1
+        except OSError:
+            self.io_errors += 1
+        return False
+
     def incomplete(self) -> list[tuple[str, GridRequest]]:
         """Journaled requests that never produced a result (crash scan)."""
         if not self.enabled or not os.path.isdir(self.state_dir):
@@ -123,7 +206,7 @@ class GridStore:
             if not name.endswith(".request.json"):
                 continue
             key = name[: -len(".request.json")]
-            if os.path.exists(self._path(key, "result.json")):
+            if self._result_is_trustworthy(key):
                 continue
             try:
                 with open(os.path.join(self.state_dir, name), encoding="utf-8") as fh:

@@ -30,7 +30,7 @@ class TestRequestLines:
         )
         assert (rid, verb, decoded) == ("g1", "grid", request)
 
-    @pytest.mark.parametrize("verb", ["stats", "ping"])
+    @pytest.mark.parametrize("verb", ["stats", "ping", "health"])
     def test_bare_verbs_round_trip(self, verb):
         rid, parsed_verb, decoded = parse_request_line(request_line("s1", verb))
         assert (rid, parsed_verb, decoded) == ("s1", verb, None)
@@ -59,7 +59,7 @@ class TestRequestLines:
             parse_request_line(line)
 
     def test_verb_table_is_closed(self):
-        assert VERBS == ("sim", "grid", "stats", "ping")
+        assert VERBS == ("sim", "grid", "stats", "ping", "health")
 
 
 class TestResponseLines:

@@ -13,9 +13,11 @@ from hypothesis import strategies as st
 
 from repro.api.types import (
     API_SCHEMA,
+    API_SCHEMA_MIN,
     ApiError,
     GridRequest,
     GridResult,
+    HealthResult,
     ProgressEvent,
     SimRequest,
     SimResult,
@@ -25,8 +27,10 @@ from repro.api.wire import (
     WIRE_TYPES,
     WireError,
     decode_line,
+    dumps_strict,
     encode_line,
     from_wire,
+    loads_strict,
     to_wire,
 )
 
@@ -58,6 +62,7 @@ sim_requests = st.builds(
     backend=_names,
     window=st.integers(0, 256),
     warmup_fraction=st.floats(0, 1, allow_nan=False),
+    deadline_s=st.floats(0, 10**6, allow_nan=False),
 )
 grid_requests = st.builds(
     GridRequest,
@@ -69,6 +74,7 @@ grid_requests = st.builds(
     scale=st.integers(0, 64),
     backend=_names,
     jobs=st.integers(0, 64),
+    deadline_s=st.floats(0, 10**6, allow_nan=False),
 )
 progress_events = st.builds(
     ProgressEvent,
@@ -105,6 +111,14 @@ stats_results = st.builds(
 api_errors = st.builds(
     ApiError, code=_names, message=st.text(max_size=64)
 )
+health_results = st.builds(
+    HealthResult,
+    state=st.sampled_from(["starting", "serving", "draining"]),
+    queued=st.integers(0, 10**6),
+    inflight=st.integers(0, 10**6),
+    connections=st.integers(0, 10**6),
+    detail=st.text(max_size=32),
+)
 
 any_wire_object = st.one_of(
     sim_requests,
@@ -114,6 +128,7 @@ any_wire_object = st.one_of(
     grid_results,
     stats_results,
     api_errors,
+    health_results,
 )
 
 
@@ -185,8 +200,85 @@ class TestStrictDecode:
             "GridResult",
             "StatsResult",
             "ApiError",
+            "HealthResult",
         }
 
     def test_schema_field_travels_on_the_wire(self):
         payload = to_wire(ApiError(code="x", message="y"))
         assert payload["schema"] == API_SCHEMA
+
+
+class TestSchemaSkew:
+    """Old-schema payloads (>= API_SCHEMA_MIN) still decode."""
+
+    def test_v1_sim_request_decodes_with_defaults(self):
+        payload = to_wire(
+            SimRequest(scheme="alloy", mix="Q1", backend="scalar")
+        )
+        del payload["deadline_s"]  # field did not exist in v1
+        payload["schema"] = API_SCHEMA_MIN
+        decoded = from_wire(payload)
+        assert decoded.deadline_s == 0.0
+        assert decoded.schema == API_SCHEMA  # normalized, not preserved
+
+    def test_v1_grid_request_matches_v2_equivalent(self):
+        # Content-addressing relies on this: an old client's request
+        # and a new client's defaulted request are the same object.
+        payload = to_wire(GridRequest(experiment="fig10", backend="scalar"))
+        del payload["deadline_s"]
+        payload["schema"] = API_SCHEMA_MIN
+        assert from_wire(payload) == GridRequest(
+            experiment="fig10", backend="scalar"
+        )
+
+    def test_below_min_schema_rejected(self):
+        payload = to_wire(ApiError(code="x", message="y"))
+        payload["schema"] = API_SCHEMA_MIN - 1
+        with pytest.raises(WireError, match="schema"):
+            from_wire(payload)
+
+
+class TestNonFiniteFloats:
+    """NaN/Infinity never cross the wire: rejected with a typed error.
+
+    Standard JSON has no representation for them; rather than emit
+    frames only Python's parser reads back, the codec fails loudly in
+    both directions.
+    """
+
+    @pytest.mark.parametrize(
+        "value", [float("nan"), float("inf"), float("-inf")]
+    )
+    def test_encode_rejects_non_finite_stats(self, value):
+        result = StatsResult(metrics={"m": value}, trace_cache={}, server={})
+        with pytest.raises(WireError, match="non-finite"):
+            encode_line(result)
+
+    @pytest.mark.parametrize(
+        "value", [float("nan"), float("inf"), float("-inf")]
+    )
+    def test_encode_rejects_non_finite_nested_in_rows(self, value):
+        result = GridResult(
+            experiment="fig10", status="ok", rows=({"ipc": (1.0, value)},)
+        )
+        with pytest.raises(WireError, match="non-finite"):
+            encode_line(result)
+
+    @pytest.mark.parametrize("token", ["NaN", "Infinity", "-Infinity"])
+    def test_decode_rejects_non_finite_literals(self, token):
+        line = (
+            '{"type":"ApiError","code":"x","message":"y",'
+            f'"schema":{API_SCHEMA},"extra":{token}}}'
+        )
+        with pytest.raises(WireError, match="non-finite"):
+            decode_line(line.encode())
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.floats(allow_nan=False, allow_infinity=False, width=64),
+        st.sampled_from(["nan", "inf", "-inf"]),
+    )
+    def test_finite_pass_non_finite_fail(self, finite, bad):
+        assert loads_strict(dumps_strict(finite)) == finite
+        with pytest.raises(WireError):
+            dumps_strict(float(bad))

@@ -1,0 +1,348 @@
+"""Chaos suite: injected disk faults and a misbehaving network between
+client and daemon. The invariants under test (docs/robustness.md):
+
+* responses are never interleaved or cross-contaminated;
+* a journaled grid is never lost — torn/corrupt files are quarantined,
+  not trusted;
+* after any injected failure the system recovers to byte-identical
+  results (the facade is the single engine, so "recovered" and
+  "recomputed" must be indistinguishable).
+
+Everything here is deterministic: disk chaos is a scripted budget via
+``REPRO_CHAOS`` and wire chaos is a scripted :class:`ProxyPlan` — no
+dice, no flakes by construction.
+"""
+
+import asyncio
+import json
+import os
+
+import pytest
+
+from repro import api
+from repro.api import facade
+from repro.api.protocol import request_line
+from repro.api.retry import RetryPolicy
+from repro.server import ChaosProxy, ProxyPlan, ReproServer, ServerConfig
+from repro.server import chaos
+from repro.server.state import GridStore, grid_key
+
+pytestmark = pytest.mark.chaos
+
+
+def run_async(coro):
+    return asyncio.run(coro)
+
+
+async def start_server(**overrides):
+    config = ServerConfig(**{"port": 0, "max_inflight": 2, **overrides})
+    server = ReproServer(config)
+    host, port = await server.start()
+    return server, host, port
+
+
+def sim_request(scheme="alloy", mix="Q1", accesses=900, **kw):
+    return facade.sim_request(scheme, mix, accesses_per_core=accesses, **kw)
+
+
+@pytest.fixture(autouse=True)
+def clean_chaos(monkeypatch):
+    """Each test arms its own plan; none leaks into the next."""
+    monkeypatch.delenv(chaos.CHAOS_ENV, raising=False)
+    chaos.reset_chaos()
+    yield
+    chaos.reset_chaos()
+
+
+class TestDiskChaos:
+    def test_enospc_on_journal_degrades_but_answers_correctly(
+        self, tmp_path, monkeypatch
+    ):
+        """Disk-full on the journal write: the grid still runs and the
+        client's answer is correct — only crash recovery is lost, and
+        the degradation is counted, not hidden."""
+        monkeypatch.setenv(
+            chaos.CHAOS_ENV, '{"journal": {"action": "enospc", "times": 1}}'
+        )
+        chaos.reset_chaos()
+        state_dir = str(tmp_path / "state")
+        request = facade.grid_request("fig10", mixes=("Q1",), accesses_per_core=700)
+
+        async def scenario():
+            server, host, port = await start_server(state_dir=state_dir)
+            try:
+                client = await api.AsyncServiceClient.connect(host, port)
+                try:
+                    result = await client.run_grid(request)
+                    stats = await client.stats()
+                finally:
+                    await client.close()
+                return result, stats, server.store.io_errors
+            finally:
+                await server.aclose()
+
+        result, stats, io_errors = run_async(scenario())
+        assert result.status == "ok"
+        assert result.rows == facade.run_grid(request).rows
+        assert io_errors == 1
+        assert stats.server["store_io_errors"] == 1
+        assert chaos.chaos_counters() == {"journal": 1}
+        # No journal was persisted, so there is nothing to recover.
+        assert GridStore(state_dir).incomplete() == []
+
+    def test_torn_result_is_quarantined_and_grid_rerun(self, tmp_path, monkeypatch):
+        """A torn result file (crash mid-write) must never be trusted as
+        completion: recovery quarantines it and re-runs the journaled
+        grid to a byte-identical result."""
+        monkeypatch.setenv(
+            chaos.CHAOS_ENV, '{"result": {"action": "torn", "times": 1}}'
+        )
+        chaos.reset_chaos()
+        state_dir = str(tmp_path / "state")
+        request = facade.grid_request("fig10", mixes=("Q1",), accesses_per_core=700)
+        key = grid_key(request)
+
+        async def first_run():
+            server, host, port = await start_server(state_dir=state_dir)
+            try:
+                client = await api.AsyncServiceClient.connect(host, port)
+                try:
+                    return await client.run_grid(request)
+                finally:
+                    await client.close()
+            finally:
+                await server.aclose()
+
+        result = run_async(first_run())
+        assert result.status == "ok"  # the client was never lied to
+
+        # The torn file exists at the result path but does not parse.
+        result_path = os.path.join(state_dir, f"{key}.result.json")
+        assert os.path.exists(result_path)
+        assert GridStore(state_dir).result(key) is None
+
+        async def recovery_run():
+            server, _, _ = await start_server(state_dir=state_dir)
+            try:
+                loop = asyncio.get_running_loop()
+                deadline = loop.time() + 60
+                while loop.time() < deadline:
+                    if server.store.result(key) is not None:
+                        break
+                    await asyncio.sleep(0.05)
+                else:
+                    pytest.fail("recovery never completed the grid")
+                return (
+                    server.store.quarantined,
+                    server.stats.recovered_grids,
+                    server.store.result(key),
+                )
+            finally:
+                await server.aclose()
+
+        quarantined, recovered, recovered_result = run_async(recovery_run())
+        assert quarantined == 1
+        assert recovered == 1
+        assert os.path.exists(result_path + ".corrupt")  # kept for forensics
+        assert recovered_result.rows == facade.run_grid(request).rows
+
+
+class TestWireChaos:
+    def test_sync_client_reconnects_after_mid_stream_drop(self, tmp_path):
+        """The proxy kills the connection after the first progress
+        events; a RetryPolicy client reconnects, resubmits, and joins
+        or resumes the same grid — byte-identical to a local run."""
+        state_dir = str(tmp_path / "state")
+        request = facade.grid_request("fig10", mixes=("Q1",), accesses_per_core=1500)
+
+        async def scenario():
+            server, host, port = await start_server(state_dir=state_dir)
+            proxy = ChaosProxy(
+                host, port,
+                ProxyPlan(drop_after_bytes=150, only_first_connections=1),
+            )
+            proxy_host, proxy_port = await proxy.start()
+            try:
+                def drive():
+                    with api.ServiceClient(
+                        proxy_host, proxy_port, timeout=120,
+                        retry=RetryPolicy(attempts=4, backoff_s=0.01),
+                    ) as client:
+                        return client.run_grid(request)
+
+                result = await asyncio.to_thread(drive)
+                return result, proxy.stats
+            finally:
+                await proxy.aclose()
+                await server.aclose()
+
+        result, stats = run_async(scenario())
+        assert stats.dropped == 1
+        assert stats.connections >= 2, "client never reconnected"
+        local = facade.run_grid(request)
+        assert result.rows == local.rows
+        assert (
+            json.dumps([dict(r) for r in result.rows], sort_keys=True)
+            == json.dumps([dict(r) for r in local.rows], sort_keys=True)
+        )
+
+    def test_async_client_reconnects_mid_progress_stream(self, tmp_path):
+        state_dir = str(tmp_path / "state")
+        request = facade.grid_request("fig10", mixes=("Q1",), accesses_per_core=1500)
+
+        async def scenario():
+            server, host, port = await start_server(state_dir=state_dir)
+            proxy = ChaosProxy(
+                host, port,
+                ProxyPlan(drop_after_bytes=200, only_first_connections=1),
+            )
+            proxy_host, proxy_port = await proxy.start()
+            try:
+                client = await api.AsyncServiceClient.connect(
+                    proxy_host, proxy_port,
+                    retry=RetryPolicy(attempts=5, backoff_s=0.01),
+                )
+                try:
+                    result = await client.run_grid(request)
+                finally:
+                    await client.close()
+                return result, proxy.stats
+            finally:
+                await proxy.aclose()
+                await server.aclose()
+
+        result, stats = run_async(scenario())
+        assert stats.connections >= 2, "client never reconnected"
+        assert result.rows == facade.run_grid(request).rows
+
+    def test_half_open_connection_times_out_and_retries(self):
+        """A half-open peer (up but silent) must not hang the client
+        forever: the read timeout fires, the retry reconnects through
+        the healed path and the answer is correct."""
+        request = sim_request(accesses=700)
+
+        async def scenario():
+            server, host, port = await start_server()
+            proxy = ChaosProxy(
+                host, port,
+                ProxyPlan(half_open_after_bytes=0, only_first_connections=1),
+            )
+            proxy_host, proxy_port = await proxy.start()
+            try:
+                def drive():
+                    with api.ServiceClient(
+                        proxy_host, proxy_port, timeout=1.0,
+                        retry=RetryPolicy(attempts=4, backoff_s=0.01),
+                    ) as client:
+                        return client.run_sim(request)
+
+                result = await asyncio.to_thread(drive)
+                return result, proxy.stats.connections
+            finally:
+                await proxy.aclose()
+                await server.aclose()
+
+        result, connections = run_async(scenario())
+        assert connections >= 2, "client never abandoned the silent peer"
+        assert result.stats == facade.run_sim(request).stats
+
+    def test_garbled_frame_is_a_typed_error_not_a_wrong_answer(self):
+        """A flipped byte in the stream must surface as an error — the
+        codec refuses the frame rather than deliver corrupt data — and
+        a fresh attempt over the healed path succeeds."""
+        request = sim_request(accesses=700)
+
+        async def scenario():
+            server, host, port = await start_server()
+            proxy = ChaosProxy(
+                host, port,
+                ProxyPlan(garble_at=40, only_first_connections=1),
+            )
+            proxy_host, proxy_port = await proxy.start()
+            try:
+                def poisoned():
+                    with api.ServiceClient(proxy_host, proxy_port, timeout=60) as c:
+                        return c.run_sim(request)
+
+                with pytest.raises(ValueError):  # WireError or decode error
+                    await asyncio.to_thread(poisoned)
+
+                def clean():
+                    with api.ServiceClient(proxy_host, proxy_port, timeout=60) as c:
+                        return c.run_sim(request)
+
+                return await asyncio.to_thread(clean)
+            finally:
+                await proxy.aclose()
+                await server.aclose()
+
+        result = run_async(scenario())
+        assert result.stats == facade.run_sim(request).stats
+
+    def test_truncated_request_leaves_server_healthy(self):
+        """A request cut off mid-frame is rejected without wedging the
+        daemon: the next (direct) client is served normally."""
+
+        async def scenario():
+            server, host, port = await start_server()
+            proxy = ChaosProxy(host, port, ProxyPlan(truncate_request_at=50))
+            proxy_host, proxy_port = await proxy.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    proxy_host, proxy_port
+                )
+                try:
+                    writer.write(request_line("trunc", "sim", sim_request()))
+                    await writer.drain()
+                    await asyncio.wait_for(reader.read(), timeout=10)
+                finally:
+                    writer.close()
+                # Straight to the server, past the proxy: still healthy.
+                client = await api.AsyncServiceClient.connect(host, port)
+                try:
+                    result = await client.run_sim(sim_request(accesses=700))
+                    health = await client.health()
+                finally:
+                    await client.close()
+                return result, health
+            finally:
+                await proxy.aclose()
+                await server.aclose()
+
+        result, health = run_async(scenario())
+        assert result.records > 0
+        assert health.state == "serving"
+
+    def test_slow_loris_and_concurrent_clients_no_cross_contamination(self):
+        """Two clients through a trickling proxy (bytes arrive one at a
+        time): each still gets exactly its own answer."""
+        specs = [("alloy", "Q1"), ("bimodal", "Q2")]
+
+        async def scenario():
+            server, host, port = await start_server()
+            proxy = ChaosProxy(host, port, ProxyPlan(trickle=True))
+            proxy_host, proxy_port = await proxy.start()
+            try:
+                clients = [
+                    await api.AsyncServiceClient.connect(proxy_host, proxy_port)
+                    for _ in specs
+                ]
+                try:
+                    results = await asyncio.gather(*[
+                        client.run_sim(sim_request(scheme, mix, accesses=700))
+                        for client, (scheme, mix) in zip(clients, specs)
+                    ])
+                finally:
+                    for client in clients:
+                        await client.close()
+                return results
+            finally:
+                await proxy.aclose()
+                await server.aclose()
+
+        results = run_async(scenario())
+        for result, (scheme, mix) in zip(results, specs):
+            assert result.scheme == scheme
+            assert result.mix == mix
+            local = facade.run_sim(sim_request(scheme, mix, accesses=700))
+            assert result.stats == local.stats

@@ -1,0 +1,367 @@
+"""Drain lifecycle, the health verb, request deadlines and old-schema
+clients against the live daemon."""
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro import api
+from repro.api import facade
+from repro.api.errors import RETRYABLE_CODES
+from repro.api.protocol import parse_response_line, request_line
+from repro.server import GridStore, ReproServer, ServerConfig, grid_key
+from repro.server.lifecycle import (
+    DRAINING,
+    SERVING,
+    STARTING,
+    Lifecycle,
+    await_quiesced,
+)
+
+
+def run_async(coro):
+    return asyncio.run(coro)
+
+
+async def start_server(**overrides):
+    config = ServerConfig(**{"port": 0, "max_inflight": 2, **overrides})
+    server = ReproServer(config)
+    host, port = await server.start()
+    return server, host, port
+
+
+def sim_request(scheme="alloy", mix="Q1", accesses=900, **kw):
+    return facade.sim_request(scheme, mix, accesses_per_core=accesses, **kw)
+
+
+class TestLifecycleStateMachine:
+    def test_states_are_monotonic(self):
+        async def scenario():
+            life = Lifecycle()
+            assert life.state == STARTING
+            life.mark_serving()
+            assert life.state == SERVING
+            life.request_drain("sigterm")
+            assert life.state == DRAINING
+            assert life.reason == "sigterm"
+            # Idempotent: the first reason wins, there is no un-drain.
+            life.request_drain("again")
+            assert life.reason == "sigterm"
+            life.mark_serving()
+            assert life.state == DRAINING
+            await asyncio.wait_for(life.wait_drain_requested(), timeout=1)
+
+        run_async(scenario())
+
+    def test_await_quiesced_polls_until_idle_or_budget(self):
+        async def scenario():
+            calls = []
+
+            def idle_after_three():
+                calls.append(1)
+                return len(calls) >= 3
+
+            assert await await_quiesced(idle_after_three, 5.0, poll_s=0.01)
+            assert not await await_quiesced(lambda: False, 0.05, poll_s=0.01)
+            # Zero budget still checks once.
+            assert await await_quiesced(lambda: True, 0.0)
+
+        run_async(scenario())
+
+
+class TestHealthVerb:
+    def test_health_reports_serving_state_and_queue_depths(self):
+        async def scenario():
+            server, host, port = await start_server()
+            try:
+                client = await api.AsyncServiceClient.connect(host, port)
+                try:
+                    return await client.health()
+                finally:
+                    await client.close()
+            finally:
+                await server.aclose()
+
+        health = run_async(scenario())
+        assert health.state == SERVING
+        assert health.queued == 0
+        assert health.inflight == 0
+        assert health.connections == 1
+
+
+class TestDrain:
+    def test_draining_rejects_new_work_but_keeps_observability(self):
+        async def scenario():
+            server, host, port = await start_server()
+            try:
+                client = await api.AsyncServiceClient.connect(host, port)
+                try:
+                    server.lifecycle.request_drain("test-drain")
+                    with pytest.raises(api.ServiceError) as sim_exc:
+                        await client.run_sim(sim_request())
+                    with pytest.raises(api.ServiceError) as grid_exc:
+                        await client.run_grid(
+                            facade.grid_request("fig10", mixes=("Q1",))
+                        )
+                    # ping/stats/health still answer while draining.
+                    stats = await client.stats()
+                    health = await client.health()
+                finally:
+                    await client.close()
+                quiesced = await server.drain()
+            finally:
+                await server.aclose()
+            return sim_exc.value, grid_exc.value, stats, health, quiesced
+
+        sim_error, grid_error, stats, health, quiesced = run_async(scenario())
+        assert sim_error.code == "draining"
+        assert grid_error.code == "draining"
+        # The rejection must be retryable: a client with a RetryPolicy
+        # resubmits against the restarted server and resumes via journal.
+        assert sim_error.code in RETRYABLE_CODES
+        assert stats.server["lifecycle"] == DRAINING
+        assert health.state == DRAINING
+        assert health.detail == "test-drain"
+        assert quiesced, "idle server failed to quiesce"
+
+    def test_drain_waits_for_inflight_sim(self):
+        async def scenario():
+            server, host, port = await start_server(max_inflight=1)
+            try:
+                client = await api.AsyncServiceClient.connect(host, port)
+                try:
+                    inflight = asyncio.create_task(
+                        client.run_sim(sim_request(accesses=5_000))
+                    )
+                    await asyncio.sleep(0.05)  # let it reach the pool
+                    server.lifecycle.request_drain("test")
+                    quiesced = await server.drain()
+                    result = await inflight
+                finally:
+                    await client.close()
+            finally:
+                await server.aclose()
+            return quiesced, result
+
+        quiesced, result = run_async(scenario())
+        assert quiesced, "drain timed out with a finishable sim in flight"
+        assert result.records > 0, "drain dropped the in-flight sim"
+
+
+class TestDeadlines:
+    def test_negative_deadline_is_rejected_at_construction(self):
+        with pytest.raises(facade.RequestError, match="deadline_s"):
+            facade.sim_request("alloy", "Q1", deadline_s=-1.0)
+
+    def test_zero_deadline_means_no_deadline(self):
+        async def scenario():
+            server, host, port = await start_server()
+            try:
+                client = await api.AsyncServiceClient.connect(host, port)
+                try:
+                    return await client.run_sim(sim_request(deadline_s=0.0))
+                finally:
+                    await client.close()
+            finally:
+                await server.aclose()
+
+        assert run_async(scenario()).records > 0
+
+    def test_sim_deadline_exceeded_is_a_typed_error(self):
+        async def scenario():
+            server, host, port = await start_server()
+            try:
+                client = await api.AsyncServiceClient.connect(host, port)
+                try:
+                    with pytest.raises(api.ServiceError) as excinfo:
+                        await client.run_sim(
+                            sim_request(accesses=50_000, deadline_s=0.02)
+                        )
+                finally:
+                    await client.close()
+            finally:
+                await server.aclose()
+            return excinfo.value
+
+        error = run_async(scenario())
+        assert error.code == "deadline_exceeded"
+        assert "0.02" in str(error)
+
+    def test_deadline_covers_queue_time(self):
+        async def scenario():
+            server, host, port = await start_server()
+            server._scheduler_task.cancel()  # park the job in the queue
+            try:
+                client = await api.AsyncServiceClient.connect(host, port)
+                try:
+                    pending = asyncio.create_task(
+                        client.run_sim(sim_request(deadline_s=0.05))
+                    )
+                    await asyncio.sleep(0.2)  # budget burns while queued
+                    server._scheduler_task = asyncio.create_task(
+                        server._scheduler()
+                    )
+                    async with server._work:
+                        server._work.notify_all()
+                    with pytest.raises(api.ServiceError) as excinfo:
+                        await asyncio.wait_for(pending, timeout=5)
+                finally:
+                    await client.close()
+            finally:
+                await server.aclose()
+            return excinfo.value
+
+        error = run_async(scenario())
+        assert error.code == "deadline_exceeded"
+        assert "while queued" in str(error)
+
+    def test_grid_deadline_journals_work_and_resubmit_resumes(self, tmp_path):
+        """A grid cut off by its deadline stays journaled; resubmitting
+        without the deadline reuses the same key (deadline_s is execution
+        metadata, not content) and completes correctly."""
+        state_dir = str(tmp_path / "state")
+        tight = facade.grid_request(
+            "fig10", mixes=("Q1", "Q2"), accesses_per_core=12_000,
+            deadline_s=0.05,
+        )
+        relaxed = facade.grid_request(
+            "fig10", mixes=("Q1", "Q2"), accesses_per_core=12_000
+        )
+        assert grid_key(tight) == grid_key(relaxed)
+
+        async def scenario():
+            server, host, port = await start_server(state_dir=state_dir)
+            try:
+                client = await api.AsyncServiceClient.connect(host, port)
+                try:
+                    with pytest.raises(api.ServiceError) as excinfo:
+                        await client.run_grid(tight)
+                    retried = await client.run_grid(relaxed)
+                finally:
+                    await client.close()
+            finally:
+                await server.aclose()
+            return excinfo.value, retried
+
+        error, retried = run_async(scenario())
+        assert error.code == "deadline_exceeded"
+        assert retried.status == "ok"
+        local = facade.run_grid(relaxed)
+        assert retried.rows == local.rows
+        # The journal is satisfied: nothing left to recover.
+        assert GridStore(state_dir).incomplete() == []
+
+
+class TestOldSchemaClients:
+    def test_v1_request_without_deadline_completes(self):
+        """A client built against schema 1 (no deadline_s field) still
+        gets its sim result from a schema-2 server."""
+        request = sim_request(accesses=700)
+        wire = api.to_wire(request)
+        wire.pop("deadline_s")
+        wire["schema"] = 1
+
+        async def scenario():
+            server, host, port = await start_server()
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                try:
+                    writer.write(
+                        (json.dumps({"id": "v1", "verb": "sim", "request": wire})
+                         + "\n").encode()
+                    )
+                    await writer.drain()
+                    while True:
+                        rid, kind, payload = parse_response_line(
+                            await reader.readline()
+                        )
+                        assert rid == "v1"
+                        if kind != "event":
+                            return kind, payload
+                finally:
+                    writer.close()
+                    await writer.wait_closed()
+            finally:
+                await server.aclose()
+
+        kind, payload = run_async(scenario())
+        assert kind == "result"
+        assert payload.stats == facade.run_sim(request).stats
+
+
+class TestGracefulDrainProcess:
+    def test_sigterm_mid_grid_exits_zero_and_resumes(self, tmp_path):
+        """SIGTERM while a grid is executing: the process exits 0 within
+        the drain budget, the journal survives, and a restarted server
+        resumes from the checkpoint to byte-identical rows."""
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(api.__file__), "..", "..")
+        env["PYTHONPATH"] = (
+            os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+        )
+        state_dir = str(tmp_path / "state")
+        request = facade.grid_request(
+            "fig10", mixes=("Q1", "Q2"), accesses_per_core=12_000
+        )
+        key = grid_key(request)
+        ckpt = os.path.join(state_dir, f"{key}.ckpt.jsonl")
+
+        def boot():
+            proc = subprocess.Popen(
+                [sys.executable, "-m", "repro", "serve", "--port", "0",
+                 "--state-dir", state_dir, "--drain-timeout", "1"],
+                env=env, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+                text=True,
+            )
+            banner = proc.stdout.readline()
+            port = int(banner.rsplit(":", 1)[1].split()[0].rstrip(")"))
+            return proc, port
+
+        proc, port = boot()
+        try:
+            with api.ServiceClient("127.0.0.1", port, timeout=60) as client:
+                client.ping()
+                client._sock.sendall(request_line("drain-run", "grid", request))
+                deadline = time.time() + 60
+                while time.time() < deadline:
+                    if os.path.exists(ckpt) and os.path.getsize(ckpt) > 0:
+                        break
+                    time.sleep(0.02)
+                else:
+                    pytest.fail("checkpoint never appeared")
+                proc.send_signal(signal.SIGTERM)
+                # Drain budget is 1s; generous wall allowance for CI.
+                rc = proc.wait(timeout=30)
+            assert rc == 0, f"drain exited {rc}, expected 0"
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+
+        store = GridStore(state_dir)
+        incomplete = [k for k, _ in store.incomplete()]
+        # Either the grid finished inside the budget (result persisted)
+        # or it was cut off and must still be journaled — never lost.
+        if incomplete:
+            assert incomplete == [key]
+
+        proc, port = boot()
+        try:
+            with api.ServiceClient("127.0.0.1", port, timeout=300) as client:
+                result = client.run_grid(request)
+            assert result.status == "ok"
+            assert result.resumed_cells > 0, "nothing came from the checkpoint"
+        finally:
+            proc.terminate()
+            try:
+                proc.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+        local = facade.run_grid(request)
+        assert result.rows == local.rows, "drained grid diverged"
