@@ -65,6 +65,14 @@ echo "== service smoke (repro serve) =="
 # See docs/service.md.
 python scripts/serve_smoke.py
 
+echo "== dse smoke (MRC engine + design-space driver) =="
+# Three gates (docs/dse.md): the ghost cache must match the reference
+# LRU walk integer-for-integer at sampling rate 1.0, its hit-rate
+# estimate must land within 2% absolute of a full timing simulation on
+# two mixes, and `repro dse` must spend >= 5x fewer full-simulation
+# equivalents than the exhaustive grid.
+python scripts/dse_smoke.py
+
 echo "== chaos suite =="
 # The chaos-marked tests (disk + wire fault injection, see
 # docs/robustness.md) run inside tier-1 above; this pass re-runs them
@@ -89,5 +97,9 @@ python -m repro.harness.perfbench --modes fast --repeats 3 \
     --gate BENCH_perf.json
 python -m repro.harness.perfbench --schemes bimodal,alloy --mixes Q1 \
     --backends scalar,vectorized --repeats 3 --gate BENCH_perf.json
+# The MRC ghost pass is gated too: the dse driver's estimation phase
+# must stay fast enough to be worth the pruning it buys.
+python -m repro.harness.perfbench --modes mrc --repeats 3 \
+    --gate BENCH_perf.json
 
 echo "ci.sh: all checks passed"

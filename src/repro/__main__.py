@@ -5,6 +5,7 @@ Examples::
     python -m repro run fig1 --mixes Q2 Q7 --accesses 20000
     python -m repro run fig7 --jobs auto --trace-out fig7.jsonl
     python -m repro run table3 --export out/table3.json
+    python -m repro dse --mixes Q1 Q7 --sample-rate 0.5
     python -m repro serve --port 7914 --state-dir .repro-serve
     python -m repro list
     python -m repro list-schemes
@@ -51,7 +52,7 @@ _EXPERIMENTS: dict[str, tuple[str, bool, int, str]] = {
     for spec in api.experiment_catalog().values()
 }
 
-_SUBCOMMANDS = ("run", "list", "list-schemes", "bench", "lint", "serve")
+_SUBCOMMANDS = ("run", "dse", "list", "list-schemes", "bench", "lint", "serve")
 
 
 def _shared_flags(parser: argparse.ArgumentParser) -> None:
@@ -142,6 +143,68 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _shared_flags(run)
 
+    dse = sub.add_parser(
+        "dse",
+        help="MRC-guided design-space exploration (see docs/dse.md)",
+    )
+    dse.add_argument("--mixes", nargs="*", default=None, help="mix subset")
+    dse.add_argument("--cores", type=int, default=4, help="4, 8 or 16")
+    dse.add_argument(
+        "--accesses", type=int, default=20_000, help="accesses per core"
+    )
+    dse.add_argument("--scale", type=int, default=16, help="capacity scale")
+    dse.add_argument(
+        "--sample-rate",
+        type=float,
+        default=1.0,
+        metavar="R",
+        help="deterministic trace-sampling rate of the ghost pass, "
+        "0 < R <= 1 (1.0 = every record; see docs/dse.md for error bounds)",
+    )
+    dse.add_argument(
+        "--max-frontier",
+        type=int,
+        default=8,
+        metavar="N",
+        help="cap on Pareto-frontier points graduating to timing simulation",
+    )
+    dse.add_argument(
+        "--export", default=None, help="write rows to this .json or .csv path"
+    )
+    dse.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="FILE",
+        help="record completed timing cells to this crash-safe JSONL file",
+    )
+    dse.add_argument(
+        "--resume",
+        default=None,
+        metavar="CKPT",
+        help="resume timing cells from a checkpoint file",
+    )
+    dse.add_argument(
+        "--server",
+        default=None,
+        metavar="HOST:PORT",
+        help="run on a warm `repro serve` daemon instead of locally",
+    )
+    dse.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="bound on establishing the server connection (default 10)",
+    )
+    dse.add_argument(
+        "--deadline",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="wall-clock budget for the whole exploration (0 = none)",
+    )
+    _shared_flags(dse)
+
     sub.add_parser("list", help="list experiment ids")
     sub.add_parser("list-schemes", help="list registered DRAM cache schemes")
     # `lint` is dispatched before parse_args so simlint owns its own
@@ -206,7 +269,7 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--modes",
         default="legacy,fast,traced",
-        help="comma-separated subset of {legacy,fast,traced}",
+        help="comma-separated subset of {legacy,fast,traced,mrc}",
     )
     bench.add_argument(
         "--output", default=None, help="append the entry to this JSON history"
@@ -412,7 +475,98 @@ def _cmd_run(args: argparse.Namespace, argv: list[str]) -> int:
     return EXIT_OK
 
 
-def _run_on_server(args: argparse.Namespace, address, request):
+def _cmd_dse(args: argparse.Namespace, argv: list[str]) -> int:
+    try:
+        request = api.dse_request(
+            mixes=args.mixes or (),
+            cores=args.cores,
+            accesses_per_core=args.accesses,
+            seed=args.seed,
+            scale=args.scale,
+            backend=args.backend,
+            jobs=args.jobs,
+            sample_rate=args.sample_rate,
+            max_frontier=args.max_frontier,
+            deadline_s=args.deadline,
+        )
+    except api.RequestError as exc:
+        return _usage_error(str(exc))
+    _configure_tracing(args)
+    ckpt_path = args.resume or args.checkpoint
+    try:
+        if args.server:
+            address = _parse_hostport(args.server)
+            if address is None:
+                return _usage_error(
+                    f"--server needs HOST:PORT (got {args.server!r})"
+                )
+            result = _run_on_server(
+                args, address, request, verb="dse"
+            )
+        else:
+            result = api.run_dse(
+                request,
+                checkpoint_path=ckpt_path,
+                resume=bool(args.resume),
+            )
+    except ValueError as exc:
+        return _usage_error(str(exc))
+    except api.ServiceError as exc:
+        return _usage_error(str(exc))
+    except (OSError, TimeoutError) as exc:
+        if args.server:
+            return _usage_error(f"cannot reach server {args.server}: {exc}")
+        raise
+    rows = list(result.rows)
+    from repro.harness.reporting import print_table
+
+    print_table(rows, title="dse: MRC-guided design-space exploration")
+    stats = dict(result.stats)
+    if result.winner:
+        point = dict(result.winner)
+        print(
+            f"\nwinner: {point.get('cache_mb')}MB/"
+            f"{point.get('block_size')}B/{point.get('associativity')}w/"
+            f"{point.get('policy')}  hit_rate={point.get('hit_rate'):.4f}"
+        )
+    print(
+        f"cost: {stats.get('full_sims_equivalent', 0):g} full-sim "
+        f"equivalents vs {stats.get('exhaustive_sims', 0)} exhaustive "
+        f"({stats.get('full_sims_avoided', 0)} avoided, "
+        f"{stats.get('speedup', 0):g}x)"
+    )
+    if args.export:
+        if rows:
+            from repro.harness.export import export_csv, export_json
+
+            if args.export.endswith(".csv"):
+                export_csv(rows, args.export)
+            else:
+                export_json(rows, args.export, experiment="dse")
+            print(f"\nwrote {args.export}")
+        else:
+            print(
+                f"[repro] no completed rows; skipping export to {args.export}",
+                file=sys.stderr,
+            )
+    from repro.harness.runner import ExperimentSetup
+
+    args.experiment = "dse"  # manifest labelling only
+    setup = ExperimentSetup(
+        num_cores=request.cores,
+        scale=request.scale,
+        accesses_per_core=request.accesses_per_core,
+        seed=request.seed,
+        backend=request.backend,
+    )
+    _write_manifests(args, argv, setup, list(result.failures))
+    if result.failures:
+        _print_failure_table(result.failures)
+        return EXIT_PARTIAL
+    return EXIT_OK
+
+
+def _run_on_server(args: argparse.Namespace, address, request, *, verb="grid"):
     """Run the grid on a warm daemon, with reconnect-and-resume retries."""
     from repro.api.retry import RetryPolicy
 
@@ -423,6 +577,8 @@ def _run_on_server(args: argparse.Namespace, address, request):
         connect_timeout=args.connect_timeout,
         retry=RetryPolicy(),
     ) as client:
+        if verb == "dse":
+            return client.run_dse(request)
         return client.run_grid(request)
 
 
@@ -488,6 +644,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_bench(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "dse":
+        return _cmd_dse(args, argv)
     return _cmd_run(args, argv)
 
 

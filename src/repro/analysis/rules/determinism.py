@@ -8,8 +8,11 @@ allowlisted observability/harness modules:
 * wall-clock reads: ``time.time``/``time_ns``/``strftime`` with an
   implicit "now", ``datetime.now``/``utcnow``/``today``;
 * ambient entropy: module-level ``random.*`` functions, zero-argument
-  ``random.Random()`` / ``numpy.random.default_rng()``, and the legacy
-  ``numpy.random`` global-state API;
+  ``random.Random()`` / ``numpy.random.default_rng()``, the legacy
+  ``numpy.random`` global-state API, and the builtin ``hash()`` —
+  randomized per process for str/bytes (``PYTHONHASHSEED``), so any
+  sampling or bucketing decision derived from it (e.g. the MRC ghost
+  pass of :mod:`repro.mrc.engine`) would not replay;
 * environment-dependent iteration order: looping directly over
   ``os.environ``, an unsorted ``os.listdir``/``os.scandir``/
   ``glob.glob``, or a set expression.
@@ -76,6 +79,14 @@ class DeterminismRule(Rule):
         if isinstance(func, ast.Name):
             origin = imports.member_origin(func.id)
             if origin is None:
+                if func.id == "hash":
+                    yield source.violation(
+                        self.name, node,
+                        "builtin hash() is randomized per process for "
+                        "str/bytes (PYTHONHASHSEED); derive sampling and "
+                        "bucketing from a seeded hash instead (see "
+                        "repro.mrc.engine.sample_addresses)",
+                    )
                 return
             module, original = origin
             if module == "random" and original not in _RANDOM_MODULE_OK:

@@ -37,14 +37,17 @@ from repro.api.errors import (
 )
 from repro.api.facade import (
     api_error,
+    dse_request,
     grid_request,
     grid_setup,
     health_result,
     progress_event,
+    run_dse,
     run_grid,
     run_sim,
     sim_request,
     stats_result,
+    validate_dse,
     validate_grid,
     validate_sim,
 )
@@ -53,6 +56,8 @@ from repro.api.types import (
     API_SCHEMA,
     API_SCHEMA_MIN,
     ApiError,
+    DseRequest,
+    DseResult,
     GridRequest,
     GridResult,
     HealthResult,
@@ -86,6 +91,8 @@ __all__ = [
     "EXIT_PARTIAL",
     "EXIT_PERF_GATE",
     "EXIT_USAGE",
+    "DseRequest",
+    "DseResult",
     "ExperimentSpec",
     "GridRequest",
     "GridResult",
@@ -102,6 +109,7 @@ __all__ = [
     "WireError",
     "api_error",
     "decode_line",
+    "dse_request",
     "dumps_strict",
     "encode_line",
     "experiment_catalog",
@@ -113,11 +121,13 @@ __all__ = [
     "health_result",
     "loads_strict",
     "progress_event",
+    "run_dse",
     "run_grid",
     "run_sim",
     "sim_request",
     "stats_result",
     "to_wire",
+    "validate_dse",
     "validate_grid",
     "validate_sim",
 ]

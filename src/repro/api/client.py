@@ -34,6 +34,8 @@ from repro.api.errors import ServiceError
 from repro.api.protocol import parse_response_line, request_line
 from repro.api.retry import RetryPolicy, request_key
 from repro.api.types import (
+    DseRequest,
+    DseResult,
     GridRequest,
     GridResult,
     HealthResult,
@@ -130,6 +132,10 @@ class ServiceClient:
     def run_grid(self, request: GridRequest, *, on_progress=None) -> GridResult:
         """Run one experiment grid on the server; blocks until done."""
         return self._call("grid", request, GridResult, on_progress)
+
+    def run_dse(self, request: DseRequest, *, on_progress=None) -> DseResult:
+        """Run one design-space exploration on the server; blocks until done."""
+        return self._call("dse", request, DseResult, on_progress)
 
     def stats(self) -> StatsResult:
         """The server's live telemetry snapshot."""
@@ -285,6 +291,11 @@ class AsyncServiceClient:
         self, request: GridRequest, *, on_progress=None
     ) -> GridResult:
         return await self._call("grid", request, GridResult, on_progress)
+
+    async def run_dse(
+        self, request: DseRequest, *, on_progress=None
+    ) -> DseResult:
+        return await self._call("dse", request, DseResult, on_progress)
 
     async def stats(self) -> StatsResult:
         return await self._call("stats", None, StatsResult, None)

@@ -34,6 +34,8 @@ from repro.api import catalog
 from repro.api.errors import ERR_DEADLINE, RequestError
 from repro.api.types import (
     ApiError,
+    DseRequest,
+    DseResult,
     GridRequest,
     GridResult,
     HealthResult,
@@ -45,14 +47,17 @@ from repro.api.types import (
 
 __all__ = [
     "api_error",
+    "dse_request",
     "grid_request",
     "grid_setup",
     "health_result",
     "progress_event",
+    "run_dse",
     "run_grid",
     "run_sim",
     "sim_request",
     "stats_result",
+    "validate_dse",
     "validate_grid",
     "validate_sim",
 ]
@@ -156,6 +161,36 @@ def grid_request(
     return request
 
 
+def dse_request(
+    *,
+    mixes=(),
+    cores: int = 4,
+    accesses_per_core: int = 20_000,
+    seed: int = 1,
+    scale: int = 16,
+    backend: str | None = None,
+    jobs: int | str | None = None,
+    sample_rate: float = 1.0,
+    max_frontier: int = 8,
+    deadline_s: float = 0.0,
+) -> DseRequest:
+    """A validated :class:`DseRequest` (the only sanctioned constructor)."""
+    request = DseRequest(
+        mixes=tuple(mixes or ()),
+        cores=cores,
+        accesses_per_core=accesses_per_core,
+        seed=seed,
+        scale=scale,
+        backend=_resolve_backend(backend),
+        jobs=_resolve_jobs(jobs),
+        sample_rate=sample_rate,
+        max_frontier=max_frontier,
+        deadline_s=deadline_s,
+    )
+    validate_dse(request)
+    return request
+
+
 # ----------------------------------------------------------------------
 # validation (shared by constructors, server decode path and the CLI)
 # ----------------------------------------------------------------------
@@ -236,6 +271,33 @@ def validate_grid(request: GridRequest) -> None:
             raise RequestError(
                 f"unknown mix(es) {', '.join(unknown)} for {cores} cores "
                 f"(known: {', '.join(sorted(known))})"
+            )
+
+
+def validate_dse(request: DseRequest) -> None:
+    """Reject a bad :class:`DseRequest` before any estimation starts."""
+    from repro.workloads.mixes import mixes_for_cores
+
+    if request.cores not in _VALID_CORES:
+        raise RequestError(f"cores must be 4, 8 or 16 (got {request.cores})")
+    if request.jobs < 0:
+        raise RequestError(f"jobs must be >= 0 (got {request.jobs})")
+    if not 0.0 < request.sample_rate <= 1.0:
+        raise RequestError(
+            f"sample_rate must be in (0, 1] (got {request.sample_rate})"
+        )
+    if request.max_frontier < 1:
+        raise RequestError(
+            f"max_frontier must be >= 1 (got {request.max_frontier})"
+        )
+    _check_common(request)
+    if request.mixes:
+        known = mixes_for_cores(request.cores)
+        unknown = [m for m in request.mixes if m not in known]
+        if unknown:
+            raise RequestError(
+                f"unknown mix(es) {', '.join(unknown)} for "
+                f"{request.cores} cores (known: {', '.join(sorted(known))})"
             )
 
 
@@ -324,6 +386,7 @@ def grid_setup(request: GridRequest):
         scale=request.scale,
         accesses_per_core=request.accesses_per_core,
         seed=request.seed,
+        backend=request.backend,
     )
 
 
@@ -365,11 +428,11 @@ def run_grid(
     resumed = 0
     try:
         with ExitStack() as stack:
-            stack.enter_context(
-                _scoped_env(
-                    REPRO_JOBS=str(request.jobs), REPRO_BACKEND=request.backend
-                )
-            )
+            # The request's backend rides on the ExperimentSetup (every
+            # cell resolves setup.backend); only the worker count still
+            # travels via the environment, because pool sizing happens
+            # before any cell exists.
+            stack.enter_context(_scoped_env(REPRO_JOBS=str(request.jobs)))
             stack.enter_context(
                 faults.deadline_scope(request.deadline_s or None)
             )
@@ -403,6 +466,85 @@ def run_grid(
         experiment=request.experiment,
         status="partial" if failures else "ok",
         rows=tuple(rows),
+        failures=failures,
+        resumed_cells=resumed,
+        wall_s=round(time.perf_counter() - start, 6),
+    )
+
+
+def run_dse(
+    request: DseRequest,
+    *,
+    progress=None,
+    checkpoint_path: str | None = None,
+    resume: bool = False,
+) -> DseResult:
+    """Execute one validated design-space exploration to completion.
+
+    Same execution contract as :func:`run_grid`: per-cell progress
+    events, optional crash-safe checkpoint (both the estimation pass
+    and the timing cells checkpoint, so a killed exploration resumes),
+    collected cell failures (``status="partial"``), and a typed
+    ``deadline_exceeded`` error when ``deadline_s`` runs out.
+    """
+    from repro.harness import checkpoint as checkpoint_module
+    from repro.harness import faults, parallel
+    from repro.harness.runner import ExperimentSetup
+    from repro.mrc.dse import run_design_space
+    from repro.obs import get_tracer
+
+    validate_dse(request)
+    setup = ExperimentSetup(
+        num_cores=request.cores,
+        scale=request.scale,
+        accesses_per_core=request.accesses_per_core,
+        seed=request.seed,
+        backend=request.backend,
+    )
+    tracer = get_tracer()
+    start = time.perf_counter()
+    resumed = 0
+    try:
+        with ExitStack() as stack:
+            stack.enter_context(_scoped_env(REPRO_JOBS=str(request.jobs)))
+            stack.enter_context(
+                faults.deadline_scope(request.deadline_s or None)
+            )
+            collector = stack.enter_context(faults.collect_failures())
+            ckpt = None
+            if checkpoint_path:
+                ckpt = stack.enter_context(
+                    checkpoint_module.attach(checkpoint_path, resume=resume)
+                )
+            if progress is not None:
+                stack.enter_context(
+                    parallel.progress_scope(_cell_progress(progress))
+                )
+            with tracer.span("run", experiment="dse") as span:
+                outcome = run_design_space(
+                    setup=setup,
+                    mix_names=list(request.mixes) or None,
+                    sample_rate=request.sample_rate,
+                    max_frontier=request.max_frontier,
+                    jobs=request.jobs,
+                )
+                if tracer.enabled:
+                    span["rows"] = len(outcome["rows"])
+                    span["speedup"] = outcome["stats"]["speedup"]
+            if ckpt is not None:
+                resumed = ckpt.hits
+    except faults.DeadlineExceededError:
+        raise RequestError(
+            f"deadline of {request.deadline_s:g}s exceeded before the "
+            "exploration finished",
+            code=ERR_DEADLINE,
+        ) from None
+    failures = tuple(collector.as_dicts())
+    return DseResult(
+        status="partial" if failures else "ok",
+        rows=tuple(outcome["rows"]),
+        winner=dict(outcome["winner"] or {}),
+        stats=dict(outcome["stats"]),
         failures=failures,
         resumed_cells=resumed,
         wall_s=round(time.perf_counter() - start, 6),

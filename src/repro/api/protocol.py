@@ -8,9 +8,10 @@ Request lines (client -> server)::
 
     {"id": "r1", "verb": "sim",  "request": {"type": "SimRequest", ...}}
     {"id": "r2", "verb": "grid", "request": {"type": "GridRequest", ...}}
-    {"id": "r3", "verb": "stats"}
-    {"id": "r4", "verb": "ping"}
-    {"id": "r5", "verb": "health"}
+    {"id": "r3", "verb": "dse",  "request": {"type": "DseRequest", ...}}
+    {"id": "r4", "verb": "stats"}
+    {"id": "r5", "verb": "ping"}
+    {"id": "r6", "verb": "health"}
 
 Response lines (server -> client), always echoing the request ``id``::
 
@@ -35,11 +36,16 @@ __all__ = [
     "response_line",
 ]
 
-#: Every request verb the protocol defines. ``sim`` and ``grid`` carry
-#: a ``request`` payload; ``stats``, ``ping`` and ``health`` are bare.
-VERBS = ("sim", "grid", "stats", "ping", "health")
+#: Every request verb the protocol defines. ``sim``, ``grid`` and
+#: ``dse`` carry a ``request`` payload; ``stats``, ``ping`` and
+#: ``health`` are bare.
+VERBS = ("sim", "grid", "dse", "stats", "ping", "health")
 
-_REQUEST_VERBS = {"sim": "SimRequest", "grid": "GridRequest"}
+_REQUEST_VERBS = {
+    "sim": "SimRequest",
+    "grid": "GridRequest",
+    "dse": "DseRequest",
+}
 _RESPONSE_KINDS = ("event", "result", "error")
 
 

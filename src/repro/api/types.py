@@ -28,6 +28,8 @@ __all__ = [
     "API_SCHEMA",
     "API_SCHEMA_MIN",
     "ApiError",
+    "DseRequest",
+    "DseResult",
     "GridRequest",
     "GridResult",
     "HealthResult",
@@ -43,7 +45,10 @@ __all__ = [
 #:
 #: v2 (additive over v1): ``deadline_s`` on SimRequest/GridRequest,
 #: the ``HealthResult`` type and the ``health`` protocol verb.
-API_SCHEMA = 2
+#:
+#: v3 (additive over v2): the ``DseRequest``/``DseResult`` types and
+#: the ``dse`` protocol verb (MRC-guided design-space exploration).
+API_SCHEMA = 3
 
 #: Oldest wire schema this build still decodes. Every field added
 #: since it has a default, so a v1 payload decodes into the current
@@ -98,6 +103,54 @@ class GridRequest:
     backend: str = "scalar"
     jobs: int = 1
     deadline_s: float = 0.0
+    schema: int = API_SCHEMA
+
+
+@dataclass(frozen=True, slots=True)
+class DseRequest:
+    """One design-space exploration (``repro dse``; docs/dse.md).
+
+    The driver estimates every point of the default design space with
+    one MRC ghost pass per mix, then spends timing simulations only on
+    the estimated Pareto frontier. ``sample_rate`` (0 < r <= 1) is the
+    deterministic trace-sampling rate of the ghost pass;
+    ``max_frontier`` caps how many points graduate to timing
+    simulation. ``mixes=()`` means the core count's full mix set.
+    Other fields mirror :class:`GridRequest`.
+    """
+
+    mixes: tuple[str, ...] = ()
+    cores: int = 4
+    accesses_per_core: int = 20_000
+    seed: int = 1
+    scale: int = 16
+    backend: str = "scalar"
+    jobs: int = 1
+    sample_rate: float = 1.0
+    max_frontier: int = 8
+    deadline_s: float = 0.0
+    schema: int = API_SCHEMA
+
+
+@dataclass(frozen=True, slots=True)
+class DseResult:
+    """Completed exploration: ranked rows, the winner, cost accounting.
+
+    ``rows`` has one flat dict per design point (estimate, frontier
+    membership, simulated fraction, measured hit rate when simulated);
+    ``winner`` is the fully-simulated row with the best measured hit
+    rate (empty when every simulation cell failed). ``stats`` carries
+    the cost accounting, including ``speedup`` (exhaustive full-sim
+    count over full-sim equivalents spent) and ``full_sims_avoided``.
+    """
+
+    status: str
+    rows: tuple
+    winner: dict
+    stats: dict
+    failures: tuple = ()
+    resumed_cells: int = 0
+    wall_s: float = 0.0
     schema: int = API_SCHEMA
 
 

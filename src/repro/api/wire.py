@@ -42,6 +42,8 @@ from repro.api.types import (
     API_SCHEMA,
     API_SCHEMA_MIN,
     ApiError,
+    DseRequest,
+    DseResult,
     GridRequest,
     GridResult,
     HealthResult,
@@ -73,9 +75,11 @@ WIRE_TYPES: dict[str, type] = {
     for cls in (
         SimRequest,
         GridRequest,
+        DseRequest,
         ProgressEvent,
         SimResult,
         GridResult,
+        DseResult,
         StatsResult,
         HealthResult,
         ApiError,

@@ -6,6 +6,12 @@ LLSC-miss streams. Each mix is one parallelizable cell; the merged
 record arrays come from the trace cache, so a mix's stream is generated
 once and shared by every block size / figure instead of being re-derived
 per sweep point.
+
+Figure 1 runs on the MRC engine (:mod:`repro.mrc`): the block-size
+sweep is exactly a hit-rate-vs-block-size curve, and the tag-only ghost
+pass produces miss rates bit-identical to the old per-block-size
+:class:`~repro.sram.cache.SetAssociativeCache` walk (pinned by
+tests/harness/test_design_space.py) at a fraction of the cost.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ from repro.common.stats import Histogram
 from repro.harness.parallel import complete_groups, run_grid
 from repro.harness.reporting import append_mean_row
 from repro.harness.runner import ExperimentSetup, build_cache, drive_cache
+from repro.mrc.engine import MRCSpec, mrc_pass
 from repro.sram.cache import SetAssociativeCache
 from repro.workloads.mixes import mixes_for_cores
 
@@ -39,17 +46,18 @@ class _Fig1Cell:
 def _fig1_row(cell: _Fig1Cell) -> dict:
     capacity = cell.setup.system.dram_cache.capacity
     records = cell.setup.trace_records(cell.mix)
-    addresses = records.addresses.tolist()
-    is_writes = records.is_write.tolist()
+    result = mrc_pass(
+        records.addresses,
+        MRCSpec(
+            block_sizes=cell.block_sizes,
+            base_capacity=capacity,
+            base_associativity=cell.associativity,
+            seed=cell.setup.seed,
+        ),
+    )
     row: dict = {"mix": cell.mix}
-    for block_size in cell.block_sizes:
-        cache = SetAssociativeCache(
-            capacity, cell.associativity, block_size, policy="lru"
-        )
-        access = cache.access
-        for address, is_write in zip(addresses, is_writes):
-            access(address, is_write=is_write)
-        row[f"{block_size}B"] = cache.accesses.miss_rate
+    for point in result.block_size:
+        row[f"{point.param}B"] = point.miss_rate
     return row
 
 
@@ -96,6 +104,7 @@ def _fig2_row(cell: _Fig2Cell) -> dict:
         cache,
         setup.trace_records(cell.mix),
         streams=setup.num_cores,
+        backend=setup.backend or None,
     )
     hist = Histogram()
     hist.buckets.update(cache.utilization_hist.buckets)

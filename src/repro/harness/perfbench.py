@@ -11,11 +11,16 @@ the standard 4-core bimodal drive in three modes —
   batched drive loop, and
 * ``traced`` — the fast protocol with the observability tracer enabled
   (events discarded), so tracer overhead is tracked across PRs,
+* ``mrc`` — the ghost estimation pass of the design-space driver
+  (``repro.mrc``, docs/dse.md): trace records/sec through one
+  all-points ghost pass, plus the driver's cost accounting
+  (``full_sims_avoided``, ``dse_speedup``) in the history row,
 
 and appends timestamped measurements to ``BENCH_perf.json`` so the
-throughput history rides alongside the figure results. All modes
+throughput history rides alongside the figure results. The drive modes
 produce bit-identical statistics (asserted on every measurement);
-wall-clock is the only difference.
+wall-clock is the only difference. ``mrc`` is a different estimator,
+not a drive protocol, so it is exempt from that identity check.
 
 Every cell also carries a ``backend`` dimension (``scalar`` |
 ``vectorized``, see :mod:`repro.harness.backends`): the drive engine is
@@ -36,7 +41,7 @@ import platform
 import sys
 import time
 import tracemalloc
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.api.errors import EXIT_OK, EXIT_PERF_GATE, EXIT_USAGE
@@ -49,6 +54,7 @@ from repro.workloads.mixes import mixes_for_cores
 __all__ = [
     "ThroughputResult",
     "measure_drive_throughput",
+    "measure_mrc_throughput",
     "append_bench_record",
     "gate_against_history",
     "main",
@@ -74,6 +80,9 @@ class ThroughputResult:
     alloc_peak_bytes: int = 0
     gc_collections: int = 0
     backend: str = "scalar"
+    #: Mode-specific history columns (the ``mrc`` mode records its
+    #: cost accounting here); merged verbatim into :meth:`row`.
+    extra: dict = field(default_factory=dict)
 
     def row(self) -> dict:
         return {
@@ -87,6 +96,7 @@ class ThroughputResult:
             "repeats": self.repeats,
             "alloc_peak_bytes": self.alloc_peak_bytes,
             "gc_collections": self.gc_collections,
+            **self.extra,
         }
 
 
@@ -208,6 +218,72 @@ def measure_drive_throughput(
         stats=dict(stats),
         alloc_peak_bytes=peak,
         gc_collections=collections,
+    )
+
+
+def measure_mrc_throughput(
+    *,
+    mix: str = "Q1",
+    setup: ExperimentSetup | None = None,
+    repeats: int = 3,
+    sample_rate: float = 1.0,
+) -> ThroughputResult:
+    """Best-of-``repeats`` trace records/sec through one ghost pass.
+
+    The timed unit is :func:`repro.mrc.dse.dse_estimate_cell` — the
+    estimation phase of ``repro dse``: every default design point's
+    ghost driven over the mix's materialized address column in one
+    O(trace) walk. ``extra`` records the driver's cost accounting for
+    the pass: frontier size, full simulations avoided and the resulting
+    speedup over the exhaustive grid (same formulas as
+    ``run_design_space``), so both acceptance numbers land in the
+    committed history.
+    """
+    from repro.mrc.dse import (
+        DseEstimateCell,
+        default_space,
+        dse_estimate_cell,
+        pareto_frontier,
+    )
+
+    setup = setup or ExperimentSetup(num_cores=4, accesses_per_core=15_000)
+    space = default_space()
+    cell = DseEstimateCell(
+        mix=mix, setup=setup, space=space, sample_rate=sample_rate
+    )
+    total = setup.accesses_per_core * setup.num_cores
+    best = float("inf")
+    rows: list = []
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        rows = dse_estimate_cell(cell)
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    rates = [h / a if a else 0.0 for h, a, _, _ in rows]
+    frontier = pareto_frontier(list(space), rates)
+    survivors = max(1, (len(frontier) + 1) // 2)
+    spent = 0.25 * len(frontier) + survivors
+    exhaustive = float(len(space))
+    return ThroughputResult(
+        mode="mrc",
+        scheme="ghost",
+        mix=mix,
+        backend="scalar",
+        records=total,
+        best_seconds=best,
+        records_per_second=total / best if best else 0.0,
+        repeats=max(1, repeats),
+        stats={
+            "ghosts": len(space),
+            "best_est_hit_rate": round(max(rates), 6) if rates else 0.0,
+        },
+        extra={
+            "ghosts": len(space),
+            "frontier_size": len(frontier),
+            "full_sims_avoided": round(exhaustive - spent, 2),
+            "dse_speedup": round(exhaustive / spent, 2) if spent else 0.0,
+        },
     )
 
 
@@ -360,7 +436,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--modes",
         default="legacy,fast,traced",
-        help="comma-separated subset of {legacy,fast,traced}",
+        help="comma-separated subset of {legacy,fast,traced,mrc}",
     )
     parser.add_argument(
         "--output",
@@ -420,11 +496,11 @@ def main(argv: list[str] | None = None) -> int:
             f" available mixes: {', '.join(valid_mixes)}"
         )
     modes = [m.strip() for m in args.modes.split(",") if m.strip()]
-    bad_modes = [m for m in modes if m not in ("legacy", "fast", "traced")]
+    bad_modes = [m for m in modes if m not in ("legacy", "fast", "traced", "mrc")]
     if bad_modes:
         return usage_error(
             f"unknown mode(s): {', '.join(bad_modes)}"
-            " (use 'legacy', 'fast' or 'traced')"
+            " (use 'legacy', 'fast', 'traced' or 'mrc')"
         )
     from repro.harness.backends import (
         BACKENDS,
@@ -494,6 +570,21 @@ def main(argv: list[str] | None = None) -> int:
     reference: dict | None = None
     backend = backends[0]
     for mode in modes:
+        if mode == "mrc":
+            # A ghost pass estimates hit rates, it does not drive the
+            # timing model — exempt from the cross-mode stats identity.
+            result = measure_mrc_throughput(
+                mix=args.mix, setup=setup, repeats=repeats
+            )
+            results.append(result)
+            print(
+                f"{result.mode:>6}: {result.records_per_second:10.0f}"
+                f" records/sec  ({result.records} records,"
+                f" {result.extra['ghosts']} ghosts, best of {result.repeats};"
+                f" {result.extra['full_sims_avoided']:g} full sims avoided,"
+                f" {result.extra['dse_speedup']:g}x dse speedup)"
+            )
+            continue
         result = measure_drive_throughput(
             scheme=args.scheme,
             mix=args.mix,

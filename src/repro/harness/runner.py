@@ -59,6 +59,13 @@ class ExperimentSetup:
     ``intensity_scale`` reduces per-core offered load for larger
     systems so the per-channel utilization matches the operating point
     the paper's workloads produced (8/16-core benches use 0.5).
+
+    ``backend`` names the drive engine for every cell run under this
+    setup (``scalar`` | ``vectorized``). The empty default means
+    "unspecified": drives then fall back to ``REPRO_BACKEND``/scalar
+    exactly as before, so direct callers keep the legacy behaviour
+    while the facade threads a request's backend through the setup
+    instead of mutating the process environment.
     """
 
     num_cores: int = 4
@@ -66,6 +73,7 @@ class ExperimentSetup:
     accesses_per_core: int = 60_000
     seed: int = 1
     intensity_scale: float = 1.0
+    backend: str = ""
 
     @property
     def system(self) -> SystemConfig:
@@ -446,11 +454,14 @@ def run_scheme_on_mix(
     """Build scheme + mix trace, drive to completion, return the result.
 
     ``backend`` selects the drive engine explicitly (``scalar`` |
-    ``vectorized``); ``None`` defers to ``REPRO_BACKEND``/scalar, same
-    as :func:`drive_cache`. The API facade always passes it explicitly
-    so a request's backend cannot depend on ambient process state.
+    ``vectorized``); ``None`` defers to ``setup.backend``, then to
+    ``REPRO_BACKEND``/scalar, same as :func:`drive_cache`. The API
+    facade sets the setup's backend from the request, so a request's
+    backend never depends on ambient process state.
     """
     setup = setup or ExperimentSetup()
+    if backend is None:
+        backend = setup.backend or None
     if mix_name not in setup.mixes():
         raise ValueError(
             f"unknown mix {mix_name!r} for {setup.num_cores} cores"

@@ -1,0 +1,374 @@
+"""Tag-only ghost caches: the functional models behind the MRC engine.
+
+A ghost cache keeps *only* the tag/recency state of an organization —
+no data, no timing, no bank model — so probing one costs a couple of
+dict operations per record. One materialized trace can therefore be
+driven through dozens of ghost configurations for less than the cost of
+a single timing simulation (``docs/dse.md``).
+
+Two models cover the design space the paper sweeps:
+
+* :class:`GhostCache` — set-associative LRU at an arbitrary
+  (capacity, associativity, block size). Its hit/miss sequence is
+  **exactly** that of :class:`repro.sram.cache.SetAssociativeCache`
+  with the LRU policy (pinned by tests/mrc/test_ghost.py), because
+  both allocate on miss, fill empty ways first and evict the
+  least-recently-used way. Figure 1 runs on this model.
+* :class:`GhostBiModal` — a fixed-(X, Y) bi-modal set (X big ways,
+  Y small ways, the states of :func:`repro.bimodal.sets.allowed_states`)
+  with a per-ghost region-utilization predictor deciding miss-fill
+  size, LRU within each way class. It *approximates* the timing
+  model's random-not-recent replacement with LRU (the accuracy bound
+  is measured and documented in ``docs/dse.md``).
+
+Determinism: ghost state is a pure function of the address stream —
+no wall clock, no ambient entropy (the ``determinism`` simlint rule
+covers this package; sampling randomness lives in
+:mod:`repro.mrc.engine` and derives from the request seed).
+"""
+
+from __future__ import annotations
+
+from repro.bimodal.sets import allowed_states
+from repro.common.addressing import is_power_of_two, log2_int
+
+__all__ = [
+    "AdaptiveGhost",
+    "GhostBiModal",
+    "GhostCache",
+    "best_xy_state",
+]
+
+
+class GhostCache:
+    """Tag-only set-associative LRU cache.
+
+    Per-set state is one insertion-ordered dict mapping tag -> None:
+    dict order *is* recency order (hits re-insert their tag), so a hit
+    probe, an LRU eviction and a fill are all O(1). ``consume`` is the
+    batch entry point the engine uses — a tight local loop over a
+    shared address list, so an N-ghost sweep costs N dict probes per
+    record and nothing else.
+
+    Non-power-of-two associativities (Loh-Hill's 29 ways) round the set
+    count *down* to a power of two, slightly over-provisioning each set;
+    ``approximate`` records that the geometry was adjusted.
+    """
+
+    __slots__ = (
+        "capacity",
+        "associativity",
+        "block_size",
+        "num_sets",
+        "approximate",
+        "hits",
+        "accesses",
+        "_offset_bits",
+        "_index_mask",
+        "_index_bits",
+        "_sets",
+    )
+
+    def __init__(
+        self, capacity: int, associativity: int, block_size: int = 64
+    ) -> None:
+        if not is_power_of_two(capacity) or not is_power_of_two(block_size):
+            raise ValueError("capacity and block_size must be powers of two")
+        if associativity < 1:
+            raise ValueError("associativity must be >= 1")
+        num_sets = capacity // (block_size * associativity)
+        if num_sets < 1:
+            raise ValueError(
+                f"capacity {capacity} too small for {associativity} ways "
+                f"of {block_size} B blocks"
+            )
+        self.approximate = not is_power_of_two(num_sets)
+        if self.approximate:
+            num_sets = 1 << (num_sets.bit_length() - 1)
+        self.capacity = capacity
+        self.associativity = associativity
+        self.block_size = block_size
+        self.num_sets = num_sets
+        self._offset_bits = log2_int(block_size)
+        self._index_bits = log2_int(num_sets)
+        self._index_mask = num_sets - 1
+        self._sets: list[dict[int, None]] = [{} for _ in range(num_sets)]
+        self.hits = 0
+        self.accesses = 0
+
+    def access(self, address: int) -> bool:
+        """Probe/allocate one address; True on hit."""
+        block = address >> self._offset_bits
+        ways = self._sets[block & self._index_mask]
+        tag = block >> self._index_bits
+        self.accesses += 1
+        if tag in ways:
+            del ways[tag]
+            ways[tag] = None
+            self.hits += 1
+            return True
+        if len(ways) >= self.associativity:
+            del ways[next(iter(ways))]
+        ways[tag] = None
+        return False
+
+    def consume(self, addresses, warmup: int = 0) -> None:
+        """Drive a whole address batch (the engine's hot loop).
+
+        ``warmup`` > 0 resets the hit/access counters immediately
+        before the ``warmup``-th record is issued (contents and recency
+        are kept), mirroring the timing drive's warm-up semantics.
+        """
+        offset_bits = self._offset_bits
+        index_mask = self._index_mask
+        index_bits = self._index_bits
+        sets = self._sets
+        assoc = self.associativity
+        hits = 0
+        issued = 0
+        for address in addresses:
+            issued += 1
+            if issued == warmup:
+                hits = 0
+                self.hits = 0
+                self.accesses = -issued + 1  # counters restart at this record
+            block = address >> offset_bits
+            ways = sets[block & index_mask]
+            tag = block >> index_bits
+            if tag in ways:
+                del ways[tag]
+                ways[tag] = None
+                hits += 1
+            elif len(ways) >= assoc:
+                del ways[next(iter(ways))]
+                ways[tag] = None
+            else:
+                ways[tag] = None
+        self.hits += hits
+        self.accesses += issued
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        # (accesses - hits)/accesses, matching RateStat.miss_rate's
+        # misses/total arithmetic bit-for-bit (same division).
+        if not self.accesses:
+            return 0.0
+        return (self.accesses - self.hits) / self.accesses
+
+
+#: Region-utilization predictor geometry shared by the bi-modal ghosts:
+#: a bounded recency-ordered table of big-block regions -> 64 B used
+#: masks. Small and fixed — the SRAM tracker it stands in for is too.
+_TRACKER_ENTRIES = 4096
+
+
+class GhostBiModal:
+    """Fixed-(X, Y) bi-modal set model: X big ways + Y small (64 B) ways.
+
+    A hit is residency in either way class. A miss consults the ghost's
+    region-utilization predictor: a region whose observed 64 B-use
+    count has reached ``utilization_threshold`` fills a big block,
+    otherwise a single small block (the paper's fill policy, Section
+    III). With ``Y == 0`` every fill is big and the model degenerates
+    to :class:`GhostCache` at the big-block grain (pinned by tests).
+
+    Replacement within each class is LRU — an approximation of the
+    timing model's random-not-recent choice; see the module docstring.
+    """
+
+    __slots__ = (
+        "capacity",
+        "set_size",
+        "big_block_size",
+        "big_ways",
+        "small_ways",
+        "utilization_threshold",
+        "hits",
+        "accesses",
+        "_big_offset_bits",
+        "_small_to_big_bits",
+        "_sub_mask",
+        "_index_mask",
+        "_index_bits",
+        "_big",
+        "_small",
+        "_tracker",
+    )
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        set_size: int = 2048,
+        big_block_size: int = 512,
+        big_ways: int,
+        small_ways: int,
+        utilization_threshold: int = 5,
+    ) -> None:
+        if not is_power_of_two(capacity) or not is_power_of_two(set_size):
+            raise ValueError("capacity and set_size must be powers of two")
+        if (big_ways, small_ways) not in allowed_states(set_size, big_block_size):
+            raise ValueError(
+                f"({big_ways}, {small_ways}) is not an allowed state for "
+                f"{set_size} B sets of {big_block_size} B blocks"
+            )
+        num_sets = capacity // set_size
+        if num_sets < 1 or not is_power_of_two(num_sets):
+            raise ValueError("capacity/set_size must be a power-of-two set count")
+        self.capacity = capacity
+        self.set_size = set_size
+        self.big_block_size = big_block_size
+        self.big_ways = big_ways
+        self.small_ways = small_ways
+        self.utilization_threshold = utilization_threshold
+        self._big_offset_bits = log2_int(big_block_size)
+        self._small_to_big_bits = log2_int(big_block_size) - 6
+        self._sub_mask = (big_block_size // 64) - 1
+        self._index_bits = log2_int(num_sets)
+        self._index_mask = num_sets - 1
+        self._big: list[dict[int, None]] = [{} for _ in range(num_sets)]
+        self._small: list[dict[int, None]] = [{} for _ in range(num_sets)]
+        self._tracker: dict[int, int] = {}
+        self.hits = 0
+        self.accesses = 0
+
+    def consume(self, addresses, warmup: int = 0) -> None:
+        """Drive a whole address batch through the bi-modal set model."""
+        to_big = self._small_to_big_bits
+        sub_mask = self._sub_mask
+        index_mask = self._index_mask
+        index_bits = self._index_bits
+        big_sets = self._big
+        small_sets = self._small
+        tracker = self._tracker
+        x = self.big_ways
+        y = self.small_ways
+        threshold = self.utilization_threshold
+        hits = 0
+        issued = 0
+        for address in addresses:
+            issued += 1
+            if issued == warmup:
+                hits = 0
+                self.hits = 0
+                self.accesses = -issued + 1
+            small_id = address >> 6
+            big_id = small_id >> to_big
+            index = big_id & index_mask
+            big_tag = big_id >> index_bits
+            # Train the region predictor on every access (bounded LRU).
+            mask = tracker.pop(big_id, 0) | (1 << (small_id & sub_mask))
+            tracker[big_id] = mask
+            if len(tracker) > _TRACKER_ENTRIES:
+                del tracker[next(iter(tracker))]
+            big = big_sets[index]
+            if big_tag in big:
+                del big[big_tag]
+                big[big_tag] = None
+                hits += 1
+                continue
+            small = small_sets[index]
+            if y and small_id in small:
+                del small[small_id]
+                small[small_id] = None
+                hits += 1
+                continue
+            # Miss: fill big for predicted-dense regions, small otherwise.
+            if not y or bin(mask).count("1") >= threshold:
+                if len(big) >= x:
+                    del big[next(iter(big))]
+                big[big_tag] = None
+            else:
+                if len(small) >= y:
+                    del small[next(iter(small))]
+                small[small_id] = None
+        self.hits += hits
+        self.accesses += issued
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        if not self.accesses:
+            return 0.0
+        return (self.accesses - self.hits) / self.accesses
+
+
+class AdaptiveGhost:
+    """Bi-modal *adaptive* estimate: the best fixed-(X, Y) ghost.
+
+    The timing model re-partitions each set toward the best-performing
+    (X, Y) state; its steady-state hit rate is therefore bracketed by
+    the best fixed state. This composite drives one ghost per allowed
+    state and reports the maximum — which doubles as the (X, Y)
+    occupancy estimate of the sweep (``best_state``).
+    """
+
+    __slots__ = ("ghosts",)
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        set_size: int = 2048,
+        big_block_size: int = 512,
+        utilization_threshold: int = 5,
+    ) -> None:
+        self.ghosts: dict[tuple[int, int], GhostBiModal] = {
+            (x, y): GhostBiModal(
+                capacity,
+                set_size=set_size,
+                big_block_size=big_block_size,
+                big_ways=x,
+                small_ways=y,
+                utilization_threshold=utilization_threshold,
+            )
+            for x, y in allowed_states(set_size, big_block_size)
+        }
+
+    def consume(self, addresses, warmup: int = 0) -> None:
+        for ghost in self.ghosts.values():
+            ghost.consume(addresses, warmup)
+
+    @property
+    def best(self) -> GhostBiModal:
+        return max(self.ghosts.values(), key=lambda g: g.hit_rate)
+
+    @property
+    def best_state(self) -> tuple[int, int]:
+        return best_xy_state(self.ghosts)
+
+    @property
+    def hits(self) -> int:
+        return self.best.hits
+
+    @property
+    def accesses(self) -> int:
+        return self.best.accesses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.best.hit_rate
+
+    @property
+    def miss_rate(self) -> float:
+        return self.best.miss_rate
+
+
+def best_xy_state(ghosts: dict[tuple[int, int], GhostBiModal]) -> tuple[int, int]:
+    """The (X, Y) state with the highest estimated hit rate (ties: first)."""
+    best = None
+    best_rate = -1.0
+    for state, ghost in ghosts.items():
+        if ghost.hit_rate > best_rate:
+            best = state
+            best_rate = ghost.hit_rate
+    if best is None:
+        raise ValueError("no ghost states to choose from")
+    return best

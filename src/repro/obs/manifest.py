@@ -110,10 +110,11 @@ class RunManifest:
     ) -> "RunManifest":
         """Build a manifest from the current process state.
 
-        ``backend`` defaults to the active drive engine (the
-        ``REPRO_BACKEND`` knob the CLI sets for ``--backend``), so the
-        engine that produced an artifact is always on record even when
-        the caller doesn't pass it explicitly.
+        ``backend`` defaults to the drive engine recorded on ``config``
+        (the request's ``ExperimentSetup.backend``), falling back to the
+        legacy ``REPRO_BACKEND`` environment knob, so the engine that
+        produced an artifact is always on record even when the caller
+        doesn't pass it explicitly.
         """
         from repro import __version__
 
@@ -121,7 +122,11 @@ class RunManifest:
         if not isinstance(config_dict, dict):
             config_dict = {"config": config_dict}
         if backend is None:
-            backend = os.environ.get("REPRO_BACKEND") or "scalar"
+            backend = (
+                getattr(config, "backend", "")
+                or os.environ.get("REPRO_BACKEND")
+                or "scalar"
+            )
         return cls(
             experiment=experiment,
             config_hash=config_hash(config_dict),

@@ -52,6 +52,7 @@ from repro.api.errors import (
     RequestError,
 )
 from repro.api.protocol import parse_request_line, response_line
+from repro.api.types import DseRequest
 from repro.api.wire import WireError
 from repro.server.lifecycle import (
     Lifecycle,
@@ -210,8 +211,9 @@ class ReproServer:
         """Re-admit journaled grids a previous process never finished."""
         for key, request in self.store.incomplete():
             self.stats.recovered_grids += 1
+            verb = "dse" if isinstance(request, DseRequest) else "grid"
             self._admit(
-                _Job(conn=None, request_id=f"recover-{key[:8]}", verb="grid",
+                _Job(conn=None, request_id=f"recover-{key[:8]}", verb=verb,
                      request=request, admitted_at=self._loop.time()),
                 client="__recovery__",
                 unbounded=True,
@@ -278,6 +280,8 @@ class ReproServer:
         try:
             if verb == "sim":
                 facade.validate_sim(request)
+            elif verb == "dse":
+                facade.validate_dse(request)
             else:
                 facade.validate_grid(request)
         except RequestError as exc:
@@ -461,8 +465,11 @@ class ReproServer:
             checkpoint_path = (
                 self.store.checkpoint_path(key) if self.store.enabled else None
             )
+            # ``dse`` shares the whole grid-job path (content-addressed
+            # dedupe, journal, keyed checkpoint, serialized execution) —
+            # only the facade runner differs.
             runner = partial(
-                facade.run_grid,
+                facade.run_dse if job.verb == "dse" else facade.run_grid,
                 job.request,
                 progress=emit,
                 checkpoint_path=checkpoint_path,

@@ -45,7 +45,7 @@ import json
 import os
 from dataclasses import dataclass, field
 
-from repro.api.types import GridRequest, GridResult
+from repro.api.types import DseRequest, DseResult, GridRequest, GridResult
 from repro.api.wire import from_wire, to_wire
 from repro.server import chaos
 
@@ -76,8 +76,8 @@ class ServerConfig:
     drain_timeout_s: float = 10.0
 
 
-def grid_key(request: GridRequest) -> str:
-    """Content hash identifying a grid request (dedupe + persistence).
+def grid_key(request: GridRequest | DseRequest) -> str:
+    """Content hash identifying a grid/dse request (dedupe + persistence).
 
     ``deadline_s`` is excluded: it is execution metadata, not grid
     content. A request resubmitted with a larger (or no) budget after a
@@ -166,7 +166,7 @@ class GridStore:
             return False
 
     # -- recovery -------------------------------------------------------
-    def result(self, key: str) -> GridResult | None:
+    def result(self, key: str) -> GridResult | DseResult | None:
         """The persisted result for ``key``, or None if absent/corrupt."""
         path = self._path(key, "result.json")
         try:
@@ -174,7 +174,7 @@ class GridStore:
                 result = from_wire(json.load(fh))
         except (OSError, ValueError):
             return None
-        return result if isinstance(result, GridResult) else None
+        return result if isinstance(result, (GridResult, DseResult)) else None
 
     def _result_is_trustworthy(self, key: str) -> bool:
         """Validate (not merely stat) the result file; quarantine liars.
@@ -197,7 +197,7 @@ class GridStore:
             self.io_errors += 1
         return False
 
-    def incomplete(self) -> list[tuple[str, GridRequest]]:
+    def incomplete(self) -> list[tuple[str, GridRequest | DseRequest]]:
         """Journaled requests that never produced a result (crash scan)."""
         if not self.enabled or not os.path.isdir(self.state_dir):
             return []
@@ -213,7 +213,7 @@ class GridStore:
                     request = from_wire(json.load(fh))
             except (OSError, ValueError):
                 continue  # unreadable journal: skip, never crash startup
-            if isinstance(request, GridRequest):
+            if isinstance(request, (GridRequest, DseRequest)):
                 found.append((key, request))
         return found
 

@@ -72,6 +72,45 @@ class TestDeterminism:
         )
         assert result.ok
 
+    def test_builtin_hash_flagged(self, lint):
+        # The MRC ghost pass samples by address frame; deriving that
+        # decision from builtin hash() would change per process
+        # (PYTHONHASHSEED) and break replay.
+        result = lint(
+            """
+            def keep(frame, rate):
+                return (hash(frame) & 0xFFFFFF) < rate
+            """,
+            rules=["determinism"],
+        )
+        assert rules_of(result) == ["determinism"]
+        assert "PYTHONHASHSEED" in result.violations[0].message
+
+    def test_seeded_multiplicative_hash_clean(self, lint):
+        result = lint(
+            """
+            def keep(frame, salt, threshold):
+                mixed = ((frame ^ salt) * 2654435761) & (2**64 - 1)
+                return ((mixed >> 40) & 0xFFFFFF) < threshold
+            """,
+            rules=["determinism"],
+        )
+        assert result.ok
+
+    def test_imported_hash_name_clean(self, lint):
+        # A from-imported symbol that happens to be named `hash` is not
+        # the builtin; origin tracking must keep it out of scope.
+        result = lint(
+            """
+            from mypkg.digest import hash
+
+            def key(payload):
+                return hash(payload)
+            """,
+            rules=["determinism"],
+        )
+        assert result.ok
+
     def test_numpy_global_rng_flagged(self, lint):
         result = lint(
             """

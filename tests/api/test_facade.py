@@ -56,6 +56,39 @@ class TestValidation:
             assert api.grid_request(name).experiment == name
 
 
+class TestDseValidation:
+    def test_bad_cores(self):
+        with pytest.raises(api.RequestError, match=r"cores must be 4, 8 or 16"):
+            api.dse_request(cores=6)
+
+    @pytest.mark.parametrize("rate", [0.0, -0.1, 1.5])
+    def test_bad_sample_rate(self, rate):
+        with pytest.raises(api.RequestError, match=r"sample_rate"):
+            api.dse_request(sample_rate=rate)
+
+    def test_bad_max_frontier(self):
+        with pytest.raises(api.RequestError, match="max_frontier must be >= 1"):
+            api.dse_request(max_frontier=0)
+
+    def test_unknown_mixes_listed(self):
+        with pytest.raises(
+            api.RequestError, match=r"unknown mix\(es\) NOPE for 4 cores"
+        ):
+            api.dse_request(mixes=("Q1", "NOPE"))
+
+    def test_negative_jobs(self):
+        with pytest.raises(api.RequestError, match="jobs must be >= 0"):
+            api.dse_request(jobs=-1)
+
+    def test_jobs_auto_resolves_to_zero(self):
+        assert api.dse_request(jobs="auto").jobs == 0
+
+    def test_defaults_validate(self):
+        request = api.dse_request()
+        assert request.backend == "scalar"
+        assert request.sample_rate == 1.0
+
+
 class TestLegacyEnvShim:
     def test_env_only_backend_warns_and_applies(self, monkeypatch):
         monkeypatch.setenv("REPRO_BACKEND", "scalar")
@@ -150,3 +183,36 @@ class TestExecution:
         assert stats.server == {"jobs": 1}
         assert "memory_hits" in stats.trace_cache
         assert isinstance(stats.metrics, dict)
+
+
+class TestDseExecution:
+    """run_dse rides the grid execution contract end to end."""
+
+    def _request(self):
+        return api.dse_request(mixes=("Q1",), accesses_per_core=600, jobs=2)
+
+    def test_run_dse_result_shape(self):
+        events = []
+        result = api.run_dse(self._request(), progress=events.append)
+        assert result.status == "ok"
+        assert result.failures == ()
+        assert len(result.rows) == 36
+        assert result.winner["sim_fraction"] == 1.0
+        assert result.stats["speedup"] >= 5.0
+        assert events and all(e.stage == "cell" for e in events)
+
+    def test_run_dse_checkpoint_resume(self, tmp_path):
+        path = str(tmp_path / "dse.ckpt.jsonl")
+        request = self._request()
+        first = api.run_dse(request, checkpoint_path=path)
+        assert first.resumed_cells == 0
+        second = api.run_dse(request, checkpoint_path=path, resume=True)
+        assert second.resumed_cells > 0
+        assert second.rows == first.rows
+        assert second.winner == first.winner
+
+    def test_dse_result_survives_the_wire(self):
+        result = api.run_dse(self._request())
+        revived = api.decode_line(api.encode_line(result))
+        assert revived.rows == result.rows
+        assert revived.stats == result.stats

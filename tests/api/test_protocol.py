@@ -30,6 +30,22 @@ class TestRequestLines:
         )
         assert (rid, verb, decoded) == ("g1", "grid", request)
 
+    def test_dse_round_trip(self):
+        request = facade.dse_request(mixes=("Q1",), sample_rate=0.5)
+        rid, verb, decoded = parse_request_line(
+            request_line("d1", "dse", request)
+        )
+        assert (rid, verb, decoded) == ("d1", "dse", request)
+
+    def test_dse_without_payload_rejected(self):
+        with pytest.raises(WireError, match="needs a request payload"):
+            parse_request_line(b'{"id": "d1", "verb": "dse"}\n')
+
+    def test_dse_with_wrong_payload_type_rejected(self):
+        line = request_line("d1", "dse", _sim_request())
+        with pytest.raises(WireError, match="expects a DseRequest"):
+            parse_request_line(line)
+
     @pytest.mark.parametrize("verb", ["stats", "ping", "health"])
     def test_bare_verbs_round_trip(self, verb):
         rid, parsed_verb, decoded = parse_request_line(request_line("s1", verb))
@@ -59,7 +75,7 @@ class TestRequestLines:
             parse_request_line(line)
 
     def test_verb_table_is_closed(self):
-        assert VERBS == ("sim", "grid", "stats", "ping", "health")
+        assert VERBS == ("sim", "grid", "dse", "stats", "ping", "health")
 
 
 class TestResponseLines:

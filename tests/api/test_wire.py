@@ -15,6 +15,8 @@ from repro.api.types import (
     API_SCHEMA,
     API_SCHEMA_MIN,
     ApiError,
+    DseRequest,
+    DseResult,
     GridRequest,
     GridResult,
     HealthResult,
@@ -105,6 +107,29 @@ grid_results = st.builds(
     resumed_cells=st.integers(0, 10**6),
     wall_s=st.floats(0, 10**6, allow_nan=False),
 )
+dse_requests = st.builds(
+    DseRequest,
+    mixes=st.lists(_names, max_size=4).map(tuple),
+    cores=st.integers(0, 64),
+    accesses_per_core=st.integers(-10, 10**6),
+    seed=st.integers(-(2**31), 2**31),
+    scale=st.integers(0, 64),
+    backend=_names,
+    jobs=st.integers(0, 64),
+    sample_rate=st.floats(0, 1, allow_nan=False),
+    max_frontier=st.integers(0, 64),
+    deadline_s=st.floats(0, 10**6, allow_nan=False),
+)
+dse_results = st.builds(
+    DseResult,
+    status=st.sampled_from(["ok", "partial"]),
+    rows=st.lists(_dicts, max_size=3).map(tuple),
+    winner=_dicts,
+    stats=_dicts,
+    failures=st.lists(_dicts, max_size=2).map(tuple),
+    resumed_cells=st.integers(0, 10**6),
+    wall_s=st.floats(0, 10**6, allow_nan=False),
+)
 stats_results = st.builds(
     StatsResult, metrics=_dicts, trace_cache=_dicts, server=_dicts
 )
@@ -123,9 +148,11 @@ health_results = st.builds(
 any_wire_object = st.one_of(
     sim_requests,
     grid_requests,
+    dse_requests,
     progress_events,
     sim_results,
     grid_results,
+    dse_results,
     stats_results,
     api_errors,
     health_results,
@@ -195,9 +222,11 @@ class TestStrictDecode:
         assert set(WIRE_TYPES) == {
             "SimRequest",
             "GridRequest",
+            "DseRequest",
             "ProgressEvent",
             "SimResult",
             "GridResult",
+            "DseResult",
             "StatsResult",
             "ApiError",
             "HealthResult",

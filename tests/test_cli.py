@@ -95,6 +95,37 @@ class TestSubcommands:
             assert manifest["seed"] == 1
             assert manifest["config_hash"]
 
+    def test_dse_subcommand(self, capsys):
+        assert main([
+            "dse", "--mixes", "Q1", "--accesses", "600", "--jobs", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "design-space exploration" in out
+        assert "winner:" in out
+        assert "full-sim equivalents" in out
+
+    def test_dse_bad_sample_rate(self, capsys):
+        assert main(["dse", "--sample-rate", "0"]) == 2
+        assert "sample_rate" in capsys.readouterr().err
+
+    def test_explicit_backend_flag_does_not_warn(self, monkeypatch, capsys):
+        # Satellite contract: threading the backend through the request
+        # (--backend) must not trip the legacy REPRO_BACKEND shim even
+        # when the deprecated variable is also set.
+        import warnings
+
+        monkeypatch.setenv("REPRO_BACKEND", "vectorized")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert main([
+                "run", "fig2", "--mixes", "Q2", "--accesses", "800",
+                "--backend", "scalar",
+            ]) == 0
+        capsys.readouterr()
+        assert not [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+
     def test_jobs_flag_does_not_leak_env(self, monkeypatch, capsys):
         # The api facade scopes REPRO_JOBS/REPRO_BACKEND to the request
         # (workers inherit them) and restores the environment after.
