@@ -12,10 +12,39 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="${PWD}/src${PYTHONPATH:+:${PYTHONPATH}}"
 
-echo "== static analysis (simlint) =="
+echo "== static analysis (simlint, cold cache) =="
 # The tree itself must be clean: ignore the baseline so tolerated debt
 # cannot mask a regression sneaking in under an existing fingerprint.
-python -m repro lint --no-baseline
+# Run once cold (scratch cache dir) and once warm: the warm replay must
+# agree and be >= 5x faster — same gate the ci.yml lint job enforces.
+LINT_CACHE="$(mktemp -d)/simlint-cache"
+LINT_LOG="$(mktemp -d)"
+python -m repro lint --no-baseline --cache-dir "${LINT_CACHE}" \
+    2> "${LINT_LOG}/cold.log"
+cat "${LINT_LOG}/cold.log"
+
+echo "== static analysis (simlint, warm cache) =="
+python -m repro lint --no-baseline --cache-dir "${LINT_CACHE}" \
+    2> "${LINT_LOG}/warm.log"
+cat "${LINT_LOG}/warm.log"
+python - "${LINT_LOG}/cold.log" "${LINT_LOG}/warm.log" <<'EOF'
+import re, sys
+def wall(path):
+    return float(re.search(r"wall_s=([0-9.]+)", open(path).read()).group(1))
+cold, warm = wall(sys.argv[1]), wall(sys.argv[2])
+assert cold >= 5 * max(warm, 1e-9), (
+    f"warm {warm:.3f}s not 5x faster than cold {cold:.3f}s")
+print(f"[perfbench] simlint.speedup cold_s={cold:.3f} warm_s={warm:.3f} "
+      f"ratio={cold / max(warm, 1e-9):.1f}x")
+EOF
+
+echo "== static analysis (simlint, SARIF gate) =="
+# --format sarif output must validate against the SARIF 2.1.0 subset
+# checked by scripts/sarif_check.py (the same file CI uploads).
+python -m repro lint --no-baseline --cache-dir "${LINT_CACHE}" \
+    --format sarif > "${LINT_LOG}/simlint.sarif" 2>/dev/null
+python scripts/sarif_check.py "${LINT_LOG}/simlint.sarif"
+rm -rf "$(dirname "${LINT_CACHE}")" "${LINT_LOG}"
 
 # ruff is not part of the offline container image; run it when the
 # environment provides it (the CI lint job installs it explicitly).

@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Structural SARIF 2.1.0 validator (stdlib only) — the CI gate.
+
+The container has no network and no ``jsonschema`` package, so this
+checks the SARIF 2.1.0 constraints that matter for GitHub code
+scanning ingestion, hand-translated from the published schema:
+
+* document: ``version == "2.1.0"``, non-empty ``runs`` array;
+* run: ``tool.driver.name``, rule descriptors with unique string ids
+  and ``shortDescription.text``;
+* result: ``message.text`` present; ``ruleId`` resolvable in the
+  driver catalog; ``ruleIndex`` (when present) pointing at that same
+  rule; ``level`` drawn from the spec's enum; every location carrying
+  ``physicalLocation.artifactLocation.uri`` (relative, no scheme) and
+  a region with 1-based ``startLine``/``startColumn``.
+
+Exit 0 when the file passes, 1 with one ``path: problem`` line per
+violation otherwise. Usage: ``python scripts/sarif_check.py FILE``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+_LEVELS = {"none", "note", "warning", "error"}
+
+
+def _check(condition: bool, errors: list[str], where: str, problem: str) -> bool:
+    if not condition:
+        errors.append(f"{where}: {problem}")
+    return condition
+
+
+def validate(document: object) -> list[str]:
+    errors: list[str] = []
+    if not _check(isinstance(document, dict), errors, "$", "must be an object"):
+        return errors
+    _check(
+        document.get("version") == "2.1.0", errors, "$.version",
+        f"must be '2.1.0', got {document.get('version')!r}",
+    )
+    runs = document.get("runs")
+    if not _check(
+        isinstance(runs, list) and runs, errors, "$.runs",
+        "must be a non-empty array",
+    ):
+        return errors
+    for i, run in enumerate(runs):
+        errors.extend(_validate_run(run, f"$.runs[{i}]"))
+    return errors
+
+
+def _validate_run(run: object, where: str) -> list[str]:
+    errors: list[str] = []
+    if not _check(isinstance(run, dict), errors, where, "must be an object"):
+        return errors
+    driver = run.get("tool", {}).get("driver") if isinstance(run.get("tool"), dict) else None
+    if not _check(
+        isinstance(driver, dict), errors, f"{where}.tool.driver",
+        "must be an object",
+    ):
+        return errors
+    _check(
+        isinstance(driver.get("name"), str) and driver["name"], errors,
+        f"{where}.tool.driver.name", "must be a non-empty string",
+    )
+    rule_ids: list[str] = []
+    for j, rule in enumerate(driver.get("rules", [])):
+        rwhere = f"{where}.tool.driver.rules[{j}]"
+        if not _check(isinstance(rule, dict), errors, rwhere, "must be an object"):
+            continue
+        rule_id = rule.get("id")
+        if _check(
+            isinstance(rule_id, str) and rule_id, errors, f"{rwhere}.id",
+            "must be a non-empty string",
+        ):
+            _check(
+                rule_id not in rule_ids, errors, f"{rwhere}.id",
+                f"duplicate rule id {rule_id!r}",
+            )
+            rule_ids.append(rule_id)
+        short = rule.get("shortDescription")
+        _check(
+            isinstance(short, dict) and isinstance(short.get("text"), str),
+            errors, f"{rwhere}.shortDescription", "must carry .text",
+        )
+    results = run.get("results", [])
+    if not _check(
+        isinstance(results, list), errors, f"{where}.results", "must be an array"
+    ):
+        return errors
+    for k, result in enumerate(results):
+        errors.extend(_validate_result(result, f"{where}.results[{k}]", rule_ids))
+    return errors
+
+
+def _validate_result(result: object, where: str, rule_ids: list[str]) -> list[str]:
+    errors: list[str] = []
+    if not _check(isinstance(result, dict), errors, where, "must be an object"):
+        return errors
+    message = result.get("message")
+    _check(
+        isinstance(message, dict) and isinstance(message.get("text"), str),
+        errors, f"{where}.message", "must carry .text",
+    )
+    level = result.get("level")
+    if level is not None:
+        _check(
+            level in _LEVELS, errors, f"{where}.level",
+            f"must be one of {sorted(_LEVELS)}, got {level!r}",
+        )
+    rule_id = result.get("ruleId")
+    if rule_id is not None and rule_ids:
+        _check(
+            rule_id in rule_ids, errors, f"{where}.ruleId",
+            f"{rule_id!r} not in the driver rule catalog",
+        )
+    rule_index = result.get("ruleIndex")
+    if rule_index is not None:
+        ok = (
+            isinstance(rule_index, int)
+            and 0 <= rule_index < len(rule_ids)
+        )
+        _check(ok, errors, f"{where}.ruleIndex", "out of catalog range")
+        if ok and rule_id is not None:
+            _check(
+                rule_ids[rule_index] == rule_id, errors,
+                f"{where}.ruleIndex", "does not point at .ruleId",
+            )
+    for m, location in enumerate(result.get("locations", [])):
+        lwhere = f"{where}.locations[{m}]"
+        physical = location.get("physicalLocation") if isinstance(location, dict) else None
+        if not _check(
+            isinstance(physical, dict), errors, lwhere,
+            "must carry physicalLocation",
+        ):
+            continue
+        artifact = physical.get("artifactLocation")
+        if _check(
+            isinstance(artifact, dict) and isinstance(artifact.get("uri"), str)
+            and artifact["uri"], errors, f"{lwhere}.artifactLocation",
+            "must carry a non-empty .uri",
+        ):
+            _check(
+                "://" not in artifact["uri"] and not artifact["uri"].startswith("/"),
+                errors, f"{lwhere}.artifactLocation.uri",
+                "must be repo-relative for code scanning",
+            )
+        region = physical.get("region")
+        if isinstance(region, dict):
+            for key in ("startLine", "startColumn"):
+                value = region.get(key)
+                if value is not None:
+                    _check(
+                        isinstance(value, int) and value >= 1, errors,
+                        f"{lwhere}.region.{key}", "must be an int >= 1",
+                    )
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print("usage: python scripts/sarif_check.py FILE.sarif", file=sys.stderr)
+        return 2
+    try:
+        with open(argv[1], encoding="utf-8") as fh:
+            document = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"{argv[1]}: unreadable or not JSON: {exc}", file=sys.stderr)
+        return 1
+    errors = validate(document)
+    for problem in errors:
+        print(problem, file=sys.stderr)
+    if not errors:
+        runs = document.get("runs", [])
+        results = sum(len(r.get("results", [])) for r in runs if isinstance(r, dict))
+        print(f"{argv[1]}: valid SARIF 2.1.0 ({results} result(s))")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -23,7 +23,12 @@ from pathlib import Path
 
 from repro.analysis.model import Violation
 
-__all__ = ["Baseline", "BaselineError", "split_by_baseline"]
+__all__ = [
+    "Baseline",
+    "BaselineError",
+    "missing_file_entries",
+    "split_by_baseline",
+]
 
 _VERSION = 1
 
@@ -108,3 +113,22 @@ def split_by_baseline(
             new.append(violation)
     stale = sum(count for count in budget.values() if count > 0)
     return new, tolerated, stale
+
+
+def missing_file_entries(baseline: Baseline, root: Path) -> list[dict]:
+    """Baseline entries whose file no longer exists under ``root``.
+
+    A deleted (or renamed) file used to surface only as an anonymous
+    stale-fingerprint count, which a renumber-tolerant fingerprint can
+    never re-match — permanent, unexplained debt. These entries are
+    reported by path so the operator knows *why* they are stale, and
+    ``--update-baseline`` prunes them (the rewrite keeps only findings
+    from files that still exist).
+    """
+    root = Path(root)
+    missing: list[dict] = []
+    for entry in baseline.entries:
+        path = entry.get("path", "")
+        if path and not (root / path).exists():
+            missing.append(entry)
+    return missing

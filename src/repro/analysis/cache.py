@@ -1,0 +1,230 @@
+"""Incremental lint cache: content-hash-keyed facts and full-run replay.
+
+Two layers, both stored as JSON under ``.simlint-cache/`` (gitignored):
+
+* **Full-run replay** — the complete findings list, keyed by a digest
+  over everything that can change the output: the cache schema, the
+  facts-extraction version, every active rule's ``(name, version)``
+  pair, the resolved :class:`LintConfig`, and the sorted
+  ``(relative path, content hash)`` list of every scanned file. On an
+  unchanged tree the engine replays the stored findings without
+  parsing a single module — that is the ≥5x warm-run win the CI gate
+  measures.
+* **Per-file facts** — the JSON form of one module's
+  :class:`~repro.analysis.flow.ModuleFacts`, keyed by the file's
+  content hash *and* its relative path (so a renamed file misses: the
+  facts embed module names derived from the path). When only a few
+  files changed, the others skip dataflow extraction.
+
+Robustness rules: every write is atomic (tmp + ``os.replace``), every
+unreadable or structurally wrong entry is a silent miss, and a
+``CACHEDIR.TAG`` marks the directory for backup tools. Corruption can
+therefore cost time, never correctness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import fields
+from pathlib import Path
+
+from repro.analysis.model import Violation
+
+__all__ = ["CACHE_SCHEMA", "LintCache", "hash_bytes"]
+
+#: Bump when the on-disk layout or the replayed-result shape changes.
+CACHE_SCHEMA = 1
+
+#: Full-run entries kept per cache directory (LRU by mtime). Branch
+#: switching flips between a handful of tree states; one entry each is
+#: enough, and the bound keeps the directory from growing without limit.
+_MAX_RUNS = 32
+
+
+def hash_bytes(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _violation_to_dict(violation: Violation) -> dict:
+    return {
+        "rule": violation.rule,
+        "path": violation.path,
+        "line": violation.line,
+        "col": violation.col,
+        "message": violation.message,
+        "snippet": violation.snippet,
+    }
+
+
+def _violation_from_dict(entry: dict) -> Violation:
+    return Violation(
+        rule=entry["rule"],
+        path=entry["path"],
+        line=int(entry["line"]),
+        col=int(entry["col"]),
+        message=entry["message"],
+        snippet=entry.get("snippet", ""),
+    )
+
+
+class LintCache:
+    """One cache directory; see the module docstring for the layout."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.runs_dir = self.directory / "runs"
+        self.facts_dir = self.directory / "facts"
+
+    # -- keys --------------------------------------------------------------
+    @staticmethod
+    def config_digest(config) -> str:
+        parts = {f.name: getattr(config, f.name) for f in fields(config)}
+        return hash_bytes(
+            json.dumps(parts, sort_keys=True, default=list).encode()
+        )
+
+    @staticmethod
+    def rules_digest(rules) -> str:
+        from repro.analysis.flow import FACTS_VERSION
+
+        catalog = sorted((rule.name, rule.version) for rule in rules.values())
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "facts": FACTS_VERSION,
+            "rules": catalog,
+        }
+        return hash_bytes(json.dumps(payload, sort_keys=True).encode())
+
+    def run_key(
+        self, file_digests: list[tuple[str, str]], rules, config
+    ) -> str:
+        payload = {
+            "rules": self.rules_digest(rules),
+            "config": self.config_digest(config),
+            "files": sorted(file_digests),
+        }
+        return hash_bytes(json.dumps(payload, sort_keys=True).encode())
+
+    @staticmethod
+    def facts_key(rel: str, content_digest: str) -> str:
+        from repro.analysis.flow import FACTS_VERSION
+
+        return hash_bytes(
+            f"{CACHE_SCHEMA}:{FACTS_VERSION}:{rel}:{content_digest}".encode()
+        )
+
+    # -- storage helpers ---------------------------------------------------
+    def _ensure_layout(self) -> None:
+        self.runs_dir.mkdir(parents=True, exist_ok=True)
+        self.facts_dir.mkdir(parents=True, exist_ok=True)
+        tag = self.directory / "CACHEDIR.TAG"
+        if not tag.exists():
+            self._atomic_write(
+                tag,
+                "Signature: 8a477f597d28d172789f06886806bc55\n"
+                "# simlint incremental cache; safe to delete.\n",
+            )
+
+    @staticmethod
+    def _atomic_write(path: Path, text: str) -> None:
+        tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+        try:
+            tmp.write_text(text, encoding="utf-8")
+            os.replace(tmp, path)
+        except OSError:
+            tmp.unlink(missing_ok=True)
+
+    @staticmethod
+    def _read_json(path: Path) -> dict | None:
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        return document if isinstance(document, dict) else None
+
+    # -- full-run replay ---------------------------------------------------
+    def load_run(self, key: str) -> "object | None":
+        """The replayed :class:`LintResult` for ``key``, or None."""
+        from repro.analysis.engine import LintResult
+
+        document = self._read_json(self.runs_dir / f"{key}.json")
+        if document is None or document.get("key") != key:
+            return None
+        try:
+            violations = [
+                _violation_from_dict(entry) for entry in document["violations"]
+            ]
+            result = LintResult(
+                violations=violations,
+                files_scanned=int(document["files_scanned"]),
+                rules_run=tuple(document["rules_run"]),
+                suppressed=int(document["suppressed"]),
+                cache_hit=True,
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+        # Freshen mtime so LRU pruning keeps live entries.
+        try:
+            os.utime(self.runs_dir / f"{key}.json")
+        except OSError:
+            pass
+        return result
+
+    def store_run(self, key: str, result) -> None:
+        try:
+            self._ensure_layout()
+        except OSError:
+            return
+        document = {
+            "key": key,
+            "violations": [_violation_to_dict(v) for v in result.violations],
+            "files_scanned": result.files_scanned,
+            "rules_run": list(result.rules_run),
+            "suppressed": result.suppressed,
+        }
+        self._atomic_write(
+            self.runs_dir / f"{key}.json", json.dumps(document, sort_keys=True)
+        )
+        self._prune_runs()
+
+    def _prune_runs(self) -> None:
+        try:
+            entries = sorted(
+                self.runs_dir.glob("*.json"),
+                key=lambda p: p.stat().st_mtime,
+                reverse=True,
+            )
+        except OSError:
+            return
+        for stale in entries[_MAX_RUNS:]:
+            try:
+                stale.unlink()
+            except OSError:
+                pass
+
+    # -- per-file facts ----------------------------------------------------
+    def load_facts(self, rel: str, content_digest: str):
+        from repro.analysis.flow import ModuleFacts
+
+        key = self.facts_key(rel, content_digest)
+        document = self._read_json(self.facts_dir / f"{key}.json")
+        if document is None:
+            return None
+        try:
+            facts = ModuleFacts.from_dict(document)
+        except (KeyError, TypeError, ValueError):
+            return None
+        return facts if facts.rel == rel else None
+
+    def store_facts(self, rel: str, content_digest: str, facts) -> None:
+        try:
+            self._ensure_layout()
+        except OSError:
+            return
+        key = self.facts_key(rel, content_digest)
+        self._atomic_write(
+            self.facts_dir / f"{key}.json",
+            json.dumps(facts.to_dict(), sort_keys=True),
+        )

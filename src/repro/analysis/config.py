@@ -49,6 +49,9 @@ class LintConfig:
     api_construction_allow: tuple[str, ...] = ("api/*",)
     # scheme-registry: the root class every cache organization extends.
     scheme_base: str = "DRAMCacheBase"
+    # async-safety: modules whose ``async def`` functions are treated as
+    # event-loop roots for blocking-reachability analysis.
+    async_scope: tuple[str, ...] = ("server/*", "api/client.py")
     # Baseline filename looked up from the scan root toward the repo root.
     baseline_name: str = "simlint-baseline.json"
 

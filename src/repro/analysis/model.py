@@ -250,11 +250,23 @@ def classify_class(source: SourceFile, node: ast.ClassDef) -> ClassInfo:
 
 
 class ProjectModel:
-    """Cross-file facts: class hierarchy, dataclasses, registry calls."""
+    """Cross-file facts: class hierarchy, dataclasses, registry calls.
 
-    def __init__(self, files: list[SourceFile], config) -> None:
+    The flow layer (call graph + taint, :mod:`repro.analysis.flow`)
+    hangs off this model lazily: ``facts`` extracts (or receives from
+    the incremental cache) the per-module dataflow skeletons, ``graph``
+    builds the project call graph once, and ``taint(sinks)`` memoizes
+    one taint fixpoint per sink set so several rules can share it.
+    """
+
+    def __init__(self, files: list[SourceFile], config,
+                 facts: "list | None" = None) -> None:
         self.files = files
         self.config = config
+        self._by_rel = {source.rel: source for source in files}
+        self._facts = facts
+        self._graph = None
+        self._taint: dict[int, object] = {}
         self.classes: list[ClassInfo] = []
         self._by_name: dict[str, list[ClassInfo]] = {}
         for source in files:
@@ -279,6 +291,41 @@ class ProjectModel:
             for node in ast.walk(source.tree):
                 if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
                     self.registry_instantiated.add(node.func.id)
+
+    def source_for(self, rel: str) -> SourceFile | None:
+        return self._by_rel.get(rel)
+
+    @property
+    def facts(self) -> list:
+        if self._facts is None:
+            from repro.analysis.flow import extract_facts
+
+            self._facts = [
+                extract_facts(source.tree, source.rel, source.pkgrel)
+                for source in self.files
+            ]
+        return self._facts
+
+    @property
+    def graph(self):
+        if self._graph is None:
+            from repro.analysis.flow import CallGraph
+
+            self._graph = CallGraph(self.facts)
+        return self._graph
+
+    def taint(self, sinks: list):
+        """Memoized :class:`~repro.analysis.flow.TaintAnalysis` per sink set."""
+        key = id(sinks)
+        if key not in self._taint:
+            from repro.analysis.flow import TaintAnalysis
+
+            self._taint[key] = TaintAnalysis(
+                self.graph,
+                sinks,
+                sanitizer_globs=self.config.determinism_allow,
+            )
+        return self._taint[key]
 
     def lookup(self, name: str) -> list[ClassInfo]:
         return self._by_name.get(name, [])

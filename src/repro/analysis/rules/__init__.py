@@ -22,10 +22,22 @@ __all__ = ["Rule", "all_rules", "register_rule"]
 
 
 class Rule:
-    """Base class: override one or both check hooks."""
+    """Base class: override one or both check hooks.
+
+    ``version`` participates in the incremental-cache key: bump it
+    whenever a rule's behavior changes so stale cached findings are
+    invalidated. ``rationale`` plus the ``example_bad``/``example_good``
+    pair back ``python -m repro lint --explain <rule>``; the pair is
+    validated by tests/analysis/test_explain.py (bad must trigger the
+    rule, good must not).
+    """
 
     name: str = ""
     description: str = ""
+    version: int = 1
+    rationale: str = ""
+    example_bad: str = ""
+    example_good: str = ""
 
     def check_file(
         self, source: SourceFile, project: ProjectModel
@@ -64,8 +76,11 @@ def all_rules(select: Iterable[str] = ()) -> dict[str, Rule]:
 # Import rule modules for their registration side effects.
 from repro.analysis.rules import (  # noqa: E402
     api_stability,
+    async_safety,
     backend_parity,
     determinism,
+    determinism_flow,
+    fork_safety,
     hotpath,
     parity,
     scheme_registry,
@@ -75,8 +90,11 @@ from repro.analysis.rules import (  # noqa: E402
 
 _ = (
     api_stability,
+    async_safety,
     backend_parity,
     determinism,
+    determinism_flow,
+    fork_safety,
     hotpath,
     parity,
     scheme_registry,

@@ -77,10 +77,39 @@ def _called_name(node: ast.Call) -> str | None:
 @register_rule
 class ApiStabilityRule(Rule):
     name = "api-stability"
+    version = 1
     description = (
         "api wire types must be frozen, slotted and schema-versioned, "
         "and constructed only via the repro.api facade"
     )
+    rationale = (
+        "Clients on other machines decode the repro.api dataclasses "
+        "from the wire; the byte-identity guarantee depends on requests "
+        "being immutable and version-stamped. A mutable wire type "
+        "breaks 'the value accepted is the value executed', a missing "
+        "schema field makes version skew undetectable, and direct "
+        "construction outside the facade bypasses defaulting and "
+        "validation."
+    )
+    example_bad = """\
+from dataclasses import dataclass
+
+API_SCHEMA = 1
+
+@dataclass
+class SimRequest:
+    seed: int = 0
+"""
+    example_good = """\
+from dataclasses import dataclass
+
+API_SCHEMA = 1
+
+@dataclass(frozen=True, slots=True)
+class SimRequest:
+    seed: int = 0
+    schema: int = API_SCHEMA
+"""
 
     def _api_type_names(self, project: ProjectModel) -> set[str]:
         """Every dataclass defined in the configured api-types modules."""

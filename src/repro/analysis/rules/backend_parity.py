@@ -88,10 +88,31 @@ def _string_set(node: ast.expr) -> set[str] | None:
 @register_rule
 class BackendParityRule(Rule):
     name = "backend-parity"
+    version = 1
     description = (
         "vectorized kernels must flush stats through the shared helpers "
         "and VECTORIZED_SCHEMES must match the registry backends flags"
     )
+    rationale = (
+        "A fused kernel that bumps statistics inline double-counts "
+        "after a warmup reset, and a registry 'vectorized' flag "
+        "without a matching kernel silently degrades every run to the "
+        "scalar fallback. Both failure modes are invisible at runtime; "
+        "this rule pins the structural seam: kernels defer to "
+        "_flush_stats, and VECTORIZED_SCHEMES mirrors the registry "
+        "backends flags exactly."
+    )
+    example_bad = """\
+@register_kernel("direct")
+def direct_chunk(cache, addresses, stats):
+    stats.hits += len(addresses)
+"""
+    example_good = """\
+@register_kernel("direct")
+def direct_chunk(cache, addresses, stats):
+    hit_count = probe_all(cache, addresses)
+    _flush_stats(stats, hit_count)
+"""
 
     def check_file(
         self, source: SourceFile, project: ProjectModel

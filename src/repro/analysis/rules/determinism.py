@@ -54,10 +54,31 @@ def _attr_chain(node: ast.expr) -> list[str] | None:
 @register_rule
 class DeterminismRule(Rule):
     name = "determinism"
+    version = 1
     description = (
         "sim core must not read wall clock, ambient entropy or "
         "environment-ordered iterables"
     )
+    rationale = (
+        "Checkpoint/resume replay and the golden byte-identity suite "
+        "rely on simulation results being a pure function of config + "
+        "seed. A wall-clock read, the global unseeded RNG, a "
+        "PYTHONHASHSEED-randomized hash(), or set/filesystem iteration "
+        "order smuggles ambient state into results that then fail to "
+        "replay bit-identically. This rule bans the syntactic forms; "
+        "its companion determinism-flow traces where such values "
+        "travel."
+    )
+    example_bad = """\
+import time
+
+def sample_latency(events):
+    return time.time() - events[-1]
+"""
+    example_good = """\
+def sample_latency(events, now):
+    return now - events[-1]
+"""
 
     def check_file(
         self, source: SourceFile, project: ProjectModel

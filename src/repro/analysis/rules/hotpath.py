@@ -30,10 +30,29 @@ _COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
 @register_rule
 class HotPathPurityRule(Rule):
     name = "hot-path-purity"
+    version = 1
     description = (
         "*_fast functions may not allocate closures, comprehensions, "
         "dataclasses or **kwargs calls"
     )
+    rationale = (
+        "The drive loop calls *_fast entry points hundreds of "
+        "thousands of times per grid cell. One comprehension, lambda, "
+        "**kwargs dict or dataclass instantiation per call erases the "
+        "batching win and reintroduces gc pauses — a regression no "
+        "functional test catches, only throughput numbers."
+    )
+    example_bad = """\
+def probe_fast(tags, tag):
+    return [t for t in tags if t == tag]
+"""
+    example_good = """\
+def probe_fast(tags, tag):
+    for t in tags:
+        if t == tag:
+            return t
+    return None
+"""
 
     def check_file(
         self, source: SourceFile, project: ProjectModel

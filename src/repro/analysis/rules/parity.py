@@ -89,10 +89,39 @@ def _is_abstract(func: ast.FunctionDef) -> bool:
 @register_rule
 class FastReferenceParityRule(Rule):
     name = "fast-reference-parity"
+    version = 1
     description = (
         "merged fast entries must structurally share their reference "
         "copy's continuation and the _hit scratch contract"
     )
+    rationale = (
+        "Each scheme keeps a merged/inlined access_fast and a clean "
+        "reference _access_fast whose equality the golden tests pin at "
+        "runtime — but runtime tests only catch drift on inputs they "
+        "replay. Requiring both entries to route through the same "
+        "_access* continuation, and the fast entry to maintain the "
+        "self._hit scratch contract, makes silent divergence "
+        "structurally unlikely."
+    )
+    example_bad = """\
+class Cache:
+    def access_fast(self, address, now, is_write):
+        self._hit = address in self.lines
+        return 1 if self._hit else 40
+
+    def _access_fast(self, address, now, is_write):
+        return self._access_cold(address, now, is_write)
+"""
+    example_good = """\
+class Cache:
+    def access_fast(self, address, now, is_write):
+        self._hit = self._access_cold(address, now, is_write) == 1
+        return 1 if self._hit else 40
+
+    def _access_fast(self, address, now, is_write):
+        self._hit = self._access_cold(address, now, is_write) == 1
+        return 1 if self._hit else 40
+"""
 
     def check_project(self, project: ProjectModel) -> Iterator[Violation]:
         base = project.config.scheme_base

@@ -31,10 +31,30 @@ _CONTRACT_ARGS = ("self", "address", "now", "is_write")
 @register_rule
 class SchemeRegistryRule(Rule):
     name = "scheme-registry"
+    version = 1
     description = (
         "concrete DRAMCacheBase subclasses must be registered via "
         "register_scheme and honour the _access_fast/_hit contract"
     )
+    rationale = (
+        "The CLI, grids and perfbench resolve cache organizations by "
+        "name through the scheme registry. A concrete subclass that "
+        "never reaches register_scheme is dead weight the harness "
+        "cannot evaluate; one that deviates from the _access_fast "
+        "signature or never assigns the self._hit scratch attribute "
+        "breaks the accounting shell for every caller."
+    )
+    example_bad = """\
+class SneakyCache(DRAMCacheBase):
+    def _access_fast(self, address):
+        return address in self.lines
+"""
+    example_good = """\
+class DirectCache(DRAMCacheBase):
+    def _access_fast(self, address, now, is_write):
+        self._hit = address in self.lines
+        return 1 if self._hit else 40
+"""
 
     def check_project(self, project: ProjectModel) -> Iterator[Violation]:
         base = project.config.scheme_base

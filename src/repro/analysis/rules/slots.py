@@ -33,10 +33,33 @@ _EXEMPT_BASES = {
 @register_rule
 class SlotsRule(Rule):
     name = "slots"
+    version = 1
     description = (
         "hot-path record classes must declare __slots__ "
         "(dataclasses: slots=True)"
     )
+    rationale = (
+        "The drive loop materializes millions of per-record objects "
+        "(trace records, cache blocks, locator entries). A class "
+        "without __slots__ carries a per-instance __dict__ — no test "
+        "fails, footprint and attribute-lookup speed just quietly "
+        "regress. Enum/exception/ABC-rooted classes are exempt by "
+        "construction."
+    )
+    example_bad = """\
+class TraceRecord:
+    def __init__(self, address, is_write):
+        self.address = address
+        self.is_write = is_write
+"""
+    example_good = """\
+class TraceRecord:
+    __slots__ = ("address", "is_write")
+
+    def __init__(self, address, is_write):
+        self.address = address
+        self.is_write = is_write
+"""
 
     def check_file(
         self, source: SourceFile, project: ProjectModel

@@ -45,10 +45,29 @@ def _is_namespaced_fstring(node: ast.expr) -> bool:
 @register_rule
 class StatsProtocolRule(Rule):
     name = "stats-protocol"
+    version = 1
     description = (
         "to_dict/stats_snapshot must emit literal, collision-free, "
         "flatten_stats-safe keys"
     )
+    rationale = (
+        "Every result object exports through to_dict()/stats_snapshot() "
+        "dictionaries that flatten_stats folds into one dotted "
+        "namespace consumed by the CSV/JSON exporters, the tracer and "
+        "the metrics registry. A computed key or an intra-method "
+        "collision silently drops or shadows a column in every "
+        "downstream artifact."
+    )
+    example_bad = """\
+class BankStats:
+    def to_dict(self):
+        return {"bank.reads": self.reads, "bank.reads": self.writes}
+"""
+    example_good = """\
+class BankStats:
+    def to_dict(self):
+        return {"bank.reads": self.reads, "bank.writes": self.writes}
+"""
 
     def check_file(
         self, source: SourceFile, project: ProjectModel

@@ -209,7 +209,8 @@ class ReproServer:
 
     async def _queue_recovery(self) -> None:
         """Re-admit journaled grids a previous process never finished."""
-        for key, request in self.store.incomplete():
+        # The crash scan stats + parses every journal file; off the loop.
+        for key, request in await asyncio.to_thread(self.store.incomplete):
             self.stats.recovered_grids += 1
             verb = "dse" if isinstance(request, DseRequest) else "grid"
             self._admit(
@@ -457,7 +458,8 @@ class ReproServer:
         future.add_done_callback(lambda f: f.exception())  # joiner-less errors
         self._grid_futures[key] = future
         try:
-            self.store.journal(key, job.request)
+            # Durable (fsync'd) writes stall the loop; push them to a thread.
+            await asyncio.to_thread(self.store.journal, key, job.request)
             job.send(
                 "event", facade.progress_event("started", request_id=job.request_id)
             )
@@ -498,7 +500,7 @@ class ReproServer:
                         detail="cells served from checkpoint",
                     ),
                 )
-            self.store.complete(key, result)
+            await asyncio.to_thread(self.store.complete, key, result)
             self.stats.grids_done += 1
             future.set_result(result)
             job.send("result", result)

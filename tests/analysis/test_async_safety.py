@@ -1,0 +1,174 @@
+"""Rule ``async-safety``: blocking reachability from event-loop roots."""
+
+from dataclasses import replace
+
+import pytest
+
+from tests.analysis.conftest import STRICT
+
+CONFIG = replace(STRICT, async_scope=("*.py",))
+
+
+def run(lint, source, **kwargs):
+    return lint(source, rules=["async-safety"], config=CONFIG, **kwargs)
+
+
+class TestBlockingReachability:
+    def test_direct_blocking_call_in_async_def(self, lint):
+        result = run(lint, """
+            import time
+
+            async def handler():
+                time.sleep(0.1)
+        """)
+        assert len(result.violations) == 1
+        assert "time.sleep" in result.violations[0].message
+
+    def test_transitive_blocking_through_sync_helper(self, lint):
+        result = run(lint, """
+            import subprocess
+
+            def shell_out(cmd):
+                return subprocess.run(cmd)
+
+            async def handler(cmd):
+                return shell_out(cmd)
+        """)
+        assert len(result.violations) == 1
+        assert "shell_out" in result.violations[0].message
+
+    def test_blocking_through_typed_self_attribute(self, lint):
+        result = run(lint, """
+            class Store:
+                def scan(self):
+                    with open("journal") as fh:
+                        return fh.read()
+
+            class Server:
+                def __init__(self):
+                    self.store = Store()
+
+                async def recover(self):
+                    return self.store.scan()
+        """)
+        assert len(result.violations) == 1
+        assert "Store.scan" in result.violations[0].message
+
+    def test_to_thread_handoff_is_not_followed(self, lint):
+        result = run(lint, """
+            import asyncio
+            import time
+
+            def blocking():
+                time.sleep(1)
+
+            async def handler():
+                await asyncio.to_thread(blocking)
+        """)
+        assert result.ok
+
+    def test_await_asyncio_sleep_is_clean(self, lint):
+        result = run(lint, """
+            import asyncio
+
+            async def handler():
+                await asyncio.sleep(0.1)
+        """)
+        assert result.ok
+
+    def test_sync_only_module_is_out_of_scope(self, lint):
+        result = run(lint, """
+            import time
+
+            def worker():
+                time.sleep(1)
+        """)
+        assert result.ok
+
+    def test_scope_config_excludes_modules(self, lint):
+        result = lint(
+            """
+            import time
+
+            async def handler():
+                time.sleep(0.1)
+            """,
+            rules=["async-safety"],
+            config=replace(STRICT, async_scope=("server/*",)),
+        )
+        assert result.ok
+
+
+class TestUnawaitedCoroutine:
+    def test_discarded_project_coroutine_call(self, lint):
+        result = run(lint, """
+            async def flush():
+                return 1
+
+            async def handler():
+                flush()
+        """)
+        assert len(result.violations) == 1
+        assert "await" in result.violations[0].message
+
+    def test_awaited_and_task_wrapped_calls_are_clean(self, lint):
+        result = run(lint, """
+            import asyncio
+
+            async def flush():
+                return 1
+
+            async def handler():
+                await flush()
+                task = asyncio.create_task(flush())
+                return task
+        """)
+        assert result.ok
+
+
+class TestExecutorSharedState:
+    def test_executor_worker_mutating_loop_state(self, lint):
+        result = run(lint, """
+            class Server:
+                def __init__(self, pool):
+                    self.pool = pool
+                    self.inflight = 0
+
+                def _work(self):
+                    self.inflight -= 1
+
+                async def handle(self):
+                    self.inflight += 1
+                    self.pool.submit(self._work)
+        """)
+        assert len(result.violations) == 1
+        assert "inflight" in result.violations[0].message
+
+    def test_disjoint_attributes_are_clean(self, lint):
+        result = run(lint, """
+            class Server:
+                def __init__(self, pool):
+                    self.pool = pool
+                    self.inflight = 0
+                    self.done = 0
+
+                def _work(self):
+                    self.done += 1
+
+                async def handle(self):
+                    self.inflight += 1
+                    self.pool.submit(self._work)
+        """)
+        assert result.ok
+
+
+class TestSuppression:
+    def test_inline_off_comment_suppresses(self, lint):
+        result = run(lint, """
+            import time
+
+            async def handler():
+                time.sleep(0.1)  # simlint: off=async-safety -- startup only
+        """)
+        assert result.ok
+        assert result.suppressed == 1

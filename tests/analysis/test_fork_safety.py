@@ -1,0 +1,107 @@
+"""Rule ``fork-safety``: no live handles across the worker boundary."""
+
+from tests.analysis.conftest import STRICT
+
+
+def run(lint, source, **kwargs):
+    return lint(source, rules=["fork-safety"], config=STRICT, **kwargs)
+
+
+class TestRunGridCaptures:
+    def test_lambda_capturing_open_file(self, lint):
+        result = run(lint, """
+            from repro.harness.parallel import run_grid
+
+            def campaign(cells):
+                log = open("grid.log", "w")
+                return run_grid(lambda cell: log.write(str(cell)), cells)
+        """)
+        assert len(result.violations) == 1
+        assert "open file" in result.violations[0].message
+
+    def test_named_worker_closing_over_socket(self, lint):
+        result = run(lint, """
+            import socket
+            from repro.harness.parallel import run_grid
+
+            def campaign(cells):
+                conn = socket.create_connection(("localhost", 9))
+
+                def worker(cell):
+                    conn.send(cell)
+                    return cell
+
+                return run_grid(worker, cells)
+        """)
+        assert len(result.violations) == 1
+        assert "socket" in result.violations[0].message
+
+    def test_handle_passed_as_plain_argument(self, lint):
+        result = run(lint, """
+            from repro.harness.parallel import run_grid
+
+            def campaign(worker, cells):
+                journal = open("journal.jsonl", "w")
+                return run_grid(worker, cells, journal)
+        """)
+        assert len(result.violations) == 1
+        assert "journal" in result.violations[0].message
+
+    def test_clean_module_level_worker(self, lint):
+        result = run(lint, """
+            from repro.harness.parallel import run_grid
+
+            def worker(cell):
+                with open(f"out-{cell}.json", "w") as fh:
+                    fh.write(str(cell))
+                return cell
+
+            def campaign(cells):
+                return run_grid(worker, cells)
+        """)
+        assert result.ok
+
+
+class TestPoolSubmissions:
+    def test_bound_method_shipping_event_loop(self, lint):
+        result = run(lint, """
+            import asyncio
+            from concurrent.futures import ProcessPoolExecutor
+
+            class Runner:
+                def __init__(self):
+                    self.loop = asyncio.get_event_loop()
+
+                def work(self, cell):
+                    return cell
+
+                def launch(self, cells):
+                    pool = ProcessPoolExecutor()
+                    return [pool.submit(self.work, c) for c in cells]
+        """)
+        assert len(result.violations) == 1
+        assert "event loop" in result.violations[0].message
+
+    def test_fresh_handle_argument_to_submit(self, lint):
+        result = run(lint, """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def launch(worker, cells):
+                pool = ProcessPoolExecutor()
+                return pool.submit(worker, open("state.json"))
+        """)
+        assert len(result.violations) == 1
+        assert "freshly-created" in result.violations[0].message
+
+    def test_plain_data_submission_is_clean(self, lint):
+        result = run(lint, """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def worker(cell):
+                return cell * 2
+
+            def launch(cells):
+                pool = ProcessPoolExecutor()
+                return [pool.submit(worker, c) for c in cells]
+        """)
+        assert result.ok
